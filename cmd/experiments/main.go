@@ -1,0 +1,50 @@
+// Command experiments regenerates the tables and figures of
+// "Estimating Answer Sizes for XML Queries" (EDBT 2002) on the
+// repository's substitute datasets and prints them next to the paper's
+// reported values.
+//
+// Usage:
+//
+//	experiments [-run all|example|table1|table2|table3|table4|fig11|fig12|theorem1|theorem2|storage]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xmlest/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run")
+	flag.Parse()
+
+	runners := map[string]func(io.Writer) error{
+		"all":      experiments.RenderAll,
+		"example":  experiments.RenderExample,
+		"table1":   experiments.RenderTable1,
+		"table2":   experiments.RenderTable2,
+		"table3":   experiments.RenderTable3,
+		"table4":   experiments.RenderTable4,
+		"fig11":    experiments.RenderFig11,
+		"fig12":    experiments.RenderFig12,
+		"theorem1": experiments.RenderTheorem1,
+		"theorem2": experiments.RenderTheorem2,
+		"storage":  experiments.RenderStorageSummary,
+		"ablation": experiments.RenderAblation,
+		"errors":   experiments.RenderErrorProfile,
+		"plans":    experiments.RenderPlanQuality,
+	}
+	f, ok := runners[*run]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := f(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

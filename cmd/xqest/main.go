@@ -1,0 +1,199 @@
+// Command xqest loads an XML database, builds position histograms, and
+// answers answer-size queries for twig patterns.
+//
+// Usage:
+//
+//	xqest -data a.xml[,b.xml,...] stats
+//	xqest -data a.xml predicates
+//	xqest -data a.xml -grid 10 estimate '//article//author'
+//	xqest -data a.xml exact '//article//author'
+//	xqest -data a.xml -grid 10 explain '//a[.//b]//c'
+//
+// The -dataset flag substitutes a built-in synthetic dataset for -data:
+// dblp, hier, xmark or shakespeare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmlest"
+	"xmlest/internal/datagen"
+	"xmlest/internal/pattern"
+	"xmlest/internal/planner"
+)
+
+func main() {
+	data := flag.String("data", "", "comma-separated XML files")
+	dataset := flag.String("dataset", "", "built-in dataset: dblp, hier, xmark, shakespeare")
+	grid := flag.Int("grid", 10, "histogram grid size g (gxg buckets)")
+	scale := flag.Float64("scale", 0.1, "built-in dataset scale")
+	seed := flag.Int64("seed", 2002, "built-in dataset seed")
+	summary := flag.String("summary", "", "summary file: estimate from it without loading data")
+	out := flag.String("o", "summary.bin", "output file for the build command")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd := flag.Arg(0)
+
+	// Estimation from a saved summary needs no data at all.
+	if *summary != "" && cmd == "estimate" {
+		blob, err := os.ReadFile(*summary)
+		if err != nil {
+			fatal(err)
+		}
+		est, err := xmlest.LoadEstimator(blob)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := est.Estimate(needPattern())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("estimate: %.2f\nestimation time: %s\n(loaded from %s, %d bytes)\n",
+			res.Estimate, res.Elapsed, *summary, len(blob))
+		return
+	}
+
+	db, err := openDatabase(*data, *dataset, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "build":
+		est, err := db.NewEstimator(xmlest.Options{GridSize: *grid})
+		if err != nil {
+			fatal(err)
+		}
+		blob, err := est.MarshalBinary()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d-byte summary for %d predicates to %s\n",
+			len(blob), db.Catalog().Len(), *out)
+	case "stats":
+		s := db.Tree().Stats()
+		fmt.Printf("nodes: %d\ndistinct tags: %d\nmax depth: %d\nmax position: %d\n",
+			s.Nodes, s.DistinctTag, s.MaxDepth, s.MaxPos)
+	case "predicates":
+		for _, name := range db.Catalog().Names() {
+			e := db.Catalog().MustGet(name)
+			prop := "overlap"
+			if e.NoOverlap {
+				prop = "no overlap"
+			}
+			fmt.Printf("%-30s %10d  %s\n", name, e.Count(), prop)
+		}
+	case "estimate":
+		src := needPattern()
+		est, err := db.NewEstimator(xmlest.Options{GridSize: *grid})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := est.Estimate(src)
+		if err != nil {
+			fatal(err)
+		}
+		algo := "primitive pH-join"
+		if res.UsedNoOverlap {
+			algo = "no-overlap (coverage)"
+		}
+		fmt.Printf("estimate: %.2f\nalgorithm: %s\nestimation time: %s\nsummary storage: %d bytes\n",
+			res.Estimate, algo, res.Elapsed, est.StorageBytes())
+	case "exact":
+		src := needPattern()
+		real, err := db.Count(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exact answer size: %.0f\n", real)
+	case "explain":
+		src := needPattern()
+		est, err := db.NewEstimator(xmlest.Options{GridSize: *grid})
+		if err != nil {
+			fatal(err)
+		}
+		p, err := pattern.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		plans, err := planner.Enumerate(est.Core(), p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d candidate join orders (cost = sum of intermediate sizes):\n", len(plans))
+		show := len(plans)
+		if show > 8 {
+			show = 8
+		}
+		for i := 0; i < show; i++ {
+			fmt.Printf("%2d. cost %12.1f  %s\n", i+1, plans[i].Cost, plans[i])
+		}
+	default:
+		usage()
+	}
+}
+
+func openDatabase(data, dataset string, scale float64, seed int64) (*xmlest.Database, error) {
+	switch {
+	case data != "":
+		db, err := xmlest.OpenFiles(strings.Split(data, ",")...)
+		if err != nil {
+			return nil, err
+		}
+		db.AddAllTagPredicates()
+		return db, nil
+	case dataset == "dblp":
+		db := xmlest.FromCatalog(datagen.DBLPCatalog(datagen.GenerateDBLP(
+			datagen.DBLPConfig{Seed: seed, Scale: scale})))
+		return db, nil
+	case dataset == "hier":
+		db := xmlest.FromCatalog(datagen.HierCatalog(datagen.GenerateHier(
+			datagen.HierConfig{Seed: seed, Scale: scale * 10})))
+		return db, nil
+	case dataset == "xmark":
+		db := xmlest.FromTree(datagen.GenerateXMark(seed, int(1000*scale)))
+		db.AddAllTagPredicates()
+		return db, nil
+	case dataset == "shakespeare":
+		db := xmlest.FromTree(datagen.GenerateShakespeare(seed, int(10*scale)+1))
+		db.AddAllTagPredicates()
+		return db, nil
+	default:
+		return nil, fmt.Errorf("xqest: provide -data files or -dataset name")
+	}
+}
+
+func needPattern() string {
+	if flag.NArg() < 2 {
+		fatal(fmt.Errorf("xqest: %s requires a pattern argument", flag.Arg(0)))
+	}
+	return flag.Arg(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: xqest [-data files | -dataset name] [-grid g] <command> [pattern]
+
+commands:
+  stats                 dataset statistics
+  predicates            registered predicates with counts and overlap property
+  build                 build histograms and write them to -o (default summary.bin)
+  estimate '<pattern>'  estimated answer size via position histograms
+                        (with -summary file: estimate without loading any data)
+  exact '<pattern>'     exact answer size (ground truth)
+  explain '<pattern>'   candidate join orders with intermediate estimates`)
+	os.Exit(2)
+}

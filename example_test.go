@@ -1,0 +1,136 @@
+package xmlest_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xmlest"
+)
+
+const exampleDoc = `<department>
+	<faculty><name>A</name><RA/></faculty>
+	<staff><name>B</name></staff>
+	<faculty><name>C</name><secretary/><RA/><RA/><RA/></faculty>
+	<lecturer><name>D</name><TA/><TA/><TA/></lecturer>
+	<faculty><name>E</name><secretary/><TA/><RA/><RA/><TA/></faculty>
+	<research_scientist><name>F</name><secretary/><RA/><RA/><RA/><RA/></research_scientist>
+</department>`
+
+// The paper's running example: estimate faculty//TA on the Fig 1
+// document and compare with the exact answer.
+func Example() {
+	db, err := xmlest.Open(strings.NewReader(exampleDoc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := est.Estimate("//faculty//TA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	real, err := db.Count("//faculty//TA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimate %.2f, exact %.0f\n", res.Estimate, real)
+	// Output:
+	// estimate 1.86, exact 2
+}
+
+// Registering a named compound predicate and using it in a pattern with
+// the {name} syntax.
+func ExampleDatabase_AddPredicate() {
+	db, err := xmlest.Open(strings.NewReader(
+		`<db><rec><year>1985</year></rec><rec><year>1995</year></rec></db>`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	db.AddPredicate(xmlest.Named{
+		Alias: "1980's",
+		Inner: xmlest.And{Parts: []xmlest.Predicate{
+			xmlest.Tag{Value: "year"},
+			xmlest.NumericRange{Lo: 1980, Hi: 1989},
+		}},
+	})
+	real, err := db.Count("//rec//{1980's}")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact %.0f\n", real)
+	// Output:
+	// exact 1
+}
+
+// The naive baseline (product of node counts) against the exact count,
+// motivating the histograms.
+func ExampleDatabase_Naive() {
+	db, err := xmlest.Open(strings.NewReader(exampleDoc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	naive, err := db.Naive("//faculty//TA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	real, err := db.Count("//faculty//TA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive %.0f, exact %.0f\n", naive, real)
+	// Output:
+	// naive 15, exact 2
+}
+
+// Summaries are serializable: estimation can run without the data.
+func ExampleLoadEstimator() {
+	db, err := xmlest.Open(strings.NewReader(exampleDoc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob, err := est.MarshalBinary()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	loaded, err := xmlest.LoadEstimator(blob) // no Database needed
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := loaded.Estimate("//faculty//TA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimate %.2f\n", res.Estimate)
+	// Output:
+	// estimate 1.86
+}
+
+// Enumerating the first page of concrete matches alongside the
+// predicted total — the paper's online-query scenario.
+func ExampleDatabase_Find() {
+	db, err := xmlest.Open(strings.NewReader(exampleDoc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	matches, err := db.Find("//faculty//RA", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first %d matches of 6\n", len(matches))
+	// Output:
+	// first 2 matches of 6
+}

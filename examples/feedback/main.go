@@ -1,0 +1,72 @@
+// Feedback: the paper's second motivating use case — giving a user an
+// answer-size prediction before (or while) the query runs, so they can
+// decide whether to refine it. This example runs interactive-style
+// queries over a DBLP-shaped bibliography: for each query it prints the
+// instant histogram estimate, then the exact count, with both timings,
+// illustrating the orders-of-magnitude gap between estimating from the
+// summary and touching the data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xmlest"
+	"xmlest/internal/datagen"
+)
+
+func main() {
+	// A tenth-scale DBLP keeps this example snappy; the shapes carry.
+	tree := datagen.GenerateDBLP(datagen.DBLPConfig{Seed: 2002, Scale: 0.1})
+	db := xmlest.FromCatalog(datagen.DBLPCatalog(tree))
+
+	buildStart := time.Now()
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database: %d nodes; summaries built in %s (%d bytes)\n\n",
+		tree.NumNodes(), time.Since(buildStart).Round(time.Millisecond), est.StorageBytes())
+
+	queries := []string{
+		"//article//author",   // broad: user should refine
+		"//article//{1990's}", // narrower by decade
+		"//book//cdrom",       // rare combination
+		"//article//{conf}",   // citations of conference papers
+	}
+	for _, q := range queries {
+		res, err := est.Estimate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Fetch only the first page, as an online interface would,
+		// alongside the predicted total.
+		pageStart := time.Now()
+		page, err := db.Find(q, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pageTime := time.Since(pageStart)
+		exactStart := time.Now()
+		real, err := db.Count(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exactTime := time.Since(exactStart)
+
+		fmt.Printf("query %s\n", q)
+		fmt.Printf("  predicted ~%.0f results      (%s, from %d-byte summaries)\n",
+			res.Estimate, res.Elapsed, est.StorageBytes())
+		fmt.Printf("  first %d results fetched in %s\n", len(page), pageTime)
+		fmt.Printf("  actual     %.0f results      (%s, full count)\n", real, exactTime)
+		switch {
+		case res.Estimate > 10000:
+			fmt.Printf("  advice: result is huge — consider refining before running\n\n")
+		case res.Estimate < 10:
+			fmt.Printf("  advice: result is tiny — run it\n\n")
+		default:
+			fmt.Printf("  advice: manageable result size\n\n")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: load an XML document, build position histograms, and
+// compare estimated answer sizes against the exact ones — the paper's
+// running example (Fig 1/Fig 2) end to end on the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"xmlest"
+)
+
+const doc = `<department>
+	<faculty><name>A</name><RA/></faculty>
+	<staff><name>B</name></staff>
+	<faculty><name>C</name><secretary/><RA/><RA/><RA/></faculty>
+	<lecturer><name>D</name><TA/><TA/><TA/></lecturer>
+	<faculty><name>E</name><secretary/><TA/><RA/><RA/><TA/></faculty>
+	<research_scientist><name>F</name><secretary/><RA/><RA/><RA/><RA/></research_scientist>
+</department>`
+
+func main() {
+	db, err := xmlest.Open(strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []string{
+		"//faculty//TA",                       // the Section 2 walk-through
+		"//department//faculty[.//TA][.//RA]", // the Fig 2 twig
+		"//department//faculty",
+		"//lecturer//TA",
+	}
+	fmt.Printf("%-40s %10s %10s %10s\n", "pattern", "naive", "estimate", "exact")
+	for _, q := range queries {
+		naive, err := db.Naive(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := est.Estimate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		real, err := db.Count(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s %10.0f %10.2f %10.0f\n", q, naive, res.Estimate, real)
+	}
+	fmt.Printf("\nsummary structures: %d bytes for %d predicates\n",
+		est.StorageBytes(), db.Catalog().Len())
+}

@@ -1,0 +1,42 @@
+// Storage: replays the paper's Fig 11/12 trade-off on any dataset —
+// how grid size buys estimation accuracy, and what it costs in summary
+// bytes. Demonstrates Theorem 1 empirically: storage grows linearly in
+// g, not quadratically, because non-zero cells are O(g).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmlest"
+	"xmlest/internal/datagen"
+)
+
+func main() {
+	tree := datagen.GenerateHier(datagen.DefaultHierConfig)
+	db := xmlest.FromCatalog(datagen.HierCatalog(tree))
+
+	const query = "//department//email"
+	real, err := db.Count(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d nodes; query %s; exact answer %.0f\n\n",
+		tree.NumNodes(), query, real)
+	fmt.Printf("%6s %14s %14s %12s\n", "grid", "total bytes", "estimate", "est/real")
+	for _, g := range []int{2, 4, 8, 16, 32, 64} {
+		est, err := db.NewEstimator(xmlest.Options{GridSize: g})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := est.Estimate(query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %14d %14.1f %12.3f\n",
+			g, est.StorageBytes(), res.Estimate, res.Estimate/real)
+	}
+	fmt.Println("\nstorage grows ~linearly in g (Theorem 1/2); the accuracy")
+	fmt.Println("ratio approaches 1 once cells are fine enough to separate")
+	fmt.Println("unrelated document regions (paper: g in the 10-20 range).")
+}

@@ -1,0 +1,181 @@
+// Package accuracy profiles estimation error over query workloads. The
+// paper evaluates a handful of hand-picked queries; a system adopting
+// the estimator needs the error *distribution* over many queries. This
+// package generates workloads (all tag pairs, random twigs), evaluates
+// estimate-vs-exact for each, and summarizes with the standard
+// selectivity-estimation metrics: mean relative error and q-error
+// quantiles (q-error = max(est/real, real/est), the factor by which a
+// plan cost can be off).
+package accuracy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"xmlest/internal/core"
+	"xmlest/internal/match"
+	"xmlest/internal/pattern"
+	"xmlest/internal/predicate"
+	"xmlest/internal/xmltree"
+)
+
+// QueryResult is one workload query's outcome.
+type QueryResult struct {
+	Pattern string
+	Real    float64
+	Est     float64
+	// QError is max(est/real, real/est), with add-one smoothing so
+	// empty results remain comparable.
+	QError float64
+}
+
+// Report summarizes a workload evaluation.
+type Report struct {
+	Queries int
+	// EmptyReal counts queries whose exact answer is zero.
+	EmptyReal int
+	// MeanRelErr is the mean of |est-real| / max(real, 1).
+	MeanRelErr float64
+	// Q50, Q90, QMax are q-error quantiles.
+	Q50, Q90, QMax float64
+	// Under counts underestimates (est < real).
+	Under int
+}
+
+// Evaluate runs every pattern through the estimator and the exact
+// counter.
+func Evaluate(cat *predicate.Catalog, est *core.Estimator, patterns []string) ([]QueryResult, Report, error) {
+	resolve := func(name string) ([]xmltree.NodeID, error) {
+		e, err := cat.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		return e.Nodes, nil
+	}
+	var results []QueryResult
+	var report Report
+	var relSum float64
+	var qerrs []float64
+	for _, src := range patterns {
+		p, err := pattern.Parse(src)
+		if err != nil {
+			return nil, Report{}, fmt.Errorf("accuracy: %w", err)
+		}
+		real, err := match.CountTwig(cat.Tree, p, resolve)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		res, err := est.EstimateTwig(p)
+		if err != nil {
+			return nil, Report{}, err
+		}
+		q := qError(res.Estimate, real)
+		results = append(results, QueryResult{Pattern: src, Real: real, Est: res.Estimate, QError: q})
+		report.Queries++
+		if real == 0 {
+			report.EmptyReal++
+		}
+		if res.Estimate < real {
+			report.Under++
+		}
+		relSum += math.Abs(res.Estimate-real) / math.Max(real, 1)
+		qerrs = append(qerrs, q)
+	}
+	if report.Queries > 0 {
+		report.MeanRelErr = relSum / float64(report.Queries)
+		sort.Float64s(qerrs)
+		report.Q50 = quantile(qerrs, 0.50)
+		report.Q90 = quantile(qerrs, 0.90)
+		report.QMax = qerrs[len(qerrs)-1]
+	}
+	return results, report, nil
+}
+
+// qError computes max(a/b, b/a) with add-one smoothing.
+func qError(est, real float64) float64 {
+	a, b := est+1, real+1
+	if a < b {
+		a, b = b, a
+	}
+	return a / b
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// PairWorkload returns every ordered pair of distinct element-tag
+// predicates as a //a//b pattern (the exhaustive pairwise workload).
+// Tags whose name cannot appear in the pattern syntax are skipped.
+func PairWorkload(cat *predicate.Catalog) []string {
+	tags := tagNames(cat)
+	var out []string
+	for _, a := range tags {
+		for _, d := range tags {
+			if a == d {
+				continue
+			}
+			out = append(out, "//"+a+"//"+d)
+		}
+	}
+	return out
+}
+
+// RandomTwigWorkload generates n random twigs of 2-4 nodes over the
+// catalog's element tags, using a deterministic seed. Twigs may have
+// zero matches; that is part of the profile.
+func RandomTwigWorkload(cat *predicate.Catalog, n int, seed int64) []string {
+	tags := tagNames(cat)
+	if len(tags) == 0 {
+		return nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	pick := func() string { return tags[r.Intn(len(tags))] }
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0: // chain of 2
+			out = append(out, "//"+pick()+"//"+pick())
+		case 1: // chain of 3
+			out = append(out, "//"+pick()+"//"+pick()+"//"+pick())
+		case 2: // branch
+			out = append(out, "//"+pick()+"[.//"+pick()+"]//"+pick())
+		default: // branch of 4
+			out = append(out, "//"+pick()+"[.//"+pick()+"][.//"+pick()+"]//"+pick())
+		}
+	}
+	return out
+}
+
+// tagNames extracts plain element-tag predicate names usable in the
+// pattern syntax.
+func tagNames(cat *predicate.Catalog) []string {
+	var tags []string
+	for _, name := range cat.Names() {
+		if len(name) > 4 && name[:4] == "tag=" && patternSafe(name[4:]) {
+			tags = append(tags, name[4:])
+		}
+	}
+	return tags
+}
+
+func patternSafe(tag string) bool {
+	if tag == "" || tag[0] == '@' {
+		return false
+	}
+	for i := 0; i < len(tag); i++ {
+		c := tag[i]
+		ok := c == '_' || c == '-' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

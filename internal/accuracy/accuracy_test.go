@@ -1,0 +1,135 @@
+package accuracy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xmlest/internal/core"
+	"xmlest/internal/datagen"
+	"xmlest/internal/predicate"
+	"xmlest/internal/xmltree"
+)
+
+func hierSetup(t *testing.T) (*predicate.Catalog, *core.Estimator) {
+	t.Helper()
+	tr := datagen.GenerateHier(datagen.DefaultHierConfig)
+	cat := predicate.NewCatalog(tr)
+	cat.AddAllTags()
+	est, err := core.NewEstimator(cat, core.Options{GridSize: 10})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	return cat, est
+}
+
+func TestPairWorkloadCoversAllPairs(t *testing.T) {
+	cat, _ := hierSetup(t)
+	w := PairWorkload(cat)
+	// 5 tags -> 20 ordered pairs.
+	if len(w) != 20 {
+		t.Fatalf("workload size = %d, want 20", len(w))
+	}
+	seen := map[string]bool{}
+	for _, q := range w {
+		if seen[q] {
+			t.Errorf("duplicate query %s", q)
+		}
+		seen[q] = true
+		if !strings.HasPrefix(q, "//") {
+			t.Errorf("bad query syntax %s", q)
+		}
+	}
+}
+
+func TestEvaluatePairWorkload(t *testing.T) {
+	cat, est := hierSetup(t)
+	results, report, err := Evaluate(cat, est, PairWorkload(cat))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if report.Queries != len(results) || report.Queries != 20 {
+		t.Fatalf("queries = %d, want 20", report.Queries)
+	}
+	if report.Q50 < 1 || report.Q90 < report.Q50 || report.QMax < report.Q90 {
+		t.Errorf("quantiles not ordered: %v %v %v", report.Q50, report.Q90, report.QMax)
+	}
+	// Median pairwise q-error on this dataset should be modest: the
+	// estimator is the paper's whole point.
+	if report.Q50 > 5 {
+		t.Errorf("median q-error %v too large", report.Q50)
+	}
+	for _, r := range results {
+		if math.IsNaN(r.Est) || r.Est < 0 {
+			t.Errorf("%s: bad estimate %v", r.Pattern, r.Est)
+		}
+		if r.QError < 1 {
+			t.Errorf("%s: q-error %v < 1", r.Pattern, r.QError)
+		}
+	}
+}
+
+func TestRandomTwigWorkload(t *testing.T) {
+	cat, est := hierSetup(t)
+	w := RandomTwigWorkload(cat, 60, 7)
+	if len(w) != 60 {
+		t.Fatalf("workload size = %d, want 60", len(w))
+	}
+	// Deterministic per seed.
+	w2 := RandomTwigWorkload(cat, 60, 7)
+	for i := range w {
+		if w[i] != w2[i] {
+			t.Fatalf("workload not deterministic at %d", i)
+		}
+	}
+	if w3 := RandomTwigWorkload(cat, 60, 8); w3[0] == w[0] && w3[1] == w[1] && w3[2] == w[2] {
+		t.Errorf("different seed should change the workload")
+	}
+	_, report, err := Evaluate(cat, est, w)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if report.Queries != 60 {
+		t.Errorf("queries = %d, want 60", report.Queries)
+	}
+	if report.QMax < 1 {
+		t.Errorf("bad QMax %v", report.QMax)
+	}
+}
+
+func TestEvaluateRejectsBadPattern(t *testing.T) {
+	cat, est := hierSetup(t)
+	if _, _, err := Evaluate(cat, est, []string{"not a pattern"}); err == nil {
+		t.Errorf("want parse error")
+	}
+	if _, _, err := Evaluate(cat, est, []string{"//nosuchtag//name"}); err == nil {
+		t.Errorf("want missing-predicate error")
+	}
+}
+
+func TestQErrorSmoothing(t *testing.T) {
+	if q := qError(0, 0); q != 1 {
+		t.Errorf("qError(0,0) = %v, want 1", q)
+	}
+	if q := qError(9, 0); q != 10 {
+		t.Errorf("qError(9,0) = %v, want 10", q)
+	}
+	if q := qError(0, 9); q != 10 {
+		t.Errorf("qError(0,9) = %v, want 10", q)
+	}
+}
+
+func TestPatternSafeFiltersAttributes(t *testing.T) {
+	tr, err := xmltree.ParseString(`<a id="1"><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := predicate.NewCatalog(tr)
+	cat.AddAllTags()
+	w := PairWorkload(cat)
+	for _, q := range w {
+		if strings.Contains(q, "@") {
+			t.Errorf("attribute tag leaked into workload: %s", q)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package core
+
+// Baselines the paper's evaluation tables compare against.
+
+// NaiveEstimate is the "(very) naive" estimate of Section 5.1: the
+// product of the node counts of the pattern's predicates, ignoring all
+// structural information. For a two-node pattern this is
+// count(P1) × count(P2), the first estimation column of Tables 2 and 4.
+func NaiveEstimate(counts ...int) float64 {
+	est := 1.0
+	for _, c := range counts {
+		est *= float64(c)
+	}
+	return est
+}
+
+// SchemaUpperBound is the schema-only estimate of Section 5.1 for a
+// two-node pattern whose ancestor predicate has the no-overlap
+// property: each descendant joins at most one ancestor, so the answer
+// size is bounded by the descendant count (the "Desc Num" column of
+// Table 2). It returns ok=false when the ancestor may overlap, in which
+// case the schema alone gives no useful bound.
+func SchemaUpperBound(ancNoOverlap bool, descCount int) (bound float64, ok bool) {
+	if !ancNoOverlap {
+		return 0, false
+	}
+	return float64(descCount), true
+}

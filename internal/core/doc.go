@@ -1,0 +1,32 @@
+// Package core implements the paper's contribution: answer-size
+// estimation for XML twig queries from position histograms.
+//
+// It provides:
+//
+//   - the primitive estimation formulas of Fig 6, in both ancestor-based
+//     and descendant-based forms (primitive.go), with an O(g²)
+//     partial-sum formulation and a literal transcription of the Fig 9
+//     three-pass pH-Join algorithm (phjoin.go);
+//   - the no-overlap estimation formulas of Fig 10, which use coverage
+//     histograms to exploit the schema's no-overlap property
+//     (nooverlap.go);
+//   - composition of binary joins into estimates for arbitrary twig
+//     patterns, carrying per-cell participation counts, join factors and
+//     propagated coverage across joins (subpattern.go);
+//   - the naive and schema-only baselines the paper's tables compare
+//     against (baseline.go);
+//   - Estimator, the high-level entry point that owns the histograms for
+//     a catalog of predicates and answers pattern-size queries
+//     (estimator.go).
+//
+// Region-weight conventions (Fig 5/6, validated against the Fig 9
+// pseudo-code): for an off-diagonal ancestor cell (i, j), descendant
+// cells strictly inside the span count with weight 1; cells sharing the
+// start column (i, l), i <= l < j, count with weight 1 except the
+// diagonal corner (i, i) at 1/2; cells sharing the end row (k, j),
+// i < k <= j, count with weight 1 except (j, j) at 1/2; the cell itself
+// counts 1/4. An on-diagonal ancestor cell joins only with itself, at
+// 1/12. The descendant-based form mirrors this with the up-left regions
+// at weight 1 and self at 1/4 (1/12 on-diagonal), exactly as printed in
+// the paper (it has no halved corner terms).
+package core

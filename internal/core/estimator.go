@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"xmlest/internal/histogram"
+	"xmlest/internal/pattern"
+	"xmlest/internal/predicate"
+)
+
+// Estimator owns the summary data structures for one catalog of
+// predicates over one tree — a position histogram per predicate, the
+// TRUE histogram, and a coverage histogram per no-overlap predicate —
+// and answers answer-size queries for twig patterns. It corresponds to
+// the summary structure T′ of the paper's problem statement: once
+// built, estimation consults only the histograms, never the tree.
+type Estimator struct {
+	catalog  *predicate.Catalog
+	grid     histogram.Grid
+	trueHist *histogram.Position
+	hists    map[string]*histogram.Position
+	covs     map[string]*histogram.Coverage
+	levels   map[string]*LevelHistograms // nil unless Options.LevelHistograms
+	overlap  map[string]bool             // predicate name -> predicate may overlap
+	names    []string                    // stored order, for catalog-less estimators
+}
+
+// Options configures estimator construction.
+type Options struct {
+	// GridSize is the number of buckets g per axis. The paper uses 10
+	// for all experiments except the grid-size sweeps.
+	GridSize int
+
+	// EquiDepth selects equi-depth (non-uniform) bucket boundaries
+	// computed from the distribution of all node start positions, an
+	// extension the paper defers to the tech report. The default is the
+	// paper's uniform grid.
+	EquiDepth bool
+
+	// SkipCoverage disables coverage-histogram construction, forcing
+	// all estimates through the primitive algorithm. Used by ablation
+	// benchmarks.
+	SkipCoverage bool
+
+	// LevelHistograms additionally builds per-depth position histograms
+	// for every predicate, enabling parent-child edge estimation (the
+	// tech-report extension; see level.go). Without them, parent-child
+	// edges are estimated as ancestor-descendant, an upper-biased
+	// approximation.
+	LevelHistograms bool
+}
+
+// DefaultOptions mirror the paper's experimental setup.
+var DefaultOptions = Options{GridSize: 10}
+
+// NewEstimator builds every summary structure for the catalog's
+// predicates. The catalog must already contain the predicates that
+// queries will reference; it must also include the TRUE predicate if
+// compound-predicate estimation is wanted.
+func NewEstimator(cat *predicate.Catalog, opts Options) (*Estimator, error) {
+	if opts.GridSize <= 0 {
+		opts.GridSize = DefaultOptions.GridSize
+	}
+	t := cat.Tree
+	var grid histogram.Grid
+	var err error
+	if opts.EquiDepth {
+		positions := make([]int, 0, t.NumNodes())
+		for id := 1; id < len(t.Nodes); id++ {
+			positions = append(positions, t.Nodes[id].Start)
+		}
+		grid, err = histogram.NewEquiDepthGrid(opts.GridSize, positions, t.MaxPos)
+	} else {
+		grid, err = histogram.NewUniformGrid(opts.GridSize, t.MaxPos)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	e := &Estimator{
+		catalog:  cat,
+		grid:     grid,
+		trueHist: histogram.BuildTrue(t, grid),
+		hists:    make(map[string]*histogram.Position, cat.Len()),
+		covs:     make(map[string]*histogram.Coverage),
+		overlap:  make(map[string]bool, cat.Len()),
+	}
+	if opts.LevelHistograms {
+		e.levels = make(map[string]*LevelHistograms, cat.Len())
+	}
+	for _, name := range cat.Names() {
+		entry := cat.MustGet(name)
+		e.hists[name] = histogram.BuildPosition(t, entry.Nodes, grid)
+		e.overlap[name] = !entry.NoOverlap
+		if entry.NoOverlap && !opts.SkipCoverage {
+			cov, err := histogram.BuildCoverage(t, entry.Nodes, e.trueHist)
+			if err != nil {
+				return nil, fmt.Errorf("core: coverage for %s: %w", name, err)
+			}
+			e.covs[name] = cov
+		}
+		if opts.LevelHistograms {
+			e.levels[name] = BuildLevelHistograms(t, entry.Nodes, grid)
+		}
+	}
+	return e, nil
+}
+
+// Levels returns the per-depth histograms for a predicate, or nil when
+// level histograms were not built.
+func (e *Estimator) Levels(name string) *LevelHistograms {
+	if e.levels == nil {
+		return nil
+	}
+	return e.levels[name]
+}
+
+// EstimatePairParentChild estimates the answer size of the two-node
+// parent-child pattern anc/desc using level histograms. It returns an
+// error if level histograms were not built.
+func (e *Estimator) EstimatePairParentChild(ancName, descName string) (Result, error) {
+	start := time.Now()
+	la, lb := e.Levels(ancName), e.Levels(descName)
+	if la == nil || lb == nil {
+		return Result{}, fmt.Errorf("core: level histograms not built (set Options.LevelHistograms)")
+	}
+	est, err := EstimateParentChild(la, lb)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Estimate: est, Elapsed: time.Since(start)}, nil
+}
+
+// childEdgeRatio returns the factor by which a parent-child edge's
+// estimate relates to the ancestor-descendant estimate between the two
+// base predicates, computed from level histograms; 1 when levels are
+// unavailable or the ancestor-descendant estimate is zero.
+func (e *Estimator) childEdgeRatio(ancName, descName string) float64 {
+	la, lb := e.Levels(ancName), e.Levels(descName)
+	if la == nil || lb == nil {
+		return 1
+	}
+	ha, err := e.Histogram(ancName)
+	if err != nil {
+		return 1
+	}
+	hb, err := e.Histogram(descName)
+	if err != nil {
+		return 1
+	}
+	ad, err := EstimateAncestorBased(ha, hb)
+	if err != nil || ad.Total() <= 0 {
+		return 1
+	}
+	pc, err := EstimateParentChild(la, lb)
+	if err != nil {
+		return 1
+	}
+	r := pc / ad.Total()
+	if r > 1 {
+		r = 1 // a parent-child count can never exceed ancestor-descendant
+	}
+	return r
+}
+
+// Grid returns the estimator's grid.
+func (e *Estimator) Grid() histogram.Grid { return e.grid }
+
+// TrueHistogram returns the TRUE predicate's histogram.
+func (e *Estimator) TrueHistogram() *histogram.Position { return e.trueHist }
+
+// Histogram returns the position histogram for a predicate name.
+func (e *Estimator) Histogram(name string) (*histogram.Position, error) {
+	h, ok := e.hists[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no histogram for predicate %q", name)
+	}
+	return h, nil
+}
+
+// CoverageHistogram returns the coverage histogram for a no-overlap
+// predicate, or nil if the predicate overlaps or coverage was skipped.
+func (e *Estimator) CoverageHistogram(name string) *histogram.Coverage {
+	return e.covs[name]
+}
+
+// NoOverlap reports whether the named predicate was detected (or
+// declared) to have the no-overlap property.
+func (e *Estimator) NoOverlap(name string) bool {
+	return !e.overlap[name]
+}
+
+// leaf builds the single-node sub-pattern for a predicate name.
+func (e *Estimator) leaf(name string) (SubPattern, error) {
+	h, err := e.Histogram(name)
+	if err != nil {
+		return SubPattern{}, err
+	}
+	return Leaf(h, e.covs[name], e.NoOverlap(name)), nil
+}
+
+// Result reports one estimation with its cost.
+type Result struct {
+	// Estimate is the estimated answer size.
+	Estimate float64
+
+	// Elapsed is the wall-clock estimation time (histogram arithmetic
+	// only; histogram construction is a build-time cost).
+	Elapsed time.Duration
+
+	// UsedNoOverlap reports whether any join used the Fig 10
+	// no-overlap algorithm.
+	UsedNoOverlap bool
+}
+
+// EstimatePair estimates the answer size of the primitive two-node
+// pattern anc//desc using the algorithm the paper would choose: the
+// no-overlap estimation when the ancestor predicate has the no-overlap
+// property (and coverage is available), the primitive pH-Join
+// otherwise.
+func (e *Estimator) EstimatePair(ancName, descName string) (Result, error) {
+	start := time.Now()
+	anc, err := e.leaf(ancName)
+	if err != nil {
+		return Result{}, err
+	}
+	desc, err := e.leaf(descName)
+	if err != nil {
+		return Result{}, err
+	}
+	joined, err := JoinAncestor(anc, desc)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := joined.validate(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Estimate:      joined.Total(),
+		Elapsed:       time.Since(start),
+		UsedNoOverlap: anc.NoOverlap && anc.Cvg != nil,
+	}, nil
+}
+
+// EstimatePairPrimitive estimates anc//desc with the primitive (Fig 6 /
+// Fig 9) algorithm regardless of schema information — the "Overlap
+// Estimate" column of the paper's tables.
+func (e *Estimator) EstimatePairPrimitive(ancName, descName string) (Result, error) {
+	start := time.Now()
+	ha, err := e.Histogram(ancName)
+	if err != nil {
+		return Result{}, err
+	}
+	hb, err := e.Histogram(descName)
+	if err != nil {
+		return Result{}, err
+	}
+	est, err := EstimateAncestorBased(ha, hb)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Estimate: est.Total(), Elapsed: time.Since(start)}, nil
+}
+
+// EstimateTwig estimates the answer size of an arbitrary twig pattern
+// by composing binary joins bottom-up: each pattern node's sub-pattern
+// is folded with its children's sub-patterns through JoinAncestor, so
+// multiple children multiply through per-cell join factors (our
+// interpretation of the tech-report composition; see DESIGN.md).
+//
+// Parent-child edges are estimated as ancestor-descendant joins scaled
+// by a depth-difference refinement when level histograms are enabled;
+// without them the ancestor-descendant estimate is used as-is (an
+// upper-biased approximation the paper lists as tech-report work).
+func (e *Estimator) EstimateTwig(p *pattern.Pattern) (Result, error) {
+	start := time.Now()
+	root, usedNoOverlap, err := e.buildSubPattern(p.Root)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := root.validate(); err != nil {
+		return Result{}, err
+	}
+	return Result{Estimate: root.Total(), Elapsed: time.Since(start), UsedNoOverlap: usedNoOverlap}, nil
+}
+
+// EstimateSubPattern exposes sub-pattern estimation for query
+// optimizers that need intermediate-result estimates: it returns the
+// SubPattern (estimate, participation, coverage) of the pattern,
+// anchored at its root.
+func (e *Estimator) EstimateSubPattern(p *pattern.Pattern) (SubPattern, error) {
+	sp, _, err := e.buildSubPattern(p.Root)
+	return sp, err
+}
+
+// buildSubPattern folds a pattern node's children into its leaf
+// sub-pattern with JoinAncestor, bottom-up. Parent-child edges are
+// scaled by the level-histogram ratio when level histograms are
+// available (see childEdgeRatio).
+func (e *Estimator) buildSubPattern(q *pattern.Node) (SubPattern, bool, error) {
+	acc, err := e.leaf(q.PredName())
+	if err != nil {
+		return SubPattern{}, false, err
+	}
+	usedNoOverlap := false
+	for _, qc := range q.Children {
+		child, childNoOv, err := e.buildSubPattern(qc)
+		if err != nil {
+			return SubPattern{}, false, err
+		}
+		usedNoOverlap = usedNoOverlap || childNoOv
+		if acc.NoOverlap && acc.Cvg != nil {
+			usedNoOverlap = true
+		}
+		joined, err := JoinAncestor(acc, child)
+		if err != nil {
+			return SubPattern{}, false, err
+		}
+		if qc.Axis == pattern.Child {
+			if r := e.childEdgeRatio(q.PredName(), qc.PredName()); r < 1 {
+				joined.Est.Scale(r)
+			}
+		}
+		acc = joined
+	}
+	return acc, usedNoOverlap, nil
+}
+
+// StorageBytes reports the total compact-encoding size of every
+// position histogram (and coverage histogram) the estimator holds —
+// the paper's storage-requirement metric.
+func (e *Estimator) StorageBytes() int {
+	total := 0
+	for _, h := range e.hists {
+		total += h.StorageBytes()
+	}
+	for _, c := range e.covs {
+		total += c.StorageBytes()
+	}
+	return total
+}

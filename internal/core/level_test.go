@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"xmlest/internal/histogram"
+	"xmlest/internal/match"
+	"xmlest/internal/pattern"
+	"xmlest/internal/predicate"
+	"xmlest/internal/xmltree"
+)
+
+// recursiveDoc builds a document where sections nest inside sections,
+// so parent-child counts differ sharply from ancestor-descendant
+// counts.
+func recursiveDoc() *xmltree.Tree {
+	b := xmltree.NewBuilder()
+	b.Begin("root")
+	for i := 0; i < 50; i++ {
+		b.Begin("sec") // depth 2
+		b.Element("p", "")
+		b.Begin("sec") // depth 3
+		b.Element("p", "")
+		b.Begin("sec") // depth 4
+		b.Element("p", "")
+		b.End()
+		b.End()
+		b.End()
+	}
+	b.End()
+	return b.Tree()
+}
+
+func TestBuildLevelHistograms(t *testing.T) {
+	tr := recursiveDoc()
+	grid := histogram.MustUniformGrid(8, tr.MaxPos)
+	l := BuildLevelHistograms(tr, tr.NodesWithTag("sec"), grid)
+	depths := l.Depths()
+	if len(depths) != 3 {
+		t.Fatalf("depths = %v, want 3 occupied depths", depths)
+	}
+	if l.Total() != 150 {
+		t.Errorf("total = %v, want 150", l.Total())
+	}
+	for _, d := range depths {
+		if l.At(d).Total() != 50 {
+			t.Errorf("depth %d total = %v, want 50", d, l.At(d).Total())
+		}
+	}
+	if l.At(99) != nil {
+		t.Errorf("empty depth should be nil")
+	}
+	if l.StorageBytes() <= 0 {
+		t.Errorf("storage bytes must be positive")
+	}
+}
+
+func TestEstimateParentChildVsAncestorDescendant(t *testing.T) {
+	tr := recursiveDoc()
+	grid := histogram.MustUniformGrid(10, tr.MaxPos)
+
+	secs := tr.NodesWithTag("sec")
+	ps := tr.NodesWithTag("p")
+	realPC := float64(match.CountChildPairs(tr, secs, ps)) // 150: every p is a sec child
+	realAD := float64(match.CountPairs(tr, secs, ps))      // 300: nesting multiplies
+
+	la := BuildLevelHistograms(tr, secs, grid)
+	lb := BuildLevelHistograms(tr, ps, grid)
+	pc, err := EstimateParentChild(la, lb)
+	if err != nil {
+		t.Fatalf("EstimateParentChild: %v", err)
+	}
+	ad, err := EstimateAncestorBased(
+		histogram.BuildPosition(tr, secs, grid),
+		histogram.BuildPosition(tr, ps, grid))
+	if err != nil {
+		t.Fatalf("EstimateAncestorBased: %v", err)
+	}
+	t.Logf("parent-child: est %v real %v; anc-desc: est %v real %v", pc, realPC, ad.Total(), realAD)
+	if math.Abs(pc-realPC) >= math.Abs(ad.Total()-realPC) {
+		t.Errorf("level-based parent-child estimate %v should beat the anc-desc estimate %v for real %v",
+			pc, ad.Total(), realPC)
+	}
+	if pc > ad.Total()+1e-9 {
+		t.Errorf("parent-child estimate %v cannot exceed anc-desc estimate %v", pc, ad.Total())
+	}
+}
+
+func TestEstimateAtDistance(t *testing.T) {
+	tr := recursiveDoc()
+	grid := histogram.MustUniformGrid(10, tr.MaxPos)
+	secs := BuildLevelHistograms(tr, tr.NodesWithTag("sec"), grid)
+
+	// sec at distance 1 below sec: 100 real pairs (depth2->3, 3->4).
+	d1, err := EstimateAtDistance(secs, secs, 1)
+	if err != nil {
+		t.Fatalf("EstimateAtDistance: %v", err)
+	}
+	// distance 2: 50 real pairs (depth2->4).
+	d2, err := EstimateAtDistance(secs, secs, 2)
+	if err != nil {
+		t.Fatalf("EstimateAtDistance: %v", err)
+	}
+	// distance 5: impossible.
+	d5, err := EstimateAtDistance(secs, secs, 5)
+	if err != nil {
+		t.Fatalf("EstimateAtDistance: %v", err)
+	}
+	t.Logf("d1=%v d2=%v d5=%v", d1, d2, d5)
+	if d1 <= d2 {
+		t.Errorf("distance-1 estimate %v should exceed distance-2 estimate %v", d1, d2)
+	}
+	if d5 != 0 {
+		t.Errorf("distance-5 estimate = %v, want 0", d5)
+	}
+}
+
+func TestEstimatorParentChildIntegration(t *testing.T) {
+	tr := recursiveDoc()
+	cat := predicate.NewCatalog(tr)
+	cat.AddAllTags()
+
+	withLevels, err := NewEstimator(cat, Options{GridSize: 10, LevelHistograms: true})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	without, err := NewEstimator(cat, Options{GridSize: 10})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+
+	res, err := withLevels.EstimatePairParentChild("tag=sec", "tag=p")
+	if err != nil {
+		t.Fatalf("EstimatePairParentChild: %v", err)
+	}
+	realPC := float64(match.CountChildPairs(tr, tr.NodesWithTag("sec"), tr.NodesWithTag("p")))
+	if ratio := res.Estimate / realPC; ratio < 0.5 || ratio > 1.5 {
+		t.Errorf("parent-child estimate %v vs real %v", res.Estimate, realPC)
+	}
+	if _, err := without.EstimatePairParentChild("tag=sec", "tag=p"); err == nil {
+		t.Errorf("EstimatePairParentChild without levels: want error")
+	}
+
+	// Twig with a child edge: level-aware estimator must be at least as
+	// close to the real child-pair count as the level-blind one.
+	p := pattern.MustParse("//sec/p")
+	realTwig, err := match.CountTwig(tr, p, func(name string) ([]xmltree.NodeID, error) {
+		e, err := cat.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		return e.Nodes, nil
+	})
+	if err != nil {
+		t.Fatalf("CountTwig: %v", err)
+	}
+	rl, err := withLevels.EstimateTwig(p)
+	if err != nil {
+		t.Fatalf("EstimateTwig(levels): %v", err)
+	}
+	rb, err := without.EstimateTwig(p)
+	if err != nil {
+		t.Fatalf("EstimateTwig(blind): %v", err)
+	}
+	t.Logf("real=%v with-levels=%v blind=%v", realTwig, rl.Estimate, rb.Estimate)
+	if math.Abs(rl.Estimate-realTwig) > math.Abs(rb.Estimate-realTwig)+1e-9 {
+		t.Errorf("level-aware twig estimate %v should beat level-blind %v (real %v)",
+			rl.Estimate, rb.Estimate, realTwig)
+	}
+}
+
+func TestLevelsAccessor(t *testing.T) {
+	tr := recursiveDoc()
+	cat := predicate.NewCatalog(tr)
+	cat.AddAllTags()
+	e, err := NewEstimator(cat, Options{GridSize: 4, LevelHistograms: true})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	if e.Levels("tag=sec") == nil {
+		t.Errorf("levels missing for tag=sec")
+	}
+	if e.Levels("tag=nosuch") != nil {
+		t.Errorf("levels for unknown predicate should be nil")
+	}
+	blind, err := NewEstimator(cat, Options{GridSize: 4})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	if blind.Levels("tag=sec") != nil {
+		t.Errorf("levels should be nil when not requested")
+	}
+}

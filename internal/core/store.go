@@ -1,0 +1,259 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"xmlest/internal/histogram"
+)
+
+// Persistence for estimator summaries. A database system builds the
+// histograms once (at load or ANALYZE time) and ships them with the
+// catalog; estimation then runs without the data tree. MarshalBinary
+// captures every summary structure — position histograms, coverage
+// histograms, optional level histograms, the TRUE histogram and the
+// overlap flags — and UnmarshalEstimator reconstructs a fully
+// functional Estimator from the blob alone.
+//
+// Layout:
+//
+//	magic "XQS1"
+//	uvarint predicate count
+//	per predicate:
+//	  uvarint name length, name bytes
+//	  flag byte: bit0 no-overlap, bit1 has coverage, bit2 has levels
+//	  position histogram blob (uvarint length + bytes)
+//	  [coverage blob]   (uvarint length + bytes, if bit1)
+//	  [levels]          (uvarint depth count, then per depth:
+//	                     uvarint depth, histogram blob, if bit2)
+//	TRUE histogram blob (uvarint length + bytes)
+const summaryMagic = "XQS1"
+
+const (
+	flagNoOverlap   = 1 << 0
+	flagHasCoverage = 1 << 1
+	flagHasLevels   = 1 << 2
+)
+
+// MarshalBinary serializes every summary structure of the estimator.
+func (e *Estimator) MarshalBinary() ([]byte, error) {
+	buf := []byte(summaryMagic)
+	names := e.Names()
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		var flag byte
+		if !e.overlap[name] {
+			flag |= flagNoOverlap
+		}
+		cov := e.covs[name]
+		if cov != nil {
+			flag |= flagHasCoverage
+		}
+		var lv *LevelHistograms
+		if e.levels != nil {
+			lv = e.levels[name]
+		}
+		if lv != nil {
+			flag |= flagHasLevels
+		}
+		buf = append(buf, flag)
+		hb, err := e.hists[name].MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = appendBlob(buf, hb)
+		if cov != nil {
+			cb, err := cov.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			buf = appendBlob(buf, cb)
+		}
+		if lv != nil {
+			depths := lv.Depths()
+			buf = binary.AppendUvarint(buf, uint64(len(depths)))
+			for _, d := range depths {
+				buf = binary.AppendUvarint(buf, uint64(d))
+				db, err := lv.At(d).MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+				buf = appendBlob(buf, db)
+			}
+		}
+	}
+	tb, err := e.trueHist.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf = appendBlob(buf, tb)
+	return buf, nil
+}
+
+// UnmarshalEstimator reconstructs an estimator from a summary blob.
+// The result answers every estimation query; it has no catalog or data
+// tree attached, so it cannot compute exact counts or be rebuilt with
+// different options.
+func UnmarshalEstimator(data []byte) (*Estimator, error) {
+	if len(data) < len(summaryMagic) || string(data[:len(summaryMagic)]) != summaryMagic {
+		return nil, fmt.Errorf("core: bad summary magic")
+	}
+	r := &blobReader{data: data, off: len(summaryMagic)}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("core: summary predicate count %d too large", n)
+	}
+	e := &Estimator{
+		hists:   make(map[string]*histogram.Position, n),
+		covs:    make(map[string]*histogram.Coverage),
+		overlap: make(map[string]bool, n),
+	}
+	anyLevels := false
+	for k := uint64(0); k < n; k++ {
+		nameLen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		nameBytes, err := r.bytes(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		name := string(nameBytes)
+		flag, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		hb, err := r.blob()
+		if err != nil {
+			return nil, err
+		}
+		h, err := histogram.UnmarshalPosition(hb)
+		if err != nil {
+			return nil, fmt.Errorf("core: predicate %s: %w", name, err)
+		}
+		e.hists[name] = h
+		e.overlap[name] = flag&flagNoOverlap == 0
+		e.names = append(e.names, name)
+		if flag&flagHasCoverage != 0 {
+			cb, err := r.blob()
+			if err != nil {
+				return nil, err
+			}
+			cov, err := histogram.UnmarshalCoverage(cb)
+			if err != nil {
+				return nil, fmt.Errorf("core: coverage %s: %w", name, err)
+			}
+			e.covs[name] = cov
+		}
+		if flag&flagHasLevels != 0 {
+			if !anyLevels {
+				e.levels = make(map[string]*LevelHistograms)
+				anyLevels = true
+			}
+			depthCount, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if depthCount > 1<<16 {
+				return nil, fmt.Errorf("core: depth count %d too large", depthCount)
+			}
+			lv := &LevelHistograms{byDepth: make(map[int]*histogram.Position, depthCount)}
+			for d := uint64(0); d < depthCount; d++ {
+				depth, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				db, err := r.blob()
+				if err != nil {
+					return nil, err
+				}
+				dh, err := histogram.UnmarshalPosition(db)
+				if err != nil {
+					return nil, fmt.Errorf("core: levels %s depth %d: %w", name, depth, err)
+				}
+				lv.byDepth[int(depth)] = dh
+				lv.grid = dh.Grid()
+			}
+			e.levels[name] = lv
+		}
+	}
+	tb, err := r.blob()
+	if err != nil {
+		return nil, err
+	}
+	trueHist, err := histogram.UnmarshalPosition(tb)
+	if err != nil {
+		return nil, fmt.Errorf("core: TRUE histogram: %w", err)
+	}
+	e.trueHist = trueHist
+	e.grid = trueHist.Grid()
+	for name, h := range e.hists {
+		if !h.Grid().Equal(e.grid) {
+			return nil, fmt.Errorf("core: predicate %s grid differs from TRUE grid", name)
+		}
+	}
+	return e, nil
+}
+
+// Names returns the estimator's predicate names. For estimators built
+// from a catalog they follow catalog registration order, with any
+// synthesized predicates appended; for estimators loaded from a summary
+// blob they follow the stored order.
+func (e *Estimator) Names() []string {
+	var out []string
+	if e.catalog != nil {
+		out = append(out, e.catalog.Names()...)
+	}
+	out = append(out, e.names...)
+	return out
+}
+
+func appendBlob(buf, blob []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(blob)))
+	return append(buf, blob...)
+}
+
+type blobReader struct {
+	data []byte
+	off  int
+}
+
+func (r *blobReader) byte() (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, fmt.Errorf("core: truncated summary")
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *blobReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) {
+		return nil, fmt.Errorf("core: truncated summary")
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *blobReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("core: bad uvarint in summary")
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *blobReader) blob() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return r.bytes(int(n))
+}

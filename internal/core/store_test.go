@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"xmlest/internal/pattern"
+	"xmlest/internal/predicate"
+	"xmlest/internal/xmltree"
+)
+
+func buildForStore(t *testing.T, opts Options) *Estimator {
+	t.Helper()
+	tr := xmltree.Fig1Document()
+	cat := predicate.NewCatalog(tr)
+	cat.AddAllTags()
+	cat.Add(predicate.True{})
+	e, err := NewEstimator(cat, opts)
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	return e
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	e := buildForStore(t, Options{GridSize: 4, LevelHistograms: true})
+	blob, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	loaded, err := UnmarshalEstimator(blob)
+	if err != nil {
+		t.Fatalf("UnmarshalEstimator: %v", err)
+	}
+
+	// Every estimation result must be identical from the loaded copy.
+	pairs := [][2]string{
+		{"tag=faculty", "tag=TA"},
+		{"tag=department", "tag=RA"},
+		{"tag=lecturer", "tag=TA"},
+	}
+	for _, p := range pairs {
+		orig, err := e.EstimatePair(p[0], p[1])
+		if err != nil {
+			t.Fatalf("EstimatePair: %v", err)
+		}
+		got, err := loaded.EstimatePair(p[0], p[1])
+		if err != nil {
+			t.Fatalf("loaded EstimatePair: %v", err)
+		}
+		if math.Abs(orig.Estimate-got.Estimate) > 1e-12 {
+			t.Errorf("%s//%s: loaded estimate %v != original %v", p[0], p[1], got.Estimate, orig.Estimate)
+		}
+		if got.UsedNoOverlap != orig.UsedNoOverlap {
+			t.Errorf("%s//%s: algorithm choice changed after round trip", p[0], p[1])
+		}
+	}
+
+	// Twig estimation (uses the TRUE histogram indirectly via coverage).
+	p := pattern.MustParse("//department//faculty[.//TA][.//RA]")
+	ot, err := e.EstimateTwig(p)
+	if err != nil {
+		t.Fatalf("EstimateTwig: %v", err)
+	}
+	lt, err := loaded.EstimateTwig(p)
+	if err != nil {
+		t.Fatalf("loaded EstimateTwig: %v", err)
+	}
+	if math.Abs(ot.Estimate-lt.Estimate) > 1e-12 {
+		t.Errorf("twig estimate changed after round trip: %v vs %v", lt.Estimate, ot.Estimate)
+	}
+
+	// Level histograms survive.
+	pc1, err := e.EstimatePairParentChild("tag=department", "tag=faculty")
+	if err != nil {
+		t.Fatalf("EstimatePairParentChild: %v", err)
+	}
+	pc2, err := loaded.EstimatePairParentChild("tag=department", "tag=faculty")
+	if err != nil {
+		t.Fatalf("loaded EstimatePairParentChild: %v", err)
+	}
+	if math.Abs(pc1.Estimate-pc2.Estimate) > 1e-12 {
+		t.Errorf("parent-child estimate changed after round trip")
+	}
+
+	// Metadata survives.
+	if len(loaded.Names()) != len(e.Names()) {
+		t.Errorf("names = %d, want %d", len(loaded.Names()), len(e.Names()))
+	}
+	if !loaded.NoOverlap("tag=faculty") {
+		t.Errorf("no-overlap flag lost")
+	}
+	if loaded.NoOverlap("TRUE") {
+		t.Errorf("TRUE should remain overlapping")
+	}
+}
+
+func TestSummaryRoundTripWithoutOptionalStructures(t *testing.T) {
+	e := buildForStore(t, Options{GridSize: 3, SkipCoverage: true})
+	blob, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	loaded, err := UnmarshalEstimator(blob)
+	if err != nil {
+		t.Fatalf("UnmarshalEstimator: %v", err)
+	}
+	if loaded.CoverageHistogram("tag=faculty") != nil {
+		t.Errorf("coverage should be absent")
+	}
+	if loaded.Levels("tag=faculty") != nil {
+		t.Errorf("levels should be absent")
+	}
+	orig, _ := e.EstimatePairPrimitive("tag=faculty", "tag=TA")
+	got, err := loaded.EstimatePairPrimitive("tag=faculty", "tag=TA")
+	if err != nil {
+		t.Fatalf("loaded estimate: %v", err)
+	}
+	if math.Abs(orig.Estimate-got.Estimate) > 1e-12 {
+		t.Errorf("estimate changed after round trip")
+	}
+}
+
+func TestUnmarshalEstimatorRejectsGarbage(t *testing.T) {
+	e := buildForStore(t, Options{GridSize: 3})
+	blob, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("XQS9garbage"),
+		blob[:4],
+		blob[:len(blob)/2],
+		append([]byte("YYYY"), blob[4:]...),
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalEstimator(c); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	// Bit-flip fuzz over a few positions: must error or succeed, never
+	// panic, and never produce NaN estimates.
+	for pos := 5; pos < len(blob); pos += 7 {
+		mut := append([]byte(nil), blob...)
+		mut[pos] ^= 0xff
+		loaded, err := UnmarshalEstimator(mut)
+		if err != nil || loaded == nil {
+			continue
+		}
+		if res, err := loaded.EstimatePairPrimitive("tag=faculty", "tag=TA"); err == nil {
+			if math.IsNaN(res.Estimate) {
+				t.Errorf("pos %d: NaN estimate from corrupted summary", pos)
+			}
+		}
+	}
+}

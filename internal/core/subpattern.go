@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"xmlest/internal/histogram"
+)
+
+// SubPattern carries the estimation state of a (partially joined) twig
+// pattern, anchored at one of its pattern nodes — the node through
+// which the next join will happen. It is the unit the Fig 10 formulas
+// compose:
+//
+//   - Est: the estimation histogram; cell (i, j) holds the estimated
+//     number of matches of the sub-pattern whose anchor node falls in
+//     that cell ("EstAB" in the paper's notation).
+//   - Hist: the participation histogram; cell (i, j) holds the
+//     estimated number of distinct data nodes in that cell that occur
+//     at the anchor in at least one match ("HistAB_Px").
+//   - Base: the anchor predicate's own position histogram ("HistA_P1").
+//   - Cvg: the anchor predicate's (propagated) coverage histogram, when
+//     the anchor predicate has the no-overlap property; nil otherwise.
+//
+// The join factor Jn_FctAB_Px[i][j] = Est[i][j]/Hist[i][j] (zero where
+// Hist is zero) is derived on demand.
+type SubPattern struct {
+	Est  *histogram.Position
+	Hist *histogram.Position
+	Base *histogram.Position
+	Cvg  *histogram.Coverage
+
+	// NoOverlap records whether the anchor predicate has the no-overlap
+	// property (Definition 2); joins through a no-overlap anchor use the
+	// Fig 10 formulas when coverage is available.
+	NoOverlap bool
+}
+
+// Leaf returns the sub-pattern of a single pattern node: its estimate
+// and participation both equal the predicate's position histogram, and
+// its join factor is one everywhere.
+func Leaf(base *histogram.Position, cvg *histogram.Coverage, noOverlap bool) SubPattern {
+	return SubPattern{
+		Est:       base.Clone(),
+		Hist:      base.Clone(),
+		Base:      base,
+		Cvg:       cvg,
+		NoOverlap: noOverlap,
+	}
+}
+
+// Total returns the sub-pattern's estimated answer size.
+func (s SubPattern) Total() float64 { return s.Est.Total() }
+
+// jnFct returns the join factor at cell (i, j).
+func (s SubPattern) jnFct(i, j int) float64 {
+	h := s.Hist.Count(i, j)
+	if h <= 0 {
+		return 0
+	}
+	return s.Est.Count(i, j) / h
+}
+
+// estWeighted returns Hist[i][j] * jnFct[i][j] = Est[i][j], kept as a
+// named helper to mirror the paper's HistB_P2 × Jn_FctB_P2 products.
+func (s SubPattern) estWeighted(i, j int) float64 { return s.Est.Count(i, j) }
+
+// JoinAncestor joins sub-pattern anc with sub-pattern desc through an
+// ancestor-descendant edge (anc's anchor above desc's anchor) and
+// returns the combined sub-pattern anchored at anc's anchor.
+//
+// When the ancestor anchor has the no-overlap property and coverage is
+// available, the Fig 10 ancestor-based formulas are used: the estimate
+// sums coverage-weighted descendant estimates, participation follows
+// the collision formula N(1-((N-1)/N)^M), and coverage is propagated by
+// the participation ratio. Otherwise the primitive Fig 6 ancestor-based
+// estimation applies, with participation equal to the estimate
+// (Fig 10, case 1) capped at the available node count.
+func JoinAncestor(anc, desc SubPattern) (SubPattern, error) {
+	if err := checkGrids(anc.Est, desc.Est); err != nil {
+		return SubPattern{}, err
+	}
+	if anc.NoOverlap && anc.Cvg != nil {
+		return joinAncestorNoOverlap(anc, desc)
+	}
+	return joinAncestorOverlap(anc, desc)
+}
+
+func joinAncestorOverlap(anc, desc SubPattern) (SubPattern, error) {
+	// Primitive (Fig 6) estimation against the descendant's estimation
+	// histogram: each participating ancestor node carries jnFct(anc)
+	// matches of its own sub-pattern and pairs with the descendant
+	// match mass in its join regions.
+	ps := newPartialSums(desc.Est)
+	est := histogram.NewPosition(anc.Est.Grid())
+	anc.Est.EachNonZero(func(i, j int, c float64) {
+		if v := c * ps.ancestorCoef(i, j); v != 0 {
+			est.Set(i, j, v)
+		}
+	})
+	// Participation, case 1 (overlap anchor): HistAB = EstAB, capped at
+	// the number of distinct anchor nodes actually present per cell.
+	hist := capCellwise(est, anc.Hist)
+	return SubPattern{Est: est, Hist: hist, Base: anc.Base, Cvg: nil, NoOverlap: anc.NoOverlap}, nil
+}
+
+func joinAncestorNoOverlap(anc, desc SubPattern) (SubPattern, error) {
+	grid := anc.Est.Grid()
+	g := grid.Size()
+
+	// Estimate (Fig 10, ancestor-based):
+	// Est[i][j] = JnFct_anc[i][j] ×
+	//   Σ_{(m,n)} Cvg_anc[m][n][i][j] × Hist_desc[m][n] × JnFct_desc[m][n].
+	// The inner product Hist×JnFct is the descendant's estimate mass.
+	// Iterating stored coverage entries covers exactly the non-zero
+	// range m=i..j, n=m..j of the paper's summation.
+	covMass := histogram.NewPosition(grid) // per ancestor cell: Σ Cvg × desc.Est
+	anc.Cvg.EachFrac(func(m, n, i, j int, f float64) {
+		if e := desc.estWeighted(m, n); e != 0 {
+			covMass.Add(i, j, f*e)
+		}
+	})
+	est := histogram.NewPosition(grid)
+	for i := 0; i < g; i++ {
+		for j := i; j < g; j++ {
+			if v := anc.jnFct(i, j) * covMass.Count(i, j); v != 0 {
+				est.Set(i, j, v)
+			}
+		}
+	}
+
+	// Participation (Fig 10, case 2):
+	// N = Hist_anc[i][j], M = Σ_{m=i..j, n=m..j} Hist_desc[m][n],
+	// HistAB[i][j] = N × (1 - ((N-1)/N)^M).
+	descPart := newPartialSums(desc.Hist)
+	hist := histogram.NewPosition(grid)
+	for i := 0; i < g; i++ {
+		for j := i; j < g; j++ {
+			n := anc.Hist.Count(i, j)
+			if n <= 0 {
+				continue
+			}
+			m := descPart.triangle(i, j)
+			if m <= 0 {
+				continue
+			}
+			var part float64
+			if n <= 1 {
+				part = n // a single ancestor participates if any descendant exists
+			} else {
+				part = n * (1 - math.Pow((n-1)/n, m))
+			}
+			hist.Set(i, j, part)
+		}
+	}
+
+	// Coverage propagation (Fig 10, case 1):
+	// CvgAB[i][j][m][n] = Cvg_anc[i][j][m][n] × HistAB[m][n]/Hist_anc[m][n].
+	cvg := scaleCoverage(anc.Cvg, func(m, n int) float64 {
+		base := anc.Hist.Count(m, n)
+		if base <= 0 {
+			return 0
+		}
+		return hist.Count(m, n) / base
+	})
+	return SubPattern{Est: est, Hist: hist, Base: anc.Base, Cvg: cvg, NoOverlap: true}, nil
+}
+
+// JoinDescendant joins anc and desc through an ancestor-descendant edge
+// and returns the combined sub-pattern anchored at desc's anchor.
+//
+// When the ancestor anchor has the no-overlap property with coverage,
+// the Fig 10 descendant-based formulas apply; otherwise the primitive
+// Fig 6 descendant-based estimation is used.
+func JoinDescendant(anc, desc SubPattern) (SubPattern, error) {
+	if err := checkGrids(anc.Est, desc.Est); err != nil {
+		return SubPattern{}, err
+	}
+	grid := desc.Est.Grid()
+	est := histogram.NewPosition(grid)
+
+	if anc.NoOverlap && anc.Cvg != nil {
+		// Est[i][j] = Hist_desc[i][j] × JnFct_desc[i][j] ×
+		//   Σ_{m<=i, n>=j} Cvg_anc[i][j][m][n] × JnFct_anc[m][n].
+		covFct := histogram.NewPosition(grid)
+		anc.Cvg.EachFrac(func(vi, vj, m, n int, f float64) {
+			if jf := anc.jnFct(m, n); jf != 0 {
+				covFct.Add(vi, vj, f*jf)
+			}
+		})
+		desc.Est.EachNonZero(func(i, j int, e float64) {
+			if v := e * covFct.Count(i, j); v != 0 {
+				est.Set(i, j, v)
+			}
+		})
+		// Participation (Fig 10, case 3): the descendant participates in
+		// proportion to its covered fraction by non-empty ancestor cells.
+		hist := histogram.NewPosition(grid)
+		covPart := histogram.NewPosition(grid)
+		anc.Cvg.EachFrac(func(vi, vj, m, n int, f float64) {
+			if anc.Hist.Count(m, n) > 0 {
+				covPart.Add(vi, vj, f)
+			}
+		})
+		desc.Hist.EachNonZero(func(i, j int, h float64) {
+			if v := h * covPart.Count(i, j); v != 0 {
+				hist.Set(i, j, v)
+			}
+		})
+		// Coverage propagation (Fig 10, case 2) applies when the
+		// descendant anchor itself is no-overlap with coverage.
+		var cvg *histogram.Coverage
+		if desc.NoOverlap && desc.Cvg != nil {
+			cvg = scaleCoverage(desc.Cvg, func(i, j int) float64 {
+				base := desc.Hist.Count(i, j)
+				if base <= 0 {
+					return 0
+				}
+				return hist.Count(i, j) / base
+			})
+		}
+		return SubPattern{Est: est, Hist: hist, Base: desc.Base, Cvg: cvg, NoOverlap: desc.NoOverlap}, nil
+	}
+
+	// Primitive descendant-based (Fig 6).
+	ps := newPartialSums(anc.Est)
+	desc.Est.EachNonZero(func(i, j int, c float64) {
+		if v := c * ps.descendantCoef(i, j); v != 0 {
+			est.Set(i, j, v)
+		}
+	})
+	hist := capCellwise(est, desc.Hist)
+	var cvg *histogram.Coverage
+	if desc.NoOverlap && desc.Cvg != nil {
+		cvg = scaleCoverage(desc.Cvg, func(i, j int) float64 {
+			base := desc.Hist.Count(i, j)
+			if base <= 0 {
+				return 0
+			}
+			return hist.Count(i, j) / base
+		})
+	}
+	return SubPattern{Est: est, Hist: hist, Base: desc.Base, Cvg: cvg, NoOverlap: desc.NoOverlap}, nil
+}
+
+// capCellwise returns min(est, cap) per cell — participation can never
+// exceed the distinct nodes available in a cell.
+func capCellwise(est, capH *histogram.Position) *histogram.Position {
+	out := histogram.NewPosition(est.Grid())
+	est.EachNonZero(func(i, j int, v float64) {
+		if c := capH.Count(i, j); v > c {
+			v = c
+		}
+		if v != 0 {
+			out.Set(i, j, v)
+		}
+	})
+	return out
+}
+
+// scaleCoverage builds a new coverage histogram with every entry
+// Cvg[i][j][m][n] multiplied by ratio(m, n) — the participation-ratio
+// propagation of Fig 10. Entries scaled to zero are dropped.
+func scaleCoverage(cvg *histogram.Coverage, ratio func(m, n int) float64) *histogram.Coverage {
+	out := histogram.NewCoverage(cvg.Grid())
+	cvg.EachFrac(func(i, j, m, n int, f float64) {
+		if r := ratio(m, n); r > 0 {
+			out.SetFrac(i, j, m, n, f*r)
+		}
+	})
+	return out
+}
+
+// validate panics on NaN estimates; estimation arithmetic must never
+// produce them, and catching the condition early aids debugging.
+func (s SubPattern) validate() error {
+	var err error
+	s.Est.EachNonZero(func(i, j int, v float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			err = fmt.Errorf("core: estimate cell (%d,%d) is %v", i, j, v)
+		}
+	})
+	return err
+}

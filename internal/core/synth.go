@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"xmlest/internal/histogram"
+)
+
+// Synthesized predicates (Section 3.4): when a query predicate has no
+// precomputed histogram but is a boolean combination of basic
+// predicates, its position histogram is *estimated* from the component
+// histograms, assuming per-cell independence normalized by the TRUE
+// histogram. The synthesized predicate then participates in estimation
+// exactly like a registered one (it is treated as potentially
+// overlapping: synthesis cannot establish the no-overlap property).
+
+// SynthOp selects the boolean combination.
+type SynthOp int
+
+const (
+	// SynthAnd estimates the conjunction of the parts.
+	SynthAnd SynthOp = iota
+	// SynthOr estimates the disjunction of the parts.
+	SynthOr
+	// SynthNot estimates the negation of a single part.
+	SynthNot
+	// SynthSum adds the parts' histograms exactly — correct for
+	// mutually exclusive parts, which is how the paper builds decade
+	// predicates from per-year primitives.
+	SynthSum
+)
+
+func (op SynthOp) String() string {
+	switch op {
+	case SynthAnd:
+		return "AND"
+	case SynthOr:
+		return "OR"
+	case SynthNot:
+		return "NOT"
+	case SynthSum:
+		return "SUM"
+	}
+	return fmt.Sprintf("SynthOp(%d)", int(op))
+}
+
+// Synthesize registers a new predicate name whose histogram is
+// estimated from already-registered parts. The name becomes available
+// to every estimation entry point (patterns reference it with the
+// {name} syntax). Synthesis requires the TRUE histogram, which
+// NewEstimator always builds.
+func (e *Estimator) Synthesize(name string, op SynthOp, parts ...string) error {
+	if _, exists := e.hists[name]; exists {
+		return fmt.Errorf("core: predicate %q already registered", name)
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("core: Synthesize(%s) needs at least one part", name)
+	}
+	if op == SynthNot && len(parts) != 1 {
+		return fmt.Errorf("core: SynthNot takes exactly one part, got %d", len(parts))
+	}
+	hists := make([]*histogram.Position, len(parts))
+	for i, p := range parts {
+		h, err := e.Histogram(p)
+		if err != nil {
+			return err
+		}
+		hists[i] = h
+	}
+	var synth *histogram.Position
+	var err error
+	switch op {
+	case SynthAnd:
+		synth, err = histogram.SynthesizeAnd(e.trueHist, hists...)
+	case SynthOr:
+		synth, err = histogram.SynthesizeOr(e.trueHist, hists...)
+	case SynthNot:
+		synth, err = histogram.SynthesizeNot(e.trueHist, hists[0])
+	case SynthSum:
+		synth, err = histogram.Sum(hists...)
+	default:
+		return fmt.Errorf("core: unknown synthesis op %v", op)
+	}
+	if err != nil {
+		return err
+	}
+	e.hists[name] = synth
+	// A synthesized predicate may overlap; without data access the
+	// no-overlap property cannot be established, so the primitive
+	// algorithm applies (the conservative choice).
+	e.overlap[name] = true
+	e.names = append(e.names, name)
+	return nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"xmlest/internal/datagen"
+	"xmlest/internal/pattern"
+	"xmlest/internal/predicate"
+)
+
+func dblpEstimator(t *testing.T) (*predicate.Catalog, *Estimator) {
+	t.Helper()
+	tr := datagen.GenerateDBLP(datagen.DBLPConfig{Seed: 9, Scale: 0.02})
+	cat := datagen.DBLPCatalog(tr)
+	// Per-year primitives, as the paper builds them.
+	for _, y := range []string{"1990", "1991", "1992"} {
+		cat.Add(predicate.Named{Alias: "year=" + y, Inner: predicate.TagContent{Tag: "year", Value: y}})
+	}
+	est, err := NewEstimator(cat, Options{GridSize: 10})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	return cat, est
+}
+
+func TestSynthesizeSumMatchesExactDecade(t *testing.T) {
+	cat, est := dblpEstimator(t)
+	// Sum of per-year primitives is exact for disjoint predicates.
+	if err := est.Synthesize("early90s", SynthSum, "year=1990", "year=1991", "year=1992"); err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	h, err := est.Histogram("early90s")
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	want := 0
+	for _, y := range []string{"1990", "1991", "1992"} {
+		want += cat.MustGet("year=" + y).Count()
+	}
+	if h.Total() != float64(want) {
+		t.Errorf("synthesized total = %v, want %v", h.Total(), want)
+	}
+	// The synthesized predicate estimates like any other.
+	res, err := est.EstimatePair("tag=article", "early90s")
+	if err != nil {
+		t.Fatalf("EstimatePair: %v", err)
+	}
+	if res.Estimate <= 0 {
+		t.Errorf("estimate = %v, want > 0", res.Estimate)
+	}
+	// And works in pattern syntax.
+	tw, err := est.EstimateTwig(pattern.MustParse("//article//{early90s}"))
+	if err != nil {
+		t.Fatalf("EstimateTwig: %v", err)
+	}
+	if math.Abs(tw.Estimate-res.Estimate) > 1e-9 {
+		t.Errorf("twig estimate %v != pair estimate %v", tw.Estimate, res.Estimate)
+	}
+}
+
+func TestSynthesizeAndApproximatesIntersection(t *testing.T) {
+	cat, est := dblpEstimator(t)
+	// cite AND year can never intersect (different tags); per-cell
+	// independence must keep the synthesized mass small.
+	if err := est.Synthesize("cite-and-year", SynthAnd, "tag=cite", "tag=year"); err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	h, err := est.Histogram("cite-and-year")
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	// No node is both cite and year; per-cell independence yields a
+	// small but non-negative mass, far below either part.
+	if h.Total() < 0 {
+		t.Errorf("negative synthesized mass %v", h.Total())
+	}
+	cite := float64(cat.MustGet("tag=cite").Count())
+	if h.Total() > 0.2*cite {
+		t.Errorf("AND mass %v too large vs cite %v", h.Total(), cite)
+	}
+
+	if err := est.Synthesize("cite-or-year", SynthOr, "tag=cite", "tag=year"); err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	or, err := est.Histogram("cite-or-year")
+	if err != nil {
+		t.Fatalf("Histogram: %v", err)
+	}
+	year := float64(cat.MustGet("tag=year").Count())
+	if or.Total() < math.Max(cite, year)-1e-6 || or.Total() > cite+year+1e-6 {
+		t.Errorf("OR mass %v outside [max, sum] = [%v, %v]", or.Total(), math.Max(cite, year), cite+year)
+	}
+}
+
+func TestSynthesizeNot(t *testing.T) {
+	_, est := dblpEstimator(t)
+	if err := est.Synthesize("not-cite", SynthNot, "tag=cite"); err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	h, _ := est.Histogram("not-cite")
+	tot := est.TrueHistogram().Total()
+	cite, _ := est.Histogram("tag=cite")
+	if math.Abs(h.Total()-(tot-cite.Total())) > 1e-6 {
+		t.Errorf("NOT mass = %v, want %v", h.Total(), tot-cite.Total())
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	_, est := dblpEstimator(t)
+	if err := est.Synthesize("tag=cite", SynthSum, "tag=year"); err == nil {
+		t.Errorf("duplicate name: want error")
+	}
+	if err := est.Synthesize("x", SynthSum); err == nil {
+		t.Errorf("no parts: want error")
+	}
+	if err := est.Synthesize("x", SynthNot, "tag=cite", "tag=year"); err == nil {
+		t.Errorf("NOT with two parts: want error")
+	}
+	if err := est.Synthesize("x", SynthSum, "tag=nosuch"); err == nil {
+		t.Errorf("unknown part: want error")
+	}
+	if err := est.Synthesize("x", SynthOp(99), "tag=cite"); err == nil {
+		t.Errorf("unknown op: want error")
+	}
+}
+
+func TestSynthesizedPredicatePersists(t *testing.T) {
+	_, est := dblpEstimator(t)
+	if err := est.Synthesize("early90s", SynthSum, "year=1990", "year=1991"); err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	blob, err := est.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	loaded, err := UnmarshalEstimator(blob)
+	if err != nil {
+		t.Fatalf("UnmarshalEstimator: %v", err)
+	}
+	a, err := est.EstimatePairPrimitive("tag=article", "early90s")
+	if err != nil {
+		t.Fatalf("EstimatePairPrimitive: %v", err)
+	}
+	b, err := loaded.EstimatePairPrimitive("tag=article", "early90s")
+	if err != nil {
+		t.Fatalf("loaded: %v", err)
+	}
+	if math.Abs(a.Estimate-b.Estimate) > 1e-9 {
+		t.Errorf("synthesized predicate lost in persistence: %v vs %v", b.Estimate, a.Estimate)
+	}
+}

@@ -1,0 +1,70 @@
+// Package datagen generates the datasets the paper's evaluation uses,
+// as documented substitutes for resources we cannot ship (DESIGN.md §3):
+//
+//   - a DBLP-shaped bibliography tuned to the predicate cardinalities of
+//     the paper's Table 1 (dblp.go);
+//   - a generic DTD-driven random document generator standing in for the
+//     IBM alphaWorks XML Generator (dtd.go), instantiated with the exact
+//     manager/department/employee DTD of Section 5.2 and tuned to
+//     Table 3 (hier.go);
+//   - small XMark-like and Shakespeare-like generators for structural
+//     variety in tests and examples (extra.go).
+//
+// All generators are deterministic given a seed.
+package datagen
+
+import (
+	"math/rand"
+)
+
+// words is a small vocabulary for synthetic text content.
+var words = []string{
+	"query", "index", "tree", "join", "cost", "plan", "cache", "node",
+	"stream", "graph", "hash", "sort", "scan", "merge", "split", "page",
+	"lock", "log", "view", "path", "twig", "label", "range", "level",
+}
+
+// phrase returns n space-separated pseudo-words.
+func phrase(r *rand.Rand, n int) string {
+	out := make([]byte, 0, n*6)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, words[r.Intn(len(words))]...)
+	}
+	return string(out)
+}
+
+// name returns a synthetic person name.
+func name(r *rand.Rand) string {
+	first := []string{"Alice", "Bob", "Carol", "David", "Eva", "Frank", "Grace", "Hiro", "Ines", "Jun"}
+	last := []string{"Smith", "Jones", "Chen", "Patel", "Mueller", "Tanaka", "Okafor", "Silva", "Novak", "Kim"}
+	return first[r.Intn(len(first))] + " " + last[r.Intn(len(last))]
+}
+
+// splitCount distributes total units over n slots, each slot getting at
+// least minPer, with the remainder spread by the PRNG. It returns a
+// slice of length n summing exactly to total. If total < n*minPer, the
+// first slots receive minPer until the budget runs out.
+func splitCount(r *rand.Rand, total, n, minPer int) []int {
+	out := make([]int, n)
+	remaining := total
+	for i := range out {
+		if remaining >= minPer {
+			out[i] = minPer
+			remaining -= minPer
+		}
+	}
+	for remaining > 0 {
+		out[r.Intn(n)]++
+		remaining--
+	}
+	return out
+}
+
+// pickSubset returns k distinct indices from [0, n) (k <= n).
+func pickSubset(r *rand.Rand, n, k int) []int {
+	perm := r.Perm(n)
+	return perm[:k]
+}

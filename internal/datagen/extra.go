@@ -1,0 +1,111 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xmlest/internal/xmltree"
+)
+
+// GenerateShakespeare builds a Shakespeare-play-shaped document
+// (PLAY/ACT/SCENE/SPEECH/SPEAKER/LINE), one of the datasets the paper
+// reports "substantially similar" results on. plays controls the
+// number of PLAY documents merged into the database tree.
+func GenerateShakespeare(seed int64, plays int) *xmltree.Tree {
+	r := rand.New(rand.NewSource(seed))
+	b := xmltree.NewBuilder()
+	for p := 0; p < plays; p++ {
+		b.Begin("PLAY")
+		b.Element("TITLE", "The Tragedy of "+name(r))
+		acts := 3 + r.Intn(3)
+		for a := 0; a < acts; a++ {
+			b.Begin("ACT")
+			b.Element("TITLE", fmt.Sprintf("ACT %d", a+1))
+			scenes := 2 + r.Intn(5)
+			for s := 0; s < scenes; s++ {
+				b.Begin("SCENE")
+				b.Element("TITLE", fmt.Sprintf("SCENE %d", s+1))
+				speeches := 5 + r.Intn(30)
+				for sp := 0; sp < speeches; sp++ {
+					b.Begin("SPEECH")
+					b.Element("SPEAKER", name(r))
+					lines := 1 + r.Intn(8)
+					for l := 0; l < lines; l++ {
+						b.Element("LINE", phrase(r, 4+r.Intn(6)))
+					}
+					b.End()
+				}
+				b.End()
+			}
+			b.End()
+		}
+		b.End()
+	}
+	return b.Tree()
+}
+
+// GenerateXMark builds a small XMark-auction-shaped document: the other
+// benchmark dataset the paper mentions. items controls the number of
+// auction items per region.
+func GenerateXMark(seed int64, items int) *xmltree.Tree {
+	r := rand.New(rand.NewSource(seed))
+	b := xmltree.NewBuilder()
+	b.Begin("site")
+
+	b.Begin("regions")
+	for _, region := range []string{"africa", "asia", "europe", "namerica"} {
+		b.Begin(region)
+		for i := 0; i < items; i++ {
+			b.Begin("item")
+			b.Attr("id", fmt.Sprintf("item%s%d", region, i))
+			b.Element("name", phrase(r, 2))
+			b.Begin("description")
+			b.Begin("parlist")
+			for k, kn := 0, 1+r.Intn(3); k < kn; k++ {
+				b.Element("listitem", phrase(r, 5+r.Intn(10)))
+			}
+			b.End()
+			b.End()
+			if r.Intn(2) == 0 {
+				b.Element("payment", "Creditcard")
+			}
+			b.End()
+		}
+		b.End()
+	}
+	b.End()
+
+	b.Begin("people")
+	for i := 0; i < items*2; i++ {
+		b.Begin("person")
+		b.Attr("id", fmt.Sprintf("person%d", i))
+		b.Element("name", name(r))
+		b.Element("emailaddress", "mailto:"+phrase(r, 1)+"@example.com")
+		if r.Intn(3) == 0 {
+			b.Begin("profile")
+			b.Element("interest", phrase(r, 1))
+			b.Element("education", "Graduate School")
+			b.End()
+		}
+		b.End()
+	}
+	b.End()
+
+	b.Begin("open_auctions")
+	for i := 0; i < items; i++ {
+		b.Begin("open_auction")
+		b.Element("initial", fmt.Sprintf("%d.%02d", 10+r.Intn(200), r.Intn(100)))
+		for k, kn := 0, r.Intn(5); k < kn; k++ {
+			b.Begin("bidder")
+			b.Element("date", fmt.Sprintf("0%d/1%d/2000", 1+r.Intn(8), r.Intn(9)))
+			b.Element("increase", fmt.Sprintf("%d.00", 1+r.Intn(50)))
+			b.End()
+		}
+		b.Element("current", fmt.Sprintf("%d.00", 50+r.Intn(500)))
+		b.End()
+	}
+	b.End()
+
+	b.End() // site
+	return b.Tree()
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xmlest/internal/core"
+	"xmlest/internal/match"
+)
+
+// Ablations beyond the paper's figures: they isolate the contribution
+// of each design choice DESIGN.md calls out — coverage histograms,
+// equi-depth (non-uniform) grids, and level histograms for parent-child
+// edges. Grid size is held at the paper's 10 throughout.
+
+// AblationRow compares estimators that differ in exactly one choice.
+type AblationRow struct {
+	Query string
+	Real  float64
+
+	Uniform   float64 // primitive estimate, uniform grid
+	EquiDepth float64 // primitive estimate, equi-depth grid
+	Coverage  float64 // no-overlap estimate (0 = N/A: overlapping ancestor)
+
+	HasCoverage bool
+}
+
+// AblationGrid compares uniform against equi-depth bucket boundaries,
+// and the primitive against the coverage algorithm, on the synthetic
+// dataset's Table 4 queries.
+func AblationGrid() ([]AblationRow, error) {
+	s := Hier()
+	uniform, err := core.NewEstimator(s.Catalog, core.Options{GridSize: 10})
+	if err != nil {
+		return nil, err
+	}
+	equi, err := core.NewEstimator(s.Catalog, core.Options{GridSize: 10, EquiDepth: true})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, q := range table4Queries {
+		row := AblationRow{
+			Query: displayName(q.anc) + "//" + displayName(q.desc),
+			Real:  float64(s.RealPairs(q.anc, q.desc)),
+		}
+		ru, err := uniform.EstimatePairPrimitive(q.anc, q.desc)
+		if err != nil {
+			return nil, err
+		}
+		row.Uniform = ru.Estimate
+		re, err := equi.EstimatePairPrimitive(q.anc, q.desc)
+		if err != nil {
+			return nil, err
+		}
+		row.EquiDepth = re.Estimate
+		if uniform.NoOverlap(q.anc) {
+			rc, err := uniform.EstimatePair(q.anc, q.desc)
+			if err != nil {
+				return nil, err
+			}
+			row.Coverage, row.HasCoverage = rc.Estimate, true
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ParentChildRow compares the ancestor-descendant estimate against the
+// level-histogram parent-child estimate for child-axis queries.
+type ParentChildRow struct {
+	Query      string
+	RealChild  float64 // exact parent-child count
+	RealDesc   float64 // exact ancestor-descendant count
+	AncDesc    float64 // position-histogram anc-desc estimate
+	ParentChld float64 // level-histogram parent-child estimate
+}
+
+// AblationParentChild measures the level-histogram extension on the
+// recursive synthetic dataset, where parent-child and
+// ancestor-descendant counts differ most.
+func AblationParentChild() ([]ParentChildRow, error) {
+	s := Hier()
+	est, err := core.NewEstimator(s.Catalog, core.Options{GridSize: 10, LevelHistograms: true})
+	if err != nil {
+		return nil, err
+	}
+	queries := []struct{ anc, desc string }{
+		{"tag=manager", "tag=department"},
+		{"tag=manager", "tag=employee"},
+		{"tag=department", "tag=department"},
+		{"tag=department", "tag=employee"},
+		{"tag=employee", "tag=name"},
+	}
+	var rows []ParentChildRow
+	for _, q := range queries {
+		ancNodes := s.Catalog.MustGet(q.anc).Nodes
+		descNodes := s.Catalog.MustGet(q.desc).Nodes
+		row := ParentChildRow{
+			Query:     displayName(q.anc) + "/" + displayName(q.desc),
+			RealChild: float64(match.CountChildPairs(s.Tree, ancNodes, descNodes)),
+			RealDesc:  float64(match.CountPairs(s.Tree, ancNodes, descNodes)),
+		}
+		ad, err := est.EstimatePairPrimitive(q.anc, q.desc)
+		if err != nil {
+			return nil, err
+		}
+		row.AncDesc = ad.Estimate
+		pc, err := est.EstimatePairParentChild(q.anc, q.desc)
+		if err != nil {
+			return nil, err
+		}
+		row.ParentChld = pc.Estimate
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderAblation prints both ablations.
+func RenderAblation(w io.Writer) error {
+	rows, err := AblationGrid()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation A: grid shape and coverage (synthetic data, g=10)")
+	fmt.Fprintln(w, strings.Repeat("-", 84))
+	fmt.Fprintf(w, "%-24s %10s %12s %12s %12s\n",
+		"query", "real", "uniform", "equi-depth", "coverage")
+	for _, r := range rows {
+		cov := "N/A"
+		if r.HasCoverage {
+			cov = fmt.Sprintf("%.0f", r.Coverage)
+		}
+		fmt.Fprintf(w, "%-24s %10.0f %12.0f %12.0f %12s\n",
+			r.Query, r.Real, r.Uniform, r.EquiDepth, cov)
+	}
+	fmt.Fprintln(w)
+
+	pcRows, err := AblationParentChild()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Ablation B: parent-child estimation via level histograms (g=10)")
+	fmt.Fprintln(w, strings.Repeat("-", 84))
+	fmt.Fprintf(w, "%-24s %12s %12s %14s %14s\n",
+		"query", "real child", "real desc", "anc-desc est", "parent-child")
+	for _, r := range pcRows {
+		fmt.Fprintf(w, "%-24s %12.0f %12.0f %14.0f %14.0f\n",
+			r.Query, r.RealChild, r.RealDesc, r.AncDesc, r.ParentChld)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestAblationGridShape(t *testing.T) {
+	rows, err := AblationGrid()
+	if err != nil {
+		t.Fatalf("AblationGrid: %v", err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (the Table 4 queries)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Real <= 0 {
+			t.Fatalf("%s: degenerate real", r.Query)
+		}
+		for name, est := range map[string]float64{"uniform": r.Uniform, "equi-depth": r.EquiDepth} {
+			if est <= 0 || math.IsNaN(est) || math.IsInf(est, 0) {
+				t.Errorf("%s: bad %s estimate %v", r.Query, name, est)
+			}
+		}
+		// Both grid shapes must land in the same decade; equi-depth is a
+		// refinement, not a different algorithm.
+		if ratio := r.EquiDepth / r.Uniform; ratio < 0.2 || ratio > 5 {
+			t.Errorf("%s: equi-depth %v wildly differs from uniform %v", r.Query, r.EquiDepth, r.Uniform)
+		}
+		if r.HasCoverage {
+			if math.Abs(r.Coverage-r.Real) > math.Abs(r.Uniform-r.Real) {
+				t.Errorf("%s: coverage estimate %v should beat primitive %v (real %v)",
+					r.Query, r.Coverage, r.Uniform, r.Real)
+			}
+		}
+	}
+}
+
+func TestAblationParentChildShape(t *testing.T) {
+	rows, err := AblationParentChild()
+	if err != nil {
+		t.Fatalf("AblationParentChild: %v", err)
+	}
+	for _, r := range rows {
+		if r.RealChild > r.RealDesc {
+			t.Fatalf("%s: child pairs cannot exceed descendant pairs", r.Query)
+		}
+		// The level-histogram estimate must be closer to the real
+		// parent-child count than the anc-desc estimate whenever the two
+		// real counts differ substantially.
+		if r.RealDesc > 2*r.RealChild {
+			if math.Abs(r.ParentChld-r.RealChild) >= math.Abs(r.AncDesc-r.RealChild) {
+				t.Errorf("%s: parent-child est %v should beat anc-desc est %v (real %v)",
+					r.Query, r.ParentChld, r.AncDesc, r.RealChild)
+			}
+		}
+		if r.ParentChld < 0 || math.IsNaN(r.ParentChld) {
+			t.Errorf("%s: bad parent-child estimate %v", r.Query, r.ParentChld)
+		}
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderAblation(&buf); err != nil {
+		t.Fatalf("RenderAblation: %v", err)
+	}
+	for _, want := range []string{"Ablation A", "Ablation B", "equi-depth", "parent-child"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

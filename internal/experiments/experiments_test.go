@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// These are the repository's integration tests: they run the full
+// pipeline (generate → number → catalog → histograms → estimate →
+// exact-count) and assert the qualitative claims of the paper's
+// evaluation section — the "shape" targets recorded in DESIGN.md §4.
+
+func TestTable1Shape(t *testing.T) {
+	for _, r := range Table1() {
+		if r.Count != r.PaperCount {
+			t.Errorf("%s: count = %d, want the paper's %d (generator is tuned exactly)",
+				r.Name, r.Count, r.PaperCount)
+		}
+		wantNoOverlap := r.PaperNote == "no overlap" || r.PaperNote == "N/A"
+		if r.NoOverlap != wantNoOverlap {
+			t.Errorf("%s: NoOverlap = %v, want %v", r.Name, r.NoOverlap, wantNoOverlap)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	for _, r := range Table2() {
+		name := r.Anc + "//" + r.Desc
+		real := float64(r.Real)
+		if real <= 0 {
+			t.Fatalf("%s: degenerate real count", name)
+		}
+		// Naive must overestimate by orders of magnitude.
+		if r.Naive < 100*real {
+			t.Errorf("%s: naive %v should dwarf real %v", name, r.Naive, real)
+		}
+		// The schema-only bound is an upper bound.
+		if r.DescNum > 0 && float64(r.DescNum) < real {
+			t.Errorf("%s: descendant bound %d below real %v", name, r.DescNum, real)
+		}
+		// The primitive estimate improves on naive; the no-overlap
+		// estimate improves on primitive (Table 2's headline result).
+		if r.Overlap >= r.Naive {
+			t.Errorf("%s: overlap estimate %v must beat naive %v", name, r.Overlap, r.Naive)
+		}
+		if !r.HasNoOverlap {
+			t.Fatalf("%s: every Table 2 ancestor is no-overlap", name)
+		}
+		if math.Abs(r.NoOverlap-real) > math.Abs(r.Overlap-real) {
+			t.Errorf("%s: no-overlap %v should be closer to real %v than overlap %v",
+				name, r.NoOverlap, real, r.Overlap)
+		}
+		// The no-overlap estimate lands within a small factor of real
+		// (the paper's rows land within ~25%).
+		if r.NoOverlap < 0.5*real || r.NoOverlap > 1.5*real {
+			t.Errorf("%s: no-overlap %v outside [0.5, 1.5]×real %v", name, r.NoOverlap, real)
+		}
+		// §5.1 timing claim: a few tenths of a millisecond at most.
+		if r.OverlapTime.Seconds() > 0.01 || (r.HasNoOverlap && r.NoOverlapTime.Seconds() > 0.01) {
+			t.Errorf("%s: estimation too slow: %v / %v", name, r.OverlapTime, r.NoOverlapTime)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	for _, r := range Table3() {
+		lo := int(0.5 * float64(r.PaperCount))
+		hi := int(1.6 * float64(r.PaperCount))
+		if r.Count < lo || r.Count > hi {
+			t.Errorf("%s: count = %d, want near the paper's %d", r.Name, r.Count, r.PaperCount)
+		}
+		wantNoOverlap := r.PaperNote == "no overlap"
+		if r.NoOverlap != wantNoOverlap {
+			t.Errorf("%s: NoOverlap = %v, want %v", r.Name, r.NoOverlap, wantNoOverlap)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	for _, r := range Table4() {
+		name := r.Anc + "//" + r.Desc
+		real := float64(r.Real)
+		if real <= 0 {
+			t.Fatalf("%s: degenerate real count", name)
+		}
+		if r.Overlap >= r.Naive {
+			t.Errorf("%s: overlap estimate %v must beat naive %v", name, r.Overlap, r.Naive)
+		}
+		// Paper's Table 4 claim: for *overlapping* ancestors the
+		// primitive estimate is "very close"; we accept within a factor
+		// of 4 (the paper's department rows are off by ~2x themselves).
+		// For no-overlap ancestors the primitive estimate is expected to
+		// be far off — the paper's employee//name row is 12x over — and
+		// the coverage algorithm is the fix.
+		if !r.HasNoOverlap && (r.Overlap < real/4 || r.Overlap > real*4) {
+			t.Errorf("%s: overlap estimate %v outside 4x of real %v", name, r.Overlap, real)
+		}
+		if r.HasNoOverlap {
+			if math.Abs(r.NoOverlap-real) > math.Abs(r.Overlap-real) {
+				t.Errorf("%s: no-overlap %v should beat overlap %v (real %v)",
+					name, r.NoOverlap, r.Overlap, real)
+			}
+		}
+		// N/A pattern must match the paper: manager/department ancestors
+		// have no no-overlap estimate.
+		wantNA := r.Anc == "manager" || r.Anc == "department"
+		if wantNA == r.HasNoOverlap {
+			t.Errorf("%s: HasNoOverlap = %v, want %v", name, r.HasNoOverlap, !wantNA)
+		}
+	}
+}
+
+func TestRunningExampleShape(t *testing.T) {
+	res, err := RunExample()
+	if err != nil {
+		t.Fatalf("RunExample: %v", err)
+	}
+	if res.Naive != 15 || res.UpperBound != 5 || res.Real != 2 {
+		t.Errorf("fixed quantities wrong: naive=%v bound=%v real=%v", res.Naive, res.UpperBound, res.Real)
+	}
+	if math.Abs(res.Primitive-res.PaperPrimitive) > 0.3 {
+		t.Errorf("primitive = %v, paper narrates %v", res.Primitive, res.PaperPrimitive)
+	}
+	if math.Abs(res.NoOverlap-res.PaperNoOverlap) > 0.3 {
+		t.Errorf("no-overlap = %v, paper narrates %v", res.NoOverlap, res.PaperNoOverlap)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	pts := Fig11()
+	if len(pts) < 8 {
+		t.Fatalf("too few sweep points: %d", len(pts))
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	// Storage grows roughly linearly: the g=50 histograms must cost
+	// more than the g=2 ones but far less than (50/2)² as much.
+	for _, sel := range []func(Fig11Point) int{
+		func(p Fig11Point) int { return p.StorageAncestor },
+		func(p Fig11Point) int { return p.StorageDescendant },
+	} {
+		if sel(last) <= sel(first) {
+			t.Errorf("storage did not grow with g: %d -> %d", sel(first), sel(last))
+		}
+		if sel(last) > sel(first)*100 {
+			t.Errorf("storage grew superlinearly: %d -> %d", sel(first), sel(last))
+		}
+	}
+	// Accuracy improves from far-off to close (paper: ratio near 1 past
+	// g = 10-20; our regenerated dataset converges on the same curve).
+	if math.Abs(first.Ratio-1) < math.Abs(last.Ratio-1) {
+		t.Errorf("ratio did not improve: %v (g=%d) -> %v (g=%d)",
+			first.Ratio, first.GridSize, last.Ratio, last.GridSize)
+	}
+	if last.Ratio < 0.5 || last.Ratio > 2.0 {
+		t.Errorf("g=%d ratio %v should be within 2x of 1", last.GridSize, last.Ratio)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	pts := Fig12()
+	if len(pts) < 8 {
+		t.Fatalf("too few sweep points: %d", len(pts))
+	}
+	// The no-overlap estimate is accurate from small grids on (the
+	// paper: within 1±0.05 from g=5; ours carries the documented
+	// population-dilution bias, so accept 1±0.2) and stays stable.
+	for _, p := range pts {
+		if p.GridSize < 5 {
+			continue
+		}
+		if p.Ratio < 0.8 || p.Ratio > 1.2 {
+			t.Errorf("g=%d: ratio %v outside 1±0.2", p.GridSize, p.Ratio)
+		}
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if last.StorageHistAncestor <= first.StorageHistAncestor {
+		t.Errorf("article histogram storage did not grow with g")
+	}
+	if last.StorageCvgAncestor <= first.StorageCvgAncestor {
+		t.Errorf("article coverage storage did not grow with g")
+	}
+}
+
+func TestTheorem1Linear(t *testing.T) {
+	for _, p := range Theorem1() {
+		if p.NonZeroCells > 4*p.GridSize {
+			t.Errorf("g=%d: %d non-zero cells exceeds 4g", p.GridSize, p.NonZeroCells)
+		}
+	}
+}
+
+func TestTheorem2Linear(t *testing.T) {
+	for _, p := range Theorem2() {
+		if p.PartialCells > 6*p.GridSize {
+			t.Errorf("g=%d: %d partial cells exceeds 6g", p.GridSize, p.PartialCells)
+		}
+	}
+}
+
+func TestStorageSummaryClaim(t *testing.T) {
+	s := StorageSummary()
+	if s.Predicates < 12 {
+		t.Fatalf("catalog too small: %d predicates", s.Predicates)
+	}
+	// Paper: ~95 bytes per predicate histogram at 10×10 (6 KB / 63).
+	// Our varint encoding is tighter; anything in the tens-of-bytes to
+	// few-hundred range per predicate confirms the miniscule-storage
+	// claim relative to the ~150k-node dataset.
+	if s.BytesPerPred > 1024 {
+		t.Errorf("bytes per predicate = %v, want well under 1 KB", s.BytesPerPred)
+	}
+	if s.TotalBytes <= 0 {
+		t.Errorf("no storage measured")
+	}
+}
+
+func TestRenderAllProducesOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderAll(&buf); err != nil {
+		t.Fatalf("RenderAll: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Running example", "Table 1", "Table 2", "Table 3", "Table 4",
+		"Fig 11", "Fig 12", "Theorem 1", "Theorem 2", "Storage summary",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("RenderAll output missing %q", want)
+		}
+	}
+	if len(out) < 1000 {
+		t.Errorf("suspiciously short output: %d bytes", len(out))
+	}
+}

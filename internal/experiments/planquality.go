@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"xmlest/internal/accuracy"
+	"xmlest/internal/exec"
+	"xmlest/internal/pattern"
+	"xmlest/internal/planner"
+	"xmlest/internal/xmltree"
+)
+
+// Beyond the paper's figures: two system-level experiments that close
+// the loop the paper motivates. The error profile measures estimation
+// quality over whole workloads instead of hand-picked queries; the
+// plan-quality experiment feeds the estimates into a join-order
+// optimizer, executes the chosen and the worst plans, and compares the
+// actual intermediate work.
+
+// ErrorProfileResult is the error distribution over one workload.
+type ErrorProfileResult struct {
+	Dataset  string
+	Workload string
+	Report   accuracy.Report
+}
+
+// ErrorProfiles evaluates the pairwise and random-twig workloads on
+// both datasets.
+func ErrorProfiles() ([]ErrorProfileResult, error) {
+	var out []ErrorProfileResult
+	for _, ds := range []struct {
+		name string
+		s    *Setup
+	}{{"synthetic", Hier()}, {"dblp", DBLP()}} {
+		pairW := accuracy.PairWorkload(ds.s.Catalog)
+		if ds.name == "dblp" && len(pairW) > 30 {
+			pairW = pairW[:30] // exact counting over all 56 pairs is slow; sample
+		}
+		_, rep, err := accuracy.Evaluate(ds.s.Catalog, ds.s.Estimator, pairW)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ErrorProfileResult{ds.name, fmt.Sprintf("all-pairs (%d)", len(pairW)), rep})
+
+		twigW := accuracy.RandomTwigWorkload(ds.s.Catalog, 40, 2002)
+		_, rep, err = accuracy.Evaluate(ds.s.Catalog, ds.s.Estimator, twigW)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ErrorProfileResult{ds.name, "random twigs (40)", rep})
+	}
+	return out, nil
+}
+
+// RenderErrorProfile prints the workload error distributions.
+func RenderErrorProfile(w io.Writer) error {
+	rows, err := ErrorProfiles()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Error profile: estimation error over whole workloads")
+	fmt.Fprintln(w, strings.Repeat("-", 84))
+	fmt.Fprintf(w, "%-10s %-18s %8s %8s %8s %8s %8s %8s\n",
+		"dataset", "workload", "queries", "empty", "q50", "q90", "qmax", "under")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-18s %8d %8d %8.2f %8.2f %8.1f %8d\n",
+			r.Dataset, r.Workload, r.Report.Queries, r.Report.EmptyReal,
+			r.Report.Q50, r.Report.Q90, r.Report.QMax, r.Report.Under)
+	}
+	return nil
+}
+
+// PlanQualityRow compares the estimator-chosen plan against the worst
+// enumerated plan for one query, by actual executed intermediate
+// tuples.
+type PlanQualityRow struct {
+	Query        string
+	Plans        int
+	ChosenCost   int64 // actual intermediate tuples of the estimate-optimal plan
+	WorstCost    int64 // actual intermediate tuples of the estimate-worst plan
+	OptimalCost  int64 // actual intermediate tuples of the truly best plan
+	ChosenIsOpt  bool
+	FinalResults int64
+}
+
+// PlanQuality runs the optimizer loop on the synthetic dataset: for
+// each query, enumerate plans, execute every plan, and compare the
+// estimator's choice to the true optimum.
+func PlanQuality() ([]PlanQualityRow, error) {
+	s := Hier()
+	resolve := func(name string) ([]xmltree.NodeID, error) {
+		e, err := s.Catalog.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		return e.Nodes, nil
+	}
+	queries := []string{
+		"//manager//department//employee",
+		"//manager//department//employee//email",
+		"//department[.//email]//employee",
+		"//manager[.//employee]//department//name",
+	}
+	var rows []PlanQualityRow
+	for _, q := range queries {
+		p, err := pattern.Parse(q)
+		if err != nil {
+			return nil, err
+		}
+		plans, err := planner.Enumerate(s.Estimator, p)
+		if err != nil {
+			return nil, err
+		}
+		row := PlanQualityRow{Query: q, Plans: len(plans)}
+		costs := make([]int64, len(plans))
+		for i, plan := range plans {
+			stats, err := exec.Execute(s.Tree, p, plan, resolve)
+			if err != nil {
+				return nil, err
+			}
+			costs[i] = stats.TotalIntermediate()
+			if i == 0 {
+				row.ChosenCost = costs[i]
+				row.FinalResults = stats.Results
+			}
+		}
+		row.OptimalCost = costs[0]
+		row.WorstCost = costs[0]
+		for _, c := range costs {
+			if c < row.OptimalCost {
+				row.OptimalCost = c
+			}
+			if c > row.WorstCost {
+				row.WorstCost = c
+			}
+		}
+		row.ChosenIsOpt = row.ChosenCost == row.OptimalCost
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderPlanQuality prints the optimizer-loop experiment.
+func RenderPlanQuality(w io.Writer) error {
+	rows, err := PlanQuality()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Plan quality: estimator-guided join ordering vs. actual execution cost")
+	fmt.Fprintln(w, "(cost = executed intermediate tuples; chosen = estimate-optimal plan)")
+	fmt.Fprintln(w, strings.Repeat("-", 100))
+	fmt.Fprintf(w, "%-44s %6s %10s %10s %10s %8s\n",
+		"query", "plans", "chosen", "optimal", "worst", "chose opt")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-44s %6d %10d %10d %10d %8v\n",
+			r.Query, r.Plans, r.ChosenCost, r.OptimalCost, r.WorstCost, r.ChosenIsOpt)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestErrorProfiles(t *testing.T) {
+	rows, err := ErrorProfiles()
+	if err != nil {
+		t.Fatalf("ErrorProfiles: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 datasets x 2 workloads)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Report.Queries == 0 {
+			t.Errorf("%s/%s: empty workload", r.Dataset, r.Workload)
+		}
+		if r.Report.Q50 < 1 || r.Report.Q90 < r.Report.Q50 || r.Report.QMax < r.Report.Q90 {
+			t.Errorf("%s/%s: quantiles out of order: %v %v %v",
+				r.Dataset, r.Workload, r.Report.Q50, r.Report.Q90, r.Report.QMax)
+		}
+		// The headline claim: typical (median) error is small even
+		// though tail queries (especially empty-result ones) are hard.
+		if r.Report.Q50 > 3 {
+			t.Errorf("%s/%s: median q-error %v too large", r.Dataset, r.Workload, r.Report.Q50)
+		}
+	}
+}
+
+func TestPlanQuality(t *testing.T) {
+	rows, err := PlanQuality()
+	if err != nil {
+		t.Fatalf("PlanQuality: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatalf("no rows")
+	}
+	optCount := 0
+	for _, r := range rows {
+		if r.OptimalCost > r.ChosenCost {
+			t.Errorf("%s: optimal cost %d exceeds chosen %d (bookkeeping bug)",
+				r.Query, r.OptimalCost, r.ChosenCost)
+		}
+		if r.WorstCost < r.ChosenCost {
+			t.Errorf("%s: worst cost %d below chosen %d", r.Query, r.WorstCost, r.ChosenCost)
+		}
+		if r.ChosenIsOpt {
+			optCount++
+		}
+		// The chosen plan must stay far from the worst plan whenever
+		// plans differ meaningfully: within 3x of optimal.
+		if r.ChosenCost > 3*r.OptimalCost {
+			t.Errorf("%s: chosen plan cost %d more than 3x optimal %d",
+				r.Query, r.ChosenCost, r.OptimalCost)
+		}
+	}
+	// The estimator should pick the true optimum for most queries.
+	if optCount < len(rows)/2 {
+		t.Errorf("estimator chose the optimal plan for only %d/%d queries", optCount, len(rows))
+	}
+}
+
+func TestRenderErrorAndPlanExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderErrorProfile(&buf); err != nil {
+		t.Fatalf("RenderErrorProfile: %v", err)
+	}
+	if err := RenderPlanQuality(&buf); err != nil {
+		t.Fatalf("RenderPlanQuality: %v", err)
+	}
+	for _, want := range []string{"Error profile", "Plan quality", "q90", "chose opt"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

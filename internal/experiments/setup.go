@@ -1,0 +1,68 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 5): Table 1/2 on the DBLP-shaped dataset,
+// Table 3/4 on the synthetic manager/department/employee dataset,
+// Fig 11/12 storage and accuracy grid sweeps, the Theorem 1/2 storage
+// scaling checks, and the Section 2/3.2/4.2 running example. The
+// cmd/experiments binary renders them; the repository-level benchmarks
+// time them.
+package experiments
+
+import (
+	"sync"
+
+	"xmlest/internal/core"
+	"xmlest/internal/datagen"
+	"xmlest/internal/match"
+	"xmlest/internal/predicate"
+	"xmlest/internal/xmltree"
+)
+
+// Setup bundles a dataset with its catalog and a default estimator.
+type Setup struct {
+	Tree      *xmltree.Tree
+	Catalog   *predicate.Catalog
+	Estimator *core.Estimator // 10×10 grids, as in the paper
+}
+
+var (
+	dblpOnce sync.Once
+	dblpS    *Setup
+	hierOnce sync.Once
+	hierS    *Setup
+)
+
+// DBLP returns the Table 1 dataset setup, built once per process (the
+// full-scale dataset has several hundred thousand nodes).
+func DBLP() *Setup {
+	dblpOnce.Do(func() {
+		tree := datagen.GenerateDBLP(datagen.DefaultDBLPConfig)
+		cat := datagen.DBLPCatalog(tree)
+		est, err := core.NewEstimator(cat, core.Options{GridSize: 10})
+		if err != nil {
+			panic("experiments: DBLP estimator: " + err.Error())
+		}
+		dblpS = &Setup{Tree: tree, Catalog: cat, Estimator: est}
+	})
+	return dblpS
+}
+
+// Hier returns the Table 3 synthetic dataset setup.
+func Hier() *Setup {
+	hierOnce.Do(func() {
+		tree := datagen.GenerateHier(datagen.DefaultHierConfig)
+		cat := datagen.HierCatalog(tree)
+		est, err := core.NewEstimator(cat, core.Options{GridSize: 10})
+		if err != nil {
+			panic("experiments: hier estimator: " + err.Error())
+		}
+		hierS = &Setup{Tree: tree, Catalog: cat, Estimator: est}
+	})
+	return hierS
+}
+
+// RealPairs computes the exact answer size of anc//desc.
+func (s *Setup) RealPairs(ancPred, descPred string) int64 {
+	return match.CountPairs(s.Tree,
+		s.Catalog.MustGet(ancPred).Nodes,
+		s.Catalog.MustGet(descPred).Nodes)
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"xmlest/internal/core"
+	"xmlest/internal/predicate"
+	"xmlest/internal/xmltree"
+)
+
+// PredRow is one row of Table 1 or Table 3: a predicate's cardinality
+// and overlap property, with the paper's reported values alongside.
+type PredRow struct {
+	Name       string
+	Count      int
+	NoOverlap  bool
+	PaperCount int
+	PaperNote  string // the paper's "Overlap Property" column text
+}
+
+// Table1 reproduces "Characteristics of Some Predicates on the DBLP
+// Data Set".
+func Table1() []PredRow {
+	s := DBLP()
+	rows := []struct {
+		pred       string
+		paperCount int
+		paperNote  string
+	}{
+		{"tag=article", 7366, "no overlap"},
+		{"tag=author", 41501, "no overlap"},
+		{"tag=book", 408, "no overlap"},
+		{"tag=cdrom", 1722, "no overlap"},
+		{"tag=cite", 33097, "no overlap"},
+		{"tag=title", 19921, "no overlap"},
+		{"tag=url", 19542, "no overlap"},
+		{"tag=year", 19914, "no overlap"},
+		{"conf", 13609, "N/A"},
+		{"journal", 7834, "N/A"},
+		{"1980's", 13066, "N/A"},
+		{"1990's", 3963, "N/A"},
+	}
+	out := make([]PredRow, 0, len(rows))
+	for _, r := range rows {
+		e := s.Catalog.MustGet(r.pred)
+		out = append(out, PredRow{
+			Name: r.pred, Count: e.Count(), NoOverlap: e.NoOverlap,
+			PaperCount: r.paperCount, PaperNote: r.paperNote,
+		})
+	}
+	return out
+}
+
+// Table3 reproduces "Characteristics of Predicates on the Synthetic
+// Data Set".
+func Table3() []PredRow {
+	s := Hier()
+	rows := []struct {
+		pred       string
+		paperCount int
+		paperNote  string
+	}{
+		{"tag=manager", 44, "overlap"},
+		{"tag=department", 270, "overlap"},
+		{"tag=employee", 473, "no overlap"},
+		{"tag=email", 173, "no overlap"},
+		{"tag=name", 1002, "no overlap"},
+	}
+	out := make([]PredRow, 0, len(rows))
+	for _, r := range rows {
+		e := s.Catalog.MustGet(r.pred)
+		out = append(out, PredRow{
+			Name: r.pred, Count: e.Count(), NoOverlap: e.NoOverlap,
+			PaperCount: r.paperCount, PaperNote: r.paperNote,
+		})
+	}
+	return out
+}
+
+// QueryRow is one row of Table 2 or Table 4: every estimate the paper
+// tabulates for one simple anc//desc query, with measured times.
+type QueryRow struct {
+	Anc, Desc string // display names
+
+	Naive   float64 // product of cardinalities
+	DescNum int     // schema-only upper bound (no-overlap ancestors; 0 = N/A)
+
+	Overlap     float64 // primitive pH-Join estimate
+	OverlapTime time.Duration
+
+	NoOverlap     float64 // Fig 10 estimate (NaN column = N/A in paper)
+	NoOverlapTime time.Duration
+	HasNoOverlap  bool
+
+	Real int64
+
+	// Paper's reported values for side-by-side comparison (0 when the
+	// paper shows N/A).
+	PaperNaive, PaperOverlap, PaperNoOverlap, PaperReal float64
+}
+
+// table2Queries are the Table 2 query pairs with the paper's numbers.
+var table2Queries = []struct {
+	anc, desc                                 string
+	paperNaive, paperOv, paperNoOv, paperReal float64
+}{
+	{"tag=article", "tag=author", 305696366, 2415480, 14627, 14644},
+	{"tag=article", "tag=cdrom", 12684252, 4379, 112, 130},
+	{"tag=article", "tag=cite", 243792502, 671722, 3958, 5114},
+	{"tag=book", "tag=cdrom", 702576, 179, 4, 3},
+}
+
+// Table2 reproduces "Result Size Estimation for Simple Queries on DBLP
+// Data Set".
+func Table2() []QueryRow {
+	s := DBLP()
+	out := make([]QueryRow, 0, len(table2Queries))
+	for _, q := range table2Queries {
+		out = append(out, runQuery(s, q.anc, q.desc,
+			q.paperNaive, q.paperOv, q.paperNoOv, q.paperReal))
+	}
+	return out
+}
+
+// table4Queries are the Table 4 query pairs. A paperNoOv of 0 marks the
+// paper's N/A (ancestor may overlap).
+var table4Queries = []struct {
+	anc, desc                                 string
+	paperNaive, paperOv, paperNoOv, paperReal float64
+}{
+	{"tag=manager", "tag=department", 11880, 656, 0, 761},
+	{"tag=manager", "tag=employee", 20812, 1205, 0, 1395},
+	{"tag=manager", "tag=email", 7612, 429, 0, 491},
+	{"tag=department", "tag=employee", 127710, 2914, 0, 1663},
+	{"tag=department", "tag=email", 46710, 1082, 0, 473},
+	{"tag=employee", "tag=name", 473946, 8070, 559, 688},
+	{"tag=employee", "tag=email", 81829, 1391, 96, 99},
+}
+
+// Table4 reproduces "Synthetic Data Set: Result Size Estimation for
+// Simple Queries".
+func Table4() []QueryRow {
+	s := Hier()
+	out := make([]QueryRow, 0, len(table4Queries))
+	for _, q := range table4Queries {
+		out = append(out, runQuery(s, q.anc, q.desc,
+			q.paperNaive, q.paperOv, q.paperNoOv, q.paperReal))
+	}
+	return out
+}
+
+func runQuery(s *Setup, anc, desc string, paperNaive, paperOv, paperNoOv, paperReal float64) QueryRow {
+	ancE := s.Catalog.MustGet(anc)
+	descE := s.Catalog.MustGet(desc)
+	row := QueryRow{
+		Anc: displayName(anc), Desc: displayName(desc),
+		Naive:      float64(ancE.Count()) * float64(descE.Count()),
+		Real:       s.RealPairs(anc, desc),
+		PaperNaive: paperNaive, PaperOverlap: paperOv,
+		PaperNoOverlap: paperNoOv, PaperReal: paperReal,
+	}
+	if ancE.NoOverlap {
+		row.DescNum = descE.Count()
+	}
+	ov, err := s.Estimator.EstimatePairPrimitive(anc, desc)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	row.Overlap, row.OverlapTime = ov.Estimate, ov.Elapsed
+	if ancE.NoOverlap {
+		nv, err := s.Estimator.EstimatePair(anc, desc)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		row.NoOverlap, row.NoOverlapTime, row.HasNoOverlap = nv.Estimate, nv.Elapsed, true
+	}
+	return row
+}
+
+func displayName(pred string) string {
+	if len(pred) > 4 && pred[:4] == "tag=" {
+		return pred[4:]
+	}
+	return pred
+}
+
+// RunningExample reproduces the paper's faculty//TA walk-through
+// (Sections 2, 3.2, 4.2) on the exact Fig 1 document with 2×2 grids.
+type RunningExampleResult struct {
+	Naive, UpperBound, Primitive, NoOverlap, Real float64
+	// Paper's narrated values: 15, 5, 0.6, 1.9, 2.
+	PaperNaive, PaperUpperBound, PaperPrimitive, PaperNoOverlap, PaperReal float64
+}
+
+// RunExample computes the running example.
+func RunExample() (RunningExampleResult, error) {
+	tree := fig1Setup()
+	res := RunningExampleResult{
+		PaperNaive: 15, PaperUpperBound: 5, PaperPrimitive: 0.6,
+		PaperNoOverlap: 1.9, PaperReal: 2,
+	}
+	res.Naive = float64(len(tree.Catalog.MustGet("tag=faculty").Nodes) *
+		len(tree.Catalog.MustGet("tag=TA").Nodes))
+	res.UpperBound = float64(len(tree.Catalog.MustGet("tag=TA").Nodes))
+	res.Real = float64(tree.RealPairs("tag=faculty", "tag=TA"))
+	prim, err := tree.Estimator.EstimatePairPrimitive("tag=faculty", "tag=TA")
+	if err != nil {
+		return res, err
+	}
+	res.Primitive = prim.Estimate
+	noov, err := tree.Estimator.EstimatePair("tag=faculty", "tag=TA")
+	if err != nil {
+		return res, err
+	}
+	res.NoOverlap = noov.Estimate
+	return res, nil
+}
+
+var (
+	fig1Once sync.Once
+	fig1S    *Setup
+)
+
+func fig1Setup() *Setup {
+	fig1Once.Do(func() {
+		tree := xmltree.Fig1Document()
+		cat := predicate.NewCatalog(tree)
+		cat.AddAllTags()
+		est, err := core.NewEstimator(cat, core.Options{GridSize: 2})
+		if err != nil {
+			panic("experiments: fig1 estimator: " + err.Error())
+		}
+		fig1S = &Setup{Tree: tree, Catalog: cat, Estimator: est}
+	})
+	return fig1S
+}

@@ -1,0 +1,181 @@
+package histogram
+
+import (
+	"fmt"
+
+	"xmlest/internal/xmltree"
+)
+
+// cellKey packs a (i, j) grid cell into a map key. Grid sizes are far
+// below 1<<16.
+type cellKey uint32
+
+func key(i, j int) cellKey { return cellKey(uint32(i)<<16 | uint32(j)) }
+
+func (k cellKey) split() (int, int) { return int(k >> 16), int(k & 0xffff) }
+
+// Coverage is the coverage histogram of Section 4.2 for a predicate P
+// with the no-overlap property: Cvg[i][j][m][n] is the fraction of the
+// nodes in grid cell (i, j) (all nodes, the TRUE population) that are
+// descendants of some node satisfying P that falls in grid cell (m, n).
+//
+// Because P has no-overlap, every node has at most one P-ancestor among
+// maximal P-nodes, so for fixed (i, j) the fractions over all (m, n) sum
+// to at most 1.
+//
+// The structure is stored sparsely. Theorem 2 guarantees that only O(g)
+// cell pairs have partial (neither 0 nor 1) coverage; StorageBytes
+// reports the encoding size of the partial cells only, since full cells
+// are reconstructible from the position histogram (they lie strictly
+// inside a populated ancestor cell's guaranteed region).
+type Coverage struct {
+	grid Grid
+	// frac[v][a] = fraction of TRUE-nodes in cell v covered by P-nodes
+	// in cell a. Zero-fraction entries are not stored.
+	frac map[cellKey]map[cellKey]float64
+}
+
+// BuildCoverage constructs the exact coverage histogram for the
+// predicate whose satisfying nodes are given (sorted by start, as
+// catalog entries are). The predicate must have the no-overlap property;
+// BuildCoverage returns an error if a nested pair is encountered, since
+// coverage semantics (unique covering ancestor) would not hold.
+//
+// trueHist must be the TRUE histogram on the same grid; it supplies the
+// per-cell population denominators.
+func BuildCoverage(t *xmltree.Tree, pnodes []xmltree.NodeID, trueHist *Position) (*Coverage, error) {
+	grid := trueHist.Grid()
+	cov := &Coverage{grid: grid, frac: make(map[cellKey]map[cellKey]float64)}
+
+	counts := make(map[cellKey]map[cellKey]float64)
+	// Sweep all nodes in document (pre-order = start) order, maintaining
+	// the currently-open P-interval, if any. pnodes is start-sorted, so a
+	// single cursor suffices; no-overlap means at most one P-interval is
+	// open at a time.
+	cursor := 0
+	openEnd := -1
+	var openCell cellKey
+	for id := 1; id < len(t.Nodes); id++ {
+		n := &t.Nodes[id]
+		if n.Start > openEnd {
+			openEnd = -1
+		}
+		if cursor < len(pnodes) && pnodes[cursor] == xmltree.NodeID(id) {
+			p := t.Node(pnodes[cursor])
+			if openEnd >= 0 && p.End <= openEnd {
+				return nil, fmt.Errorf("histogram: BuildCoverage on overlapping predicate (node %d nested)", id)
+			}
+			openEnd = p.End
+			openCell = key(grid.Bucket(p.Start), grid.Bucket(p.End))
+			cursor++
+			continue // a P-node is not its own descendant
+		}
+		if openEnd >= 0 && n.End < openEnd {
+			v := key(grid.Bucket(n.Start), grid.Bucket(n.End))
+			m := counts[v]
+			if m == nil {
+				m = make(map[cellKey]float64)
+				counts[v] = m
+			}
+			m[openCell]++
+		}
+	}
+	for v, byA := range counts {
+		i, j := v.split()
+		pop := trueHist.Count(i, j)
+		if pop <= 0 {
+			continue
+		}
+		m := make(map[cellKey]float64, len(byA))
+		for a, c := range byA {
+			m[a] = c / pop
+		}
+		cov.frac[v] = m
+	}
+	return cov, nil
+}
+
+// NewCoverage returns an empty coverage histogram on the grid. It is
+// used by estimation code that propagates coverage across joins
+// (Fig 10 coverage-estimation formulas).
+func NewCoverage(grid Grid) *Coverage {
+	return &Coverage{grid: grid, frac: make(map[cellKey]map[cellKey]float64)}
+}
+
+// SetFrac sets Cvg[i][j][m][n]. Setting zero removes the entry.
+func (c *Coverage) SetFrac(i, j, m, n int, f float64) {
+	v := key(i, j)
+	if f == 0 {
+		if byA, ok := c.frac[v]; ok {
+			delete(byA, key(m, n))
+			if len(byA) == 0 {
+				delete(c.frac, v)
+			}
+		}
+		return
+	}
+	byA := c.frac[v]
+	if byA == nil {
+		byA = make(map[cellKey]float64)
+		c.frac[v] = byA
+	}
+	byA[key(m, n)] = f
+}
+
+// Grid returns the coverage histogram's grid.
+func (c *Coverage) Grid() Grid { return c.grid }
+
+// Frac returns Cvg[i][j][m][n]: the fraction of nodes in cell (i, j)
+// covered by P-nodes in cell (m, n).
+func (c *Coverage) Frac(i, j, m, n int) float64 {
+	byA, ok := c.frac[key(i, j)]
+	if !ok {
+		return 0
+	}
+	return byA[key(m, n)]
+}
+
+// CoveredFrac returns the total fraction of nodes in cell (i, j) that
+// are covered by any P node (the sum over all ancestor cells).
+func (c *Coverage) CoveredFrac(i, j int) float64 {
+	var s float64
+	for _, f := range c.frac[key(i, j)] {
+		s += f
+	}
+	return s
+}
+
+// EachFrac calls fn for every stored (non-zero) coverage entry.
+func (c *Coverage) EachFrac(fn func(i, j, m, n int, f float64)) {
+	for v, byA := range c.frac {
+		i, j := v.split()
+		for a, f := range byA {
+			m, n := a.split()
+			fn(i, j, m, n, f)
+		}
+	}
+}
+
+// PartialCells returns the number of stored cell pairs whose coverage is
+// strictly between 0 and 1 — the quantity Theorem 2 bounds by O(g).
+func (c *Coverage) PartialCells() int {
+	const eps = 1e-12
+	n := 0
+	for _, byA := range c.frac {
+		for _, f := range byA {
+			if f > eps && f < 1-eps {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Entries returns the total number of stored (non-zero) entries.
+func (c *Coverage) Entries() int {
+	n := 0
+	for _, byA := range c.frac {
+		n += len(byA)
+	}
+	return n
+}

@@ -1,0 +1,160 @@
+package histogram
+
+import (
+	"fmt"
+
+	"xmlest/internal/xmltree"
+)
+
+// Position is a position histogram (Section 3.1): cell (i, j) counts
+// the nodes satisfying a predicate whose start label falls in bucket i
+// and whose end label falls in bucket j. Because start < end for every
+// node, only cells with j >= i can be non-zero, and Lemma 1 further
+// forbids partially-overlapping cell patterns; Theorem 1 bounds the
+// number of non-zero cells by O(g).
+//
+// Counts are float64 because estimated histograms (the output of join
+// estimation and compound-predicate synthesis) are fractional.
+type Position struct {
+	grid  Grid
+	cells []float64 // row-major: cells[i*g+j]
+	total float64
+}
+
+// NewPosition returns an empty histogram on the given grid.
+func NewPosition(grid Grid) *Position {
+	g := grid.Size()
+	return &Position{grid: grid, cells: make([]float64, g*g)}
+}
+
+// BuildPosition constructs the position histogram of the given node list
+// over the grid. The node list is typically a catalog entry's satisfying
+// set.
+func BuildPosition(t *xmltree.Tree, nodes []xmltree.NodeID, grid Grid) *Position {
+	h := NewPosition(grid)
+	for _, id := range nodes {
+		n := t.Node(id)
+		h.Add(grid.Bucket(n.Start), grid.Bucket(n.End), 1)
+	}
+	return h
+}
+
+// BuildTrue constructs the histogram of the TRUE predicate — every node
+// in the tree except the dummy root. It is the normalization constant
+// for compound-predicate estimation and the population denominator for
+// coverage histograms.
+func BuildTrue(t *xmltree.Tree, grid Grid) *Position {
+	h := NewPosition(grid)
+	for id := 1; id < len(t.Nodes); id++ {
+		n := &t.Nodes[id]
+		h.Add(grid.Bucket(n.Start), grid.Bucket(n.End), 1)
+	}
+	return h
+}
+
+// Grid returns the histogram's grid.
+func (h *Position) Grid() Grid { return h.grid }
+
+// Count returns the count in cell (i, j).
+func (h *Position) Count(i, j int) float64 {
+	return h.cells[i*h.grid.Size()+j]
+}
+
+// Add adds v to cell (i, j). v may be negative (used by estimation
+// intermediaries); totals are maintained.
+func (h *Position) Add(i, j int, v float64) {
+	h.cells[i*h.grid.Size()+j] += v
+	h.total += v
+}
+
+// Set overwrites cell (i, j).
+func (h *Position) Set(i, j int, v float64) {
+	idx := i*h.grid.Size() + j
+	h.total += v - h.cells[idx]
+	h.cells[idx] = v
+}
+
+// Total returns the sum over all cells.
+func (h *Position) Total() float64 { return h.total }
+
+// NonZero returns the number of cells with a non-zero count (the
+// quantity Theorem 1 bounds by O(g)).
+func (h *Position) NonZero() int {
+	n := 0
+	for _, c := range h.cells {
+		if c != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (h *Position) Clone() *Position {
+	out := &Position{grid: h.grid, cells: make([]float64, len(h.cells)), total: h.total}
+	copy(out.cells, h.cells)
+	return out
+}
+
+// Scale multiplies every cell by f and returns the histogram for
+// chaining.
+func (h *Position) Scale(f float64) *Position {
+	for i := range h.cells {
+		h.cells[i] *= f
+	}
+	h.total *= f
+	return h
+}
+
+// EachNonZero calls fn for every non-zero cell in (i, j) order.
+func (h *Position) EachNonZero(fn func(i, j int, count float64)) {
+	g := h.grid.Size()
+	for i := 0; i < g; i++ {
+		for j := i; j < g; j++ {
+			if c := h.cells[i*g+j]; c != 0 {
+				fn(i, j, c)
+			}
+		}
+	}
+}
+
+// CheckLemma1 verifies Lemma 1 on a built histogram: a non-zero count in
+// cell (i, j) implies zero counts in (k, l) with i < k < j and j < l
+// (a node starting strictly inside the first node's span but ending
+// beyond it would partially overlap it), and symmetrically in (k, l)
+// with k < i and i < l < j. Estimated histograms need not satisfy the
+// lemma; built ones must. Returns an error naming the first violation.
+func (h *Position) CheckLemma1() error {
+	g := h.grid.Size()
+	var err error
+	h.EachNonZero(func(i, j int, _ float64) {
+		if err != nil {
+			return
+		}
+		for k := i + 1; k < j; k++ {
+			for l := j + 1; l < g; l++ {
+				if h.Count(k, l) != 0 {
+					err = fmt.Errorf("histogram: lemma 1 violated: (%d,%d) and (%d,%d) both non-zero", i, j, k, l)
+					return
+				}
+			}
+		}
+		for k := 0; k < i; k++ {
+			for l := i + 1; l < j; l++ {
+				if h.Count(k, l) != 0 {
+					err = fmt.Errorf("histogram: lemma 1 violated: (%d,%d) and (%d,%d) both non-zero", i, j, k, l)
+					return
+				}
+			}
+		}
+	})
+	return err
+}
+
+// validateJoinOperands checks that two histograms share a grid.
+func validateJoinOperands(a, b *Position) error {
+	if !a.grid.Equal(b.grid) {
+		return fmt.Errorf("histogram: operands have different grids (%d vs %d buckets)", a.grid.Size(), b.grid.Size())
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+// Package match computes exact answer sizes for twig patterns — the
+// ground truth the paper's estimates are compared against. A match is a
+// total mapping from pattern nodes to data nodes that satisfies every
+// node predicate and every structural edge (Section 2); the answer size
+// is the number of distinct mappings.
+//
+// The counter exploits the interval numbering: the descendants of a node
+// v are exactly the nodes whose start position lies in (start(v),
+// end(v)), and node lists sorted by start admit prefix-sum counting, so
+// a twig is counted in O(Σ |list| · log) time rather than by
+// enumeration.
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"xmlest/internal/pattern"
+	"xmlest/internal/xmltree"
+)
+
+// Resolver supplies the satisfying node list (sorted by start position)
+// for a pattern node's predicate name. Catalogs satisfy this signature.
+type Resolver func(predName string) ([]xmltree.NodeID, error)
+
+// CountPairs returns the exact number of (u, v) pairs with u from anc,
+// v from desc, and u an ancestor of v. Both lists must be sorted by
+// start position. Runs in O(|anc| log |desc|).
+func CountPairs(t *xmltree.Tree, anc, desc []xmltree.NodeID) int64 {
+	starts := make([]int, len(desc))
+	for i, id := range desc {
+		starts[i] = t.Node(id).Start
+	}
+	var total int64
+	for _, a := range anc {
+		n := t.Node(a)
+		lo := sort.SearchInts(starts, n.Start+1)
+		hi := sort.SearchInts(starts, n.End)
+		total += int64(hi - lo)
+	}
+	return total
+}
+
+// CountChildPairs returns the exact number of (u, v) pairs with v's
+// parent equal to u. Runs in O(|anc| + |desc|).
+func CountChildPairs(t *xmltree.Tree, anc, desc []xmltree.NodeID) int64 {
+	in := make(map[xmltree.NodeID]bool, len(anc))
+	for _, a := range anc {
+		in[a] = true
+	}
+	var total int64
+	for _, d := range desc {
+		if in[t.Node(d).Parent] {
+			total++
+		}
+	}
+	return total
+}
+
+// CountTwig returns the exact number of matches of the pattern in the
+// tree. Counts are returned as float64 because match counts are products
+// along twig branches and can exceed int64 on pathological inputs; for
+// all realistic workloads the value is integral and exact (< 2^53).
+func CountTwig(t *xmltree.Tree, p *pattern.Pattern, resolve Resolver) (float64, error) {
+	counts, nodes, err := countNode(t, p.Root, resolve)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for i := range nodes {
+		total += counts[i]
+	}
+	return total, nil
+}
+
+// countNode computes, for every data node v satisfying q's predicate,
+// the number of matches of the subtree rooted at q when q is mapped to
+// v. Returns parallel slices (counts, node ids sorted by start).
+func countNode(t *xmltree.Tree, q *pattern.Node, resolve Resolver) ([]float64, []xmltree.NodeID, error) {
+	nodes, err := resolve(q.PredName())
+	if err != nil {
+		return nil, nil, fmt.Errorf("match: %w", err)
+	}
+	counts := make([]float64, len(nodes))
+	for i := range counts {
+		counts[i] = 1
+	}
+	for _, qc := range q.Children {
+		childCounts, childNodes, err := countNode(t, qc, resolve)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch qc.Axis {
+		case pattern.Descendant:
+			// Prefix sums over the start-sorted child list let us sum
+			// child match counts inside (start(v), end(v)) in O(log n).
+			starts := make([]int, len(childNodes))
+			prefix := make([]float64, len(childNodes)+1)
+			for i, id := range childNodes {
+				starts[i] = t.Node(id).Start
+				prefix[i+1] = prefix[i] + childCounts[i]
+			}
+			for i, v := range nodes {
+				n := t.Node(v)
+				lo := sort.SearchInts(starts, n.Start+1)
+				hi := sort.SearchInts(starts, n.End)
+				counts[i] *= prefix[hi] - prefix[lo]
+			}
+		case pattern.Child:
+			byParent := make(map[xmltree.NodeID]float64, len(childNodes))
+			for i, id := range childNodes {
+				byParent[t.Node(id).Parent] += childCounts[i]
+			}
+			for i, v := range nodes {
+				counts[i] *= byParent[v]
+			}
+		}
+	}
+	return counts, nodes, nil
+}
+
+// BruteCount enumerates all total mappings recursively. It is
+// exponential and exists only to validate CountTwig on small trees in
+// tests.
+func BruteCount(t *xmltree.Tree, p *pattern.Pattern, resolve Resolver) (int64, error) {
+	var count func(q *pattern.Node, v xmltree.NodeID) (int64, error)
+	count = func(q *pattern.Node, v xmltree.NodeID) (int64, error) {
+		nodes, err := resolve(q.PredName())
+		if err != nil {
+			return 0, err
+		}
+		var total int64
+		for _, w := range nodes {
+			switch q.Axis {
+			case pattern.Descendant:
+				if !t.IsAncestor(v, w) {
+					continue
+				}
+			case pattern.Child:
+				if t.Node(w).Parent != v {
+					continue
+				}
+			}
+			prod := int64(1)
+			for _, qc := range q.Children {
+				c, err := count(qc, w)
+				if err != nil {
+					return 0, err
+				}
+				prod *= c
+			}
+			total += prod
+		}
+		return total, nil
+	}
+	return count(p.Root, t.Root())
+}
+
+// Participation returns, per pattern node (in pre-order), the number of
+// distinct data nodes that appear in at least one match at that pattern
+// node. This is the quantity the paper's participation-estimation
+// formulas (Fig 10) approximate.
+func Participation(t *xmltree.Tree, p *pattern.Pattern, resolve Resolver) ([]int64, error) {
+	// A data node participates at pattern node q iff (a) the subtree of
+	// q rooted at it has at least one match (downward), and (b) some
+	// chain of ancestors matches the pattern path above q (upward).
+	// Compute downward counts first, then propagate upward viability.
+	type nodeInfo struct {
+		q      *pattern.Node
+		nodes  []xmltree.NodeID
+		counts []float64
+		viable []bool
+	}
+	var infos []*nodeInfo
+	var build func(q *pattern.Node) (*nodeInfo, error)
+	build = func(q *pattern.Node) (*nodeInfo, error) {
+		nodes, err := resolve(q.PredName())
+		if err != nil {
+			return nil, err
+		}
+		info := &nodeInfo{q: q, nodes: nodes, counts: make([]float64, len(nodes)), viable: make([]bool, len(nodes))}
+		for i := range info.counts {
+			info.counts[i] = 1
+		}
+		infos = append(infos, info)
+		for _, qc := range q.Children {
+			child, err := build(qc)
+			if err != nil {
+				return nil, err
+			}
+			starts := make([]int, len(child.nodes))
+			prefix := make([]float64, len(child.nodes)+1)
+			byParent := make(map[xmltree.NodeID]float64, len(child.nodes))
+			for i, id := range child.nodes {
+				starts[i] = t.Node(id).Start
+				prefix[i+1] = prefix[i] + child.counts[i]
+				if qc.Axis == pattern.Child {
+					byParent[t.Node(id).Parent] += child.counts[i]
+				}
+			}
+			for i, v := range nodes {
+				n := t.Node(v)
+				var s float64
+				if qc.Axis == pattern.Descendant {
+					lo := sort.SearchInts(starts, n.Start+1)
+					hi := sort.SearchInts(starts, n.End)
+					s = prefix[hi] - prefix[lo]
+				} else {
+					s = byParent[v]
+				}
+				info.counts[i] *= s
+			}
+		}
+		return info, nil
+	}
+	// infos is built in the same pre-order as pattern.Nodes().
+	rootInfo, err := build(p.Root)
+	if err != nil {
+		return nil, fmt.Errorf("match: %w", err)
+	}
+	for i := range rootInfo.nodes {
+		rootInfo.viable[i] = rootInfo.counts[i] > 0
+	}
+	// Propagate viability down the pattern: a data node w participates
+	// at child pattern node qc iff its own subtree count is positive and
+	// some viable parent-pattern data node relates to it structurally.
+	idx := map[*pattern.Node]*nodeInfo{}
+	for _, info := range infos {
+		idx[info.q] = info
+	}
+	var propagate func(q *pattern.Node)
+	propagate = func(q *pattern.Node) {
+		info := idx[q]
+		for _, qc := range q.Children {
+			child := idx[qc]
+			switch qc.Axis {
+			case pattern.Descendant:
+				// Merge viable parent intervals, then test containment.
+				var ivs [][2]int
+				for i, v := range info.nodes {
+					if info.viable[i] {
+						n := t.Node(v)
+						ivs = append(ivs, [2]int{n.Start, n.End})
+					}
+				}
+				merged := mergeIntervals(ivs)
+				for i, w := range child.nodes {
+					if child.counts[i] <= 0 {
+						continue
+					}
+					if insideAny(merged, t.Node(w).Start) {
+						child.viable[i] = true
+					}
+				}
+			case pattern.Child:
+				viableParent := make(map[xmltree.NodeID]bool)
+				for i, v := range info.nodes {
+					if info.viable[i] {
+						viableParent[v] = true
+					}
+				}
+				for i, w := range child.nodes {
+					if child.counts[i] > 0 && viableParent[t.Node(w).Parent] {
+						child.viable[i] = true
+					}
+				}
+			}
+			propagate(qc)
+		}
+	}
+	propagate(p.Root)
+	out := make([]int64, len(infos))
+	for i, info := range infos {
+		var n int64
+		for _, ok := range info.viable {
+			if ok {
+				n++
+			}
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+func mergeIntervals(ivs [][2]int) [][2]int {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+	out := [][2]int{ivs[0]}
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv[0] <= last[1] {
+			if iv[1] > last[1] {
+				last[1] = iv[1]
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+func insideAny(merged [][2]int, pos int) bool {
+	i := sort.Search(len(merged), func(i int) bool { return merged[i][1] >= pos })
+	return i < len(merged) && merged[i][0] < pos && pos < merged[i][1]
+}

@@ -1,0 +1,154 @@
+package match
+
+import (
+	"sort"
+
+	"xmlest/internal/pattern"
+	"xmlest/internal/xmltree"
+)
+
+// This file provides execution (not just counting): a stack-based
+// structural join producing the actual (ancestor, descendant) pairs,
+// and bounded twig-match enumeration. The estimator predicts the sizes
+// of exactly these outputs; the feedback example uses enumeration with
+// a limit to model "first page of results plus a total prediction".
+
+// Pair is one (ancestor, descendant) result of a structural join.
+type Pair struct {
+	Anc, Desc xmltree.NodeID
+}
+
+// StructuralJoin computes all pairs (u, v) with u from anc, v from
+// desc, u a proper ancestor of v — the stack-tree structural join. Both
+// input lists must be sorted by start position (catalog entries are).
+// The output is sorted by (descendant start, ancestor start). Runs in
+// O(|anc| + |desc| + |output|).
+func StructuralJoin(t *xmltree.Tree, anc, desc []xmltree.NodeID) []Pair {
+	var out []Pair
+	var stack []xmltree.NodeID
+	ai := 0
+	for _, d := range desc {
+		dn := t.Node(d)
+		// Push ancestors that start before d.
+		for ai < len(anc) && t.Node(anc[ai]).Start < dn.Start {
+			a := anc[ai]
+			ai++
+			// Pop ancestors that end before this one starts; they can
+			// cover no further descendants either.
+			for len(stack) > 0 && t.Node(stack[len(stack)-1]).End < t.Node(a).Start {
+				stack = stack[:len(stack)-1]
+			}
+			stack = append(stack, a)
+		}
+		// Pop ancestors that end before d starts.
+		for len(stack) > 0 && t.Node(stack[len(stack)-1]).End < dn.Start {
+			stack = stack[:len(stack)-1]
+		}
+		// Every remaining stack entry contains d (stack entries nest).
+		for _, a := range stack {
+			if t.Node(a).End > dn.End {
+				out = append(out, Pair{Anc: a, Desc: d})
+			}
+		}
+	}
+	return out
+}
+
+// Match is one twig match: the data node assigned to each pattern node,
+// indexed in pattern pre-order.
+type Match []xmltree.NodeID
+
+// FindTwigMatches enumerates up to limit matches of the pattern
+// (limit <= 0 means all). Matches are produced in document order of the
+// root assignment. The total count is available separately through
+// CountTwig; together they model an online query interface that shows
+// the first page while predicting the total.
+func FindTwigMatches(t *xmltree.Tree, p *pattern.Pattern, resolve Resolver, limit int) ([]Match, error) {
+	nodes := p.Nodes()
+	index := make(map[*pattern.Node]int, len(nodes))
+	for i, q := range nodes {
+		index[q] = i
+	}
+	lists := make(map[*pattern.Node][]xmltree.NodeID, len(nodes))
+	for _, q := range nodes {
+		l, err := resolve(q.PredName())
+		if err != nil {
+			return nil, err
+		}
+		lists[q] = l
+	}
+
+	var out []Match
+	cur := make(Match, len(nodes))
+	full := func() bool { return limit > 0 && len(out) >= limit }
+
+	// assign maps pattern node q to each candidate under the structural
+	// constraint from its parent assignment, then recurses across the
+	// pattern in pre-order.
+	var assign func(qi int) bool // returns false to stop enumeration
+	assign = func(qi int) bool {
+		if qi == len(nodes) {
+			m := make(Match, len(cur))
+			copy(m, cur)
+			out = append(out, m)
+			return !full()
+		}
+		q := nodes[qi]
+		cands := lists[q]
+		if qi > 0 {
+			parent := findParent(p, q)
+			pv := cur[index[parent]]
+			pn := t.Node(pv)
+			switch q.Axis {
+			case pattern.Descendant:
+				// Candidates are start-sorted; binary search the window
+				// of descendants of pv.
+				lo := sort.Search(len(cands), func(i int) bool {
+					return t.Node(cands[i]).Start > pn.Start
+				})
+				hi := sort.Search(len(cands), func(i int) bool {
+					return t.Node(cands[i]).Start >= pn.End
+				})
+				cands = cands[lo:hi]
+			case pattern.Child:
+				filtered := make([]xmltree.NodeID, 0, 4)
+				for c := pn.FirstChild; c != xmltree.InvalidNode; c = t.Node(c).NextSibling {
+					// Children are few; test membership via the node's
+					// own predicate result using the sorted list.
+					if containsID(t, cands, c) {
+						filtered = append(filtered, c)
+					}
+				}
+				cands = filtered
+			}
+		}
+		for _, v := range cands {
+			cur[qi] = v
+			if !assign(qi + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	assign(0)
+	return out, nil
+}
+
+// findParent locates q's parent pattern node.
+func findParent(p *pattern.Pattern, q *pattern.Node) *pattern.Node {
+	for _, e := range p.Edges() {
+		if e[1] == q {
+			return e[0]
+		}
+	}
+	return nil
+}
+
+// containsID reports membership of id in a start-sorted node list.
+func containsID(t *xmltree.Tree, sorted []xmltree.NodeID, id xmltree.NodeID) bool {
+	want := t.Node(id).Start
+	i := sort.Search(len(sorted), func(i int) bool {
+		return t.Node(sorted[i]).Start >= want
+	})
+	return i < len(sorted) && sorted[i] == id
+}

@@ -1,0 +1,48 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds the parser random byte soup built from the
+// grammar's alphabet: it must return a pattern or an error, never
+// panic, and any returned pattern must re-render and re-parse.
+func TestParseNeverPanics(t *testing.T) {
+	alphabet := []byte("/[]{}.*ab@-_0'x ")
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+				t.Logf("seed %d panicked: %v", seed, r)
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		src := string(buf)
+		p, err := Parse(src)
+		if err != nil {
+			return true
+		}
+		// Valid parse: the rendered form must re-parse to the same size.
+		rendered := (&Pattern{Root: p.Root}).String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Logf("seed %d: %q parsed but render %q did not: %v", seed, src, rendered, err)
+			return false
+		}
+		if p2.Size() != p.Size() {
+			t.Logf("seed %d: size changed across render round trip", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

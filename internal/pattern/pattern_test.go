@@ -1,0 +1,132 @@
+package pattern
+
+import "testing"
+
+func TestParseChain(t *testing.T) {
+	p := MustParse("//faculty//TA")
+	if p.Size() != 2 {
+		t.Fatalf("size = %d, want 2", p.Size())
+	}
+	if p.Root.Test != "faculty" || p.Root.Axis != Descendant {
+		t.Errorf("root = %q %v", p.Root.Test, p.Root.Axis)
+	}
+	c := p.Root.Children[0]
+	if c.Test != "TA" || c.Axis != Descendant {
+		t.Errorf("child = %q %v", c.Test, c.Axis)
+	}
+	if !p.IsPath() {
+		t.Errorf("chain should be a path")
+	}
+}
+
+func TestParseChildAxis(t *testing.T) {
+	p := MustParse("//department/faculty")
+	c := p.Root.Children[0]
+	if c.Axis != Child {
+		t.Errorf("axis = %v, want Child", c.Axis)
+	}
+}
+
+func TestParseTwig(t *testing.T) {
+	p := MustParse("//department//faculty[.//TA][.//RA]")
+	if p.Size() != 4 {
+		t.Fatalf("size = %d, want 4", p.Size())
+	}
+	if p.IsPath() {
+		t.Errorf("twig is not a path")
+	}
+	fac := p.Root.Children[0]
+	if fac.Test != "faculty" || len(fac.Children) != 2 {
+		t.Fatalf("faculty node wrong: %q, %d children", fac.Test, len(fac.Children))
+	}
+	if fac.Children[0].Test != "TA" || fac.Children[1].Test != "RA" {
+		t.Errorf("twig children = %q, %q", fac.Children[0].Test, fac.Children[1].Test)
+	}
+	if got := len(p.Edges()); got != 3 {
+		t.Errorf("edges = %d, want 3", got)
+	}
+}
+
+func TestParseQualifierThenStep(t *testing.T) {
+	p := MustParse("//a[.//b]//c")
+	if p.Size() != 3 {
+		t.Fatalf("size = %d, want 3", p.Size())
+	}
+	if len(p.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(p.Root.Children))
+	}
+	if p.Root.Children[0].Test != "b" || p.Root.Children[1].Test != "c" {
+		t.Errorf("children = %q %q", p.Root.Children[0].Test, p.Root.Children[1].Test)
+	}
+}
+
+func TestParseNestedQualifier(t *testing.T) {
+	p := MustParse("//a[.//b[.//c]]//d")
+	if p.Size() != 4 {
+		t.Fatalf("size = %d, want 4", p.Size())
+	}
+	b := p.Root.Children[0]
+	if b.Test != "b" || len(b.Children) != 1 || b.Children[0].Test != "c" {
+		t.Errorf("nested qualifier mis-parsed: %+v", b)
+	}
+}
+
+func TestPredName(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"//faculty", "tag=faculty"},
+		{"//*", "TRUE"},
+		{"//{1990's}", "1990's"},
+		{"//@id", "tag=@id"},
+	}
+	for _, c := range cases {
+		p := MustParse(c.src)
+		if got := p.Root.PredName(); got != c.want {
+			t.Errorf("%s: PredName = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"faculty",
+		"//",
+		"//a[",
+		"//a[.//b",
+		"//a]",
+		"//a//",
+		"//{}",
+		"//{unclosed",
+		"//a xx",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"//faculty//TA",
+		"//department/faculty",
+		"//department//faculty[.//TA][.//RA]",
+		"//article//{1990's}",
+	}
+	for _, src := range srcs {
+		p := MustParse(src)
+		if p.String() != src {
+			t.Errorf("String() = %q, want %q", p.String(), src)
+		}
+		// Reconstructed form (without source) must re-parse to the same shape.
+		q := &Pattern{Root: p.Root}
+		rp, err := Parse(q.String())
+		if err != nil {
+			t.Errorf("re-parse %q: %v", q.String(), err)
+			continue
+		}
+		if rp.Size() != p.Size() {
+			t.Errorf("re-parse size = %d, want %d", rp.Size(), p.Size())
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package planner
+
+import (
+	"testing"
+
+	"xmlest/internal/core"
+	"xmlest/internal/datagen"
+	"xmlest/internal/pattern"
+	"xmlest/internal/predicate"
+	"xmlest/internal/xmltree"
+)
+
+func fig1Estimator(t *testing.T) *core.Estimator {
+	t.Helper()
+	tr := xmltree.Fig1Document()
+	cat := predicate.NewCatalog(tr)
+	cat.AddAllTags()
+	est, err := core.NewEstimator(cat, core.Options{GridSize: 4})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	return est
+}
+
+func TestEnumerateFig2Twig(t *testing.T) {
+	est := fig1Estimator(t)
+	p := pattern.MustParse("//department//faculty[.//TA][.//RA]")
+	plans, err := Enumerate(est, p)
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	if len(plans) < 2 {
+		t.Fatalf("want multiple plans, got %d", len(plans))
+	}
+	// Costs must be ascending and every plan must join all 4 nodes.
+	for i, pl := range plans {
+		if len(pl.Steps) != 4 {
+			t.Errorf("plan %d has %d steps, want 4", i, len(pl.Steps))
+		}
+		if i > 0 && pl.Cost < plans[i-1].Cost {
+			t.Errorf("plans not sorted by cost at %d", i)
+		}
+		if pl.Cost < 0 {
+			t.Errorf("negative cost %v", pl.Cost)
+		}
+	}
+	best, err := Best(est, p)
+	if err != nil {
+		t.Fatalf("Best: %v", err)
+	}
+	if best.Cost != plans[0].Cost {
+		t.Errorf("Best cost %v != first enumerated %v", best.Cost, plans[0].Cost)
+	}
+	if best.String() == "" {
+		t.Errorf("empty plan string")
+	}
+}
+
+func TestEnumerateConnectedPrefixesOnly(t *testing.T) {
+	est := fig1Estimator(t)
+	p := pattern.MustParse("//department//faculty//TA")
+	plans, err := Enumerate(est, p)
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	// For a 3-chain a-b-c the connected left-deep orders are:
+	// abc, acb?? (a,c not adjacent) -> invalid. Valid: abc, bac, bca, cba.
+	if len(plans) != 4 {
+		t.Errorf("3-chain plans = %d, want 4", len(plans))
+	}
+	for _, pl := range plans {
+		seen := map[*pattern.Node]bool{pl.Steps[0].Added: true}
+		parent := map[*pattern.Node]*pattern.Node{}
+		for _, e := range p.Edges() {
+			parent[e[1]] = e[0]
+		}
+		for _, s := range pl.Steps[1:] {
+			adjacent := false
+			for n := range seen {
+				if parent[s.Added] == n || parent[n] == s.Added {
+					adjacent = true
+				}
+			}
+			if !adjacent {
+				t.Errorf("plan step joins non-adjacent node %s", s.Added.Test)
+			}
+			seen[s.Added] = true
+		}
+	}
+}
+
+func TestPlannerPrefersSelectiveFirstJoin(t *testing.T) {
+	// department//employee//email on the hierarchical data: joining the
+	// rare email first should be no more expensive than the plan that
+	// materializes the large department//employee intermediate first.
+	tr := datagen.GenerateHier(datagen.DefaultHierConfig)
+	cat := datagen.HierCatalog(tr)
+	est, err := core.NewEstimator(cat, core.Options{GridSize: 10})
+	if err != nil {
+		t.Fatalf("NewEstimator: %v", err)
+	}
+	p := pattern.MustParse("//department//employee//email")
+	plans, err := Enumerate(est, p)
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	best, worst := plans[0], plans[len(plans)-1]
+	if best.Cost > worst.Cost {
+		t.Fatalf("sorted order broken")
+	}
+	if worst.Cost <= best.Cost {
+		t.Skipf("all plans tie on this data (cost %v)", best.Cost)
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	est := fig1Estimator(t)
+	if _, err := Enumerate(est, pattern.MustParse("//faculty")); err == nil {
+		t.Errorf("single-node pattern: want error")
+	}
+	if _, err := Enumerate(est, pattern.MustParse("//nosuch//TA")); err == nil {
+		t.Errorf("missing predicate: want error")
+	}
+	big := pattern.MustParse("//a//b//c//d//e//f//g//h//i")
+	if _, err := Enumerate(est, big); err == nil {
+		t.Errorf("oversized pattern: want error")
+	}
+}

@@ -1,0 +1,142 @@
+package predicate
+
+import (
+	"fmt"
+	"sort"
+
+	"xmlest/internal/xmltree"
+)
+
+// Entry is the materialized form of one predicate over one tree: the
+// sorted list of satisfying nodes and the detected overlap property.
+type Entry struct {
+	Pred Predicate
+
+	// Nodes holds the ids of all satisfying nodes, sorted by start
+	// position (document order).
+	Nodes []xmltree.NodeID
+
+	// NoOverlap reports Definition 2: no two satisfying nodes are in an
+	// ancestor-descendant relationship. It is detected from the data;
+	// a schema could assert it a priori, with identical downstream
+	// behaviour.
+	NoOverlap bool
+}
+
+// Count returns the number of satisfying nodes.
+func (e *Entry) Count() int { return len(e.Nodes) }
+
+// Catalog maps predicate names to materialized entries over a fixed
+// tree. It corresponds to the paper's "set P of basic predicates" plus
+// the index structures that identify the node lists for each.
+type Catalog struct {
+	Tree    *xmltree.Tree
+	entries map[string]*Entry
+	order   []string // registration order, for stable reporting
+}
+
+// NewCatalog creates an empty catalog over the tree.
+func NewCatalog(t *xmltree.Tree) *Catalog {
+	return &Catalog{Tree: t, entries: make(map[string]*Entry)}
+}
+
+// Add materializes the predicate and registers it under pred.Name().
+// Registering the same name twice replaces the entry. It returns the
+// new entry.
+func (c *Catalog) Add(pred Predicate) *Entry {
+	var nodes []xmltree.NodeID
+	// Fast path: pure tag predicates read the postings list directly.
+	if tp, ok := pred.(Tag); ok {
+		src := c.Tree.NodesWithTag(tp.Value)
+		nodes = make([]xmltree.NodeID, len(src))
+		copy(nodes, src)
+	} else {
+		for id := xmltree.NodeID(1); int(id) < len(c.Tree.Nodes); id++ {
+			if pred.Eval(c.Tree, id) {
+				nodes = append(nodes, id)
+			}
+		}
+	}
+	e := &Entry{Pred: pred, Nodes: nodes, NoOverlap: noOverlap(c.Tree, nodes)}
+	if _, exists := c.entries[pred.Name()]; !exists {
+		c.order = append(c.order, pred.Name())
+	}
+	c.entries[pred.Name()] = e
+	return e
+}
+
+// AddAllTags registers a Tag predicate for every distinct element tag in
+// the tree (the paper: "build a histogram on each one of these distinct
+// element tags"). Attribute pseudo-tags ("@...") are included; the dummy
+// root tag is not a real tag and never appears. It returns the number of
+// predicates added.
+func (c *Catalog) AddAllTags() int {
+	tags := c.Tree.Tags()
+	for _, tag := range tags {
+		c.Add(Tag{Value: tag})
+	}
+	return len(tags)
+}
+
+// Get returns the entry registered under the given name, or an error
+// naming the missing predicate.
+func (c *Catalog) Get(name string) (*Entry, error) {
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("predicate: no entry %q in catalog", name)
+	}
+	return e, nil
+}
+
+// MustGet is Get for callers that registered the predicate themselves.
+func (c *Catalog) MustGet(name string) *Entry {
+	e, err := c.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Has reports whether a predicate with the given name is registered.
+func (c *Catalog) Has(name string) bool {
+	_, ok := c.entries[name]
+	return ok
+}
+
+// Names returns the registered predicate names in registration order.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Len returns the number of registered predicates.
+func (c *Catalog) Len() int { return len(c.entries) }
+
+// noOverlap detects Definition 2 in O(n) over a start-sorted node list:
+// scanning in document order with a stack of currently open satisfying
+// intervals, a node that begins before the top of the stack ends is
+// nested inside another satisfying node.
+func noOverlap(t *xmltree.Tree, nodes []xmltree.NodeID) bool {
+	var stack []int // end positions of open satisfying intervals
+	for _, id := range nodes {
+		n := t.Node(id)
+		for len(stack) > 0 && stack[len(stack)-1] < n.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			return false
+		}
+		stack = append(stack, n.End)
+	}
+	return true
+}
+
+// Sorted checks that a node list is sorted by start position; catalogs
+// produce sorted lists by construction, and downstream algorithms
+// (exact matching, histogram building) rely on it.
+func Sorted(t *xmltree.Tree, nodes []xmltree.NodeID) bool {
+	return sort.SliceIsSorted(nodes, func(i, j int) bool {
+		return t.Node(nodes[i]).Start < t.Node(nodes[j]).Start
+	})
+}

@@ -1,0 +1,153 @@
+// Package predicate implements the paper's predicate framework
+// (Section 3.4): element-tag predicates, element-content predicates
+// (exact, prefix, suffix, contains, numeric range), and boolean
+// compositions, together with a Catalog that materializes, per
+// predicate, the sorted list of satisfying nodes and detects the
+// no-overlap property (Definition 2).
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xmlest/internal/xmltree"
+)
+
+// Predicate is a boolean node predicate over a tree.
+type Predicate interface {
+	// Name is a stable, human-readable identifier used as the
+	// histogram key (for example, `tag=faculty` or `text^=conf`).
+	Name() string
+
+	// Eval reports whether the node satisfies the predicate.
+	Eval(t *xmltree.Tree, id xmltree.NodeID) bool
+}
+
+// Tag matches nodes whose element tag equals Value ("element-tag
+// predicates" in the paper).
+type Tag struct{ Value string }
+
+func (p Tag) Name() string { return "tag=" + p.Value }
+func (p Tag) Eval(t *xmltree.Tree, id xmltree.NodeID) bool {
+	return t.Node(id).Tag == p.Value
+}
+
+// ContentEquals matches nodes whose text content equals Value exactly.
+type ContentEquals struct{ Value string }
+
+func (p ContentEquals) Name() string { return "text=" + p.Value }
+func (p ContentEquals) Eval(t *xmltree.Tree, id xmltree.NodeID) bool {
+	return t.Node(id).Text == p.Value
+}
+
+// ContentPrefix matches nodes whose text content starts with Value (the
+// paper builds such predicates on the `cite` content, e.g. "conf",
+// "journals").
+type ContentPrefix struct{ Value string }
+
+func (p ContentPrefix) Name() string { return "text^=" + p.Value }
+func (p ContentPrefix) Eval(t *xmltree.Tree, id xmltree.NodeID) bool {
+	return strings.HasPrefix(t.Node(id).Text, p.Value)
+}
+
+// ContentSuffix matches nodes whose text content ends with Value.
+type ContentSuffix struct{ Value string }
+
+func (p ContentSuffix) Name() string { return "text$=" + p.Value }
+func (p ContentSuffix) Eval(t *xmltree.Tree, id xmltree.NodeID) bool {
+	return strings.HasSuffix(t.Node(id).Text, p.Value)
+}
+
+// ContentContains matches nodes whose text content contains Value.
+type ContentContains struct{ Value string }
+
+func (p ContentContains) Name() string { return "text*=" + p.Value }
+func (p ContentContains) Eval(t *xmltree.Tree, id xmltree.NodeID) bool {
+	return strings.Contains(t.Node(id).Text, p.Value)
+}
+
+// NumericRange matches nodes whose text content parses as a number in
+// [Lo, Hi] (used for year-style element-content predicates).
+type NumericRange struct{ Lo, Hi float64 }
+
+func (p NumericRange) Name() string {
+	return fmt.Sprintf("num[%v,%v]", p.Lo, p.Hi)
+}
+func (p NumericRange) Eval(t *xmltree.Tree, id xmltree.NodeID) bool {
+	v, err := strconv.ParseFloat(strings.TrimSpace(t.Node(id).Text), 64)
+	return err == nil && v >= p.Lo && v <= p.Hi
+}
+
+// TagContent matches on both the tag and an exact content value, e.g.
+// year=1990. The paper builds one primitive histogram per year value.
+type TagContent struct{ Tag, Value string }
+
+func (p TagContent) Name() string { return "tag=" + p.Tag + "&text=" + p.Value }
+func (p TagContent) Eval(t *xmltree.Tree, id xmltree.NodeID) bool {
+	n := t.Node(id)
+	return n.Tag == p.Tag && n.Text == p.Value
+}
+
+// True matches every node. Its position histogram is the normalization
+// constant the paper uses to convert counts to probabilities when
+// estimating histograms for compound predicates.
+type True struct{}
+
+func (True) Name() string                            { return "TRUE" }
+func (True) Eval(*xmltree.Tree, xmltree.NodeID) bool { return true }
+
+// And matches nodes satisfying all parts.
+type And struct{ Parts []Predicate }
+
+func (p And) Name() string { return compositeName("AND", p.Parts) }
+func (p And) Eval(t *xmltree.Tree, id xmltree.NodeID) bool {
+	for _, q := range p.Parts {
+		if !q.Eval(t, id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Or matches nodes satisfying at least one part. The paper's compound
+// predicates "1980's" and "1990's" are Or over ten per-year primitives.
+type Or struct{ Parts []Predicate }
+
+func (p Or) Name() string { return compositeName("OR", p.Parts) }
+func (p Or) Eval(t *xmltree.Tree, id xmltree.NodeID) bool {
+	for _, q := range p.Parts {
+		if q.Eval(t, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Not matches nodes that do not satisfy the inner predicate.
+type Not struct{ Inner Predicate }
+
+func (p Not) Name() string { return "NOT(" + p.Inner.Name() + ")" }
+func (p Not) Eval(t *xmltree.Tree, id xmltree.NodeID) bool {
+	return !p.Inner.Eval(t, id)
+}
+
+// Named wraps a predicate with an explicit display name, so catalogs can
+// expose paper-style names such as "1990's" for compound predicates.
+type Named struct {
+	Alias string
+	Inner Predicate
+}
+
+func (p Named) Name() string { return p.Alias }
+func (p Named) Eval(t *xmltree.Tree, id xmltree.NodeID) bool {
+	return p.Inner.Eval(t, id)
+}
+
+func compositeName(op string, parts []Predicate) string {
+	names := make([]string, len(parts))
+	for i, p := range parts {
+		names[i] = p.Name()
+	}
+	return op + "(" + strings.Join(names, ",") + ")"
+}

@@ -1,0 +1,248 @@
+// Package stream builds position histograms directly from an XML byte
+// stream without materializing the document tree — the ingest path for
+// databases whose documents exceed memory. The estimator consumes only
+// (start, end, depth, tag, text) events, all of which a single SAX-style
+// pass produces with memory bounded by document depth.
+//
+// Grid construction needs the maximum position label before counts can
+// be bucketed, so building is two passes over the input: pass one
+// counts elements (two labels per element), pass two assigns labels
+// with the same deterministic numbering as xmltree and feeds each
+// histogram builder. Callers supply an openable source so the stream
+// can be read twice.
+package stream
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"xmlest/internal/histogram"
+	"xmlest/internal/predicate"
+	"xmlest/internal/xmltree"
+)
+
+// Source re-opens the XML input for each pass.
+type Source func() (io.ReadCloser, error)
+
+// Event is one fully-numbered element delivered during the streaming
+// pass, matching the labels xmltree.Parse would assign.
+type Event struct {
+	Tag   string
+	Text  string
+	Start int
+	End   int
+	Depth int
+}
+
+// EventPredicate decides predicate membership from a streamed event
+// (tree-based predicates cannot apply: there is no tree). Element-tag
+// and content predicates translate directly.
+type EventPredicate interface {
+	Name() string
+	Matches(ev *Event) bool
+}
+
+// TagPred matches an element tag.
+type TagPred struct{ Tag string }
+
+func (p TagPred) Name() string           { return "tag=" + p.Tag }
+func (p TagPred) Matches(ev *Event) bool { return ev.Tag == p.Tag }
+
+// ContentPrefixPred matches a text prefix under an optional tag.
+type ContentPrefixPred struct {
+	Alias  string
+	Tag    string // "" = any tag
+	Prefix string
+}
+
+func (p ContentPrefixPred) Name() string { return p.Alias }
+func (p ContentPrefixPred) Matches(ev *Event) bool {
+	if p.Tag != "" && ev.Tag != p.Tag {
+		return false
+	}
+	return strings.HasPrefix(ev.Text, p.Prefix)
+}
+
+// FuncPred adapts an arbitrary function.
+type FuncPred struct {
+	Alias string
+	Fn    func(ev *Event) bool
+}
+
+func (p FuncPred) Name() string           { return p.Alias }
+func (p FuncPred) Matches(ev *Event) bool { return p.Fn(ev) }
+
+// Result is the output of a streaming build.
+type Result struct {
+	// Hists maps predicate names to their position histograms; the
+	// TRUE histogram is under "TRUE".
+	Hists map[string]*histogram.Position
+	// Grid is the shared grid.
+	Grid histogram.Grid
+	// Nodes is the element count (excluding the dummy root).
+	Nodes int
+	// MaxDepth is the deepest element seen.
+	MaxDepth int
+}
+
+// Build scans the source twice and returns the histograms of the given
+// predicates plus the TRUE histogram, on a uniform gridSize×gridSize
+// grid. Memory use is O(depth + g² per predicate); the document tree is
+// never materialized.
+func Build(src Source, gridSize int, preds []EventPredicate) (*Result, error) {
+	for _, p := range preds {
+		if p.Name() == "TRUE" {
+			return nil, fmt.Errorf("stream: the TRUE histogram is built automatically")
+		}
+	}
+	// Pass 1: count elements to fix the position space.
+	elements, err := countElements(src)
+	if err != nil {
+		return nil, err
+	}
+	// Positions mirror xmltree.Builder: dummy root takes label 0 and
+	// the final label, each element takes two labels.
+	maxPos := 2*elements + 2
+	grid, err := histogram.NewUniformGrid(gridSize, maxPos)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	res := &Result{
+		Hists: make(map[string]*histogram.Position, len(preds)+1),
+		Grid:  grid,
+	}
+	trueHist := histogram.NewPosition(grid)
+	res.Hists["TRUE"] = trueHist
+	for _, p := range preds {
+		if _, dup := res.Hists[p.Name()]; dup {
+			return nil, fmt.Errorf("stream: duplicate predicate %q", p.Name())
+		}
+		res.Hists[p.Name()] = histogram.NewPosition(grid)
+	}
+
+	// Pass 2: number elements and feed the histograms.
+	err = scan(src, func(ev *Event) {
+		res.Nodes++
+		if ev.Depth > res.MaxDepth {
+			res.MaxDepth = ev.Depth
+		}
+		i, j := grid.Bucket(ev.Start), grid.Bucket(ev.End)
+		trueHist.Add(i, j, 1)
+		for _, p := range preds {
+			if p.Matches(ev) {
+				res.Hists[p.Name()].Add(i, j, 1)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// countElements is pass one.
+func countElements(src Source) (int, error) {
+	r, err := src()
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	dec := xml.NewDecoder(r)
+	n := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("stream: pass 1: %w", err)
+		}
+		if _, ok := tok.(xml.StartElement); ok {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// scan is pass two: it assigns (start, end) labels with one shared
+// counter (the xmltree numbering) and emits one event per element at
+// its close, when its text is complete. Memory is bounded by depth.
+func scan(src Source, emit func(*Event)) error {
+	r, err := src()
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	dec := xml.NewDecoder(r)
+
+	type open struct {
+		tag   string
+		text  strings.Builder
+		start int
+	}
+	var stack []*open
+	counter := 1 // label 0 belongs to the implicit dummy root
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("stream: pass 2: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			stack = append(stack, &open{tag: el.Name.Local, start: counter})
+			counter++
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return fmt.Errorf("stream: unbalanced end element </%s>", el.Name.Local)
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ev := Event{
+				Tag:   top.tag,
+				Text:  strings.TrimSpace(top.text.String()),
+				Start: top.start,
+				End:   counter,
+				Depth: len(stack) + 1,
+			}
+			counter++
+			emit(&ev)
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text.Write(el)
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("stream: %d element(s) left open at EOF", len(stack))
+	}
+	return nil
+}
+
+// VerifyAgainstTree is a test helper: it checks that a streamed
+// histogram matches the histogram built from the materialized tree for
+// a tag predicate. Exposed so integration tests outside the package can
+// reuse it.
+func VerifyAgainstTree(t *xmltree.Tree, res *Result, tag string) error {
+	cat := predicate.NewCatalog(t)
+	entry := cat.Add(predicate.Tag{Value: tag})
+	want := histogram.BuildPosition(t, entry.Nodes, res.Grid)
+	got, ok := res.Hists["tag="+tag]
+	if !ok {
+		return fmt.Errorf("stream: no histogram for tag=%s", tag)
+	}
+	g := res.Grid.Size()
+	for i := 0; i < g; i++ {
+		for j := i; j < g; j++ {
+			if got.Count(i, j) != want.Count(i, j) {
+				return fmt.Errorf("stream: tag=%s cell (%d,%d): stream %v, tree %v",
+					tag, i, j, got.Count(i, j), want.Count(i, j))
+			}
+		}
+	}
+	return nil
+}

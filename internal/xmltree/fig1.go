@@ -1,0 +1,36 @@
+package xmltree
+
+// Fig1Document builds the example XML document of Fig 1 in the paper: a
+// department with faculty, staff, a lecturer and a research scientist.
+// The document has 3 faculty nodes and 5 TA nodes; the real answer size
+// of the pattern faculty//TA is 2, of faculty//RA is 6, and exactly one
+// faculty has both a TA and an RA (the query of Fig 2).
+//
+// The layout reconstructed from the figure:
+//
+//	department
+//	  faculty            name RA
+//	  staff              name
+//	  faculty            name secretary RA RA RA
+//	  lecturer           name TA TA TA
+//	  faculty            name secretary TA RA RA TA
+//	  research_scientist name secretary RA RA RA RA
+func Fig1Document() *Tree {
+	b := NewBuilder()
+	person := func(tag string, children ...string) {
+		b.Begin(tag)
+		for _, c := range children {
+			b.Element(c, "")
+		}
+		b.End()
+	}
+	b.Begin("department")
+	person("faculty", "name", "RA")
+	person("staff", "name")
+	person("faculty", "name", "secretary", "RA", "RA", "RA")
+	person("lecturer", "name", "TA", "TA", "TA")
+	person("faculty", "name", "secretary", "TA", "RA", "RA", "TA")
+	person("research_scientist", "name", "secretary", "RA", "RA", "RA", "RA")
+	b.End()
+	return b.Tree()
+}

@@ -1,0 +1,102 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseOptions controls XML parsing.
+type ParseOptions struct {
+	// KeepAttributes records element attributes as "@name" child nodes.
+	KeepAttributes bool
+
+	// Strict rejects malformed XML. When false, the parser tolerates
+	// common junk (stray end tags are skipped, unclosed elements are
+	// closed at EOF), which is useful for scraped datasets.
+	Strict bool
+}
+
+// DefaultParseOptions is used by Parse and ParseCollection.
+var DefaultParseOptions = ParseOptions{KeepAttributes: true, Strict: true}
+
+// Parse reads a single XML document and returns its numbered tree
+// (rooted, as always, at the dummy root).
+func Parse(r io.Reader) (*Tree, error) {
+	return ParseCollection([]io.Reader{r}, DefaultParseOptions)
+}
+
+// ParseCollection merges one document per reader into a single mega-tree
+// under the dummy root, as Section 3.1 of the paper prescribes, and
+// numbers the result.
+func ParseCollection(readers []io.Reader, opts ParseOptions) (*Tree, error) {
+	b := NewBuilder()
+	for i, r := range readers {
+		if err := parseInto(b, r, opts); err != nil {
+			return nil, fmt.Errorf("xmltree: document %d: %w", i, err)
+		}
+	}
+	t := b.Tree()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseString is a convenience wrapper for tests and examples.
+func ParseString(doc string) (*Tree, error) {
+	return Parse(strings.NewReader(doc))
+}
+
+func parseInto(b *Builder, r io.Reader, opts ParseOptions) error {
+	dec := xml.NewDecoder(r)
+	dec.Strict = opts.Strict
+	depthAtEntry := b.Depth()
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if opts.Strict {
+				return err
+			}
+			break
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			b.Begin(el.Name.Local)
+			if opts.KeepAttributes {
+				for _, a := range el.Attr {
+					if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+						continue
+					}
+					b.Attr(a.Name.Local, a.Value)
+				}
+			}
+		case xml.EndElement:
+			if b.Depth() > depthAtEntry {
+				b.End()
+			} else if opts.Strict {
+				return fmt.Errorf("unexpected end element </%s>", el.Name.Local)
+			}
+		case xml.CharData:
+			if s := strings.TrimSpace(string(el)); s != "" {
+				b.Text(s)
+			}
+		// Comments, directives and processing instructions carry no
+		// queryable structure; they are dropped.
+		case xml.Comment, xml.Directive, xml.ProcInst:
+		}
+	}
+	if b.Depth() > depthAtEntry {
+		if opts.Strict {
+			return fmt.Errorf("unexpected EOF: %d element(s) left open", b.Depth()-depthAtEntry)
+		}
+		for b.Depth() > depthAtEntry {
+			b.End()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+// Package xmlest estimates answer sizes for XML twig queries using
+// position histograms, reproducing "Estimating Answer Sizes for XML
+// Queries" (Wu, Patel, Jagadish — EDBT 2002).
+//
+// A Database wraps an XML document collection with interval-numbered
+// nodes and a catalog of predicates. An Estimator summarizes the
+// catalog into position histograms (and coverage histograms for
+// no-overlap predicates) and answers answer-size queries for twig
+// patterns without touching the data again:
+//
+//	db, _ := xmlest.Open(strings.NewReader(doc))
+//	db.AddAllTagPredicates()
+//	est, _ := db.NewEstimator(xmlest.Options{GridSize: 10})
+//	res, _ := est.Estimate("//department//faculty[.//TA][.//RA]")
+//	fmt.Println(res.Estimate, res.Elapsed)
+//
+// Exact answer sizes (ground truth) are available through
+// Database.Count, and the naive and schema-only baselines of the
+// paper's evaluation through Naive and SchemaUpperBound.
+package xmlest
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"xmlest/internal/core"
+	"xmlest/internal/match"
+	"xmlest/internal/pattern"
+	"xmlest/internal/predicate"
+	"xmlest/internal/xmltree"
+)
+
+// Re-exported predicate constructors. Predicates are registered on a
+// Database before building an Estimator.
+type (
+	// Predicate is a boolean node predicate.
+	Predicate = predicate.Predicate
+	// Tag matches element tags ("element-tag predicates").
+	Tag = predicate.Tag
+	// ContentEquals matches exact text content.
+	ContentEquals = predicate.ContentEquals
+	// ContentPrefix matches a text-content prefix.
+	ContentPrefix = predicate.ContentPrefix
+	// ContentSuffix matches a text-content suffix.
+	ContentSuffix = predicate.ContentSuffix
+	// ContentContains matches a text-content substring.
+	ContentContains = predicate.ContentContains
+	// NumericRange matches numeric text content within [Lo, Hi].
+	NumericRange = predicate.NumericRange
+	// TagContent matches tag and exact content together.
+	TagContent = predicate.TagContent
+	// And, Or, Not compose predicates.
+	And = predicate.And
+	Or  = predicate.Or
+	Not = predicate.Not
+	// Named aliases a predicate under a display name.
+	Named = predicate.Named
+	// True matches every node.
+	True = predicate.True
+)
+
+// Options configures estimator construction. See core.Options.
+type Options = core.Options
+
+// Result is one estimation outcome.
+type Result = core.Result
+
+// Database is an XML document collection prepared for estimation: a
+// single interval-numbered mega-tree plus a predicate catalog.
+type Database struct {
+	tree    *xmltree.Tree
+	catalog *predicate.Catalog
+}
+
+// Open parses one or more XML documents into a Database. Multiple
+// documents are merged under a dummy root, as the paper prescribes.
+func Open(readers ...io.Reader) (*Database, error) {
+	tree, err := xmltree.ParseCollection(readers, xmltree.DefaultParseOptions)
+	if err != nil {
+		return nil, err
+	}
+	return FromTree(tree), nil
+}
+
+// OpenFiles parses the named XML files into a Database.
+func OpenFiles(paths ...string) (*Database, error) {
+	readers := make([]io.Reader, 0, len(paths))
+	closers := make([]*os.File, 0, len(paths))
+	defer func() {
+		for _, f := range closers {
+			f.Close()
+		}
+	}()
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, f)
+		readers = append(readers, f)
+	}
+	return Open(readers...)
+}
+
+// FromTree wraps an already-built tree (for example, from the synthetic
+// dataset generators).
+func FromTree(tree *xmltree.Tree) *Database {
+	return &Database{tree: tree, catalog: predicate.NewCatalog(tree)}
+}
+
+// FromCatalog wraps a tree with an existing predicate catalog.
+func FromCatalog(cat *predicate.Catalog) *Database {
+	return &Database{tree: cat.Tree, catalog: cat}
+}
+
+// Tree exposes the underlying numbered tree.
+func (db *Database) Tree() *xmltree.Tree { return db.tree }
+
+// Catalog exposes the predicate catalog.
+func (db *Database) Catalog() *predicate.Catalog { return db.catalog }
+
+// AddAllTagPredicates registers a Tag predicate per distinct element
+// tag and the TRUE predicate. It returns the number of tag predicates.
+func (db *Database) AddAllTagPredicates() int {
+	n := db.catalog.AddAllTags()
+	db.catalog.Add(predicate.True{})
+	return n
+}
+
+// AddPredicate registers a predicate for use in patterns (referenced by
+// name with the {name} syntax, or implicitly for Tag predicates).
+func (db *Database) AddPredicate(p Predicate) { db.catalog.Add(p) }
+
+// Count computes the exact answer size of a twig pattern — the ground
+// truth the paper's tables report in their "Real Result" column.
+func (db *Database) Count(patternSrc string) (float64, error) {
+	p, err := pattern.Parse(patternSrc)
+	if err != nil {
+		return 0, err
+	}
+	return match.CountTwig(db.tree, p, db.resolve)
+}
+
+// Participation computes, per pattern node in pre-order, the exact
+// number of distinct data nodes participating in at least one match.
+func (db *Database) Participation(patternSrc string) ([]int64, error) {
+	p, err := pattern.Parse(patternSrc)
+	if err != nil {
+		return nil, err
+	}
+	return match.Participation(db.tree, p, db.resolve)
+}
+
+func (db *Database) resolve(name string) ([]xmltree.NodeID, error) {
+	e, err := db.catalog.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Nodes, nil
+}
+
+// Naive returns the paper's naive baseline for a pattern: the product
+// of the node counts of its predicates.
+func (db *Database) Naive(patternSrc string) (float64, error) {
+	p, err := pattern.Parse(patternSrc)
+	if err != nil {
+		return 0, err
+	}
+	est := 1.0
+	for _, n := range p.Nodes() {
+		e, err := db.catalog.Get(n.PredName())
+		if err != nil {
+			return 0, err
+		}
+		est *= float64(e.Count())
+	}
+	return est, nil
+}
+
+// SchemaUpperBound returns the schema-only bound for a two-node
+// pattern: the descendant's count when the ancestor predicate has the
+// no-overlap property. ok is false for other patterns.
+func (db *Database) SchemaUpperBound(patternSrc string) (bound float64, ok bool, err error) {
+	p, err := pattern.Parse(patternSrc)
+	if err != nil {
+		return 0, false, err
+	}
+	nodes := p.Nodes()
+	if len(nodes) != 2 {
+		return 0, false, nil
+	}
+	anc, err := db.catalog.Get(nodes[0].PredName())
+	if err != nil {
+		return 0, false, err
+	}
+	desc, err := db.catalog.Get(nodes[1].PredName())
+	if err != nil {
+		return 0, false, err
+	}
+	bound, ok = core.SchemaUpperBound(anc.NoOverlap, desc.Count())
+	return bound, ok, nil
+}
+
+// Estimator answers answer-size queries from histogram summaries.
+type Estimator struct {
+	inner *core.Estimator
+	db    *Database
+}
+
+// NewEstimator builds the position histograms (and coverage histograms
+// for no-overlap predicates) for every registered predicate.
+func (db *Database) NewEstimator(opts Options) (*Estimator, error) {
+	inner, err := core.NewEstimator(db.catalog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{inner: inner, db: db}, nil
+}
+
+// Estimate estimates the answer size of a twig pattern, choosing the
+// no-overlap algorithm wherever the schema allows and the primitive
+// pH-Join elsewhere.
+func (e *Estimator) Estimate(patternSrc string) (Result, error) {
+	p, err := pattern.Parse(patternSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.inner.EstimateTwig(p)
+}
+
+// EstimatePrimitive forces the primitive (overlap) algorithm for a
+// two-node pattern — the "Overlap Estimate" column of the paper's
+// tables.
+func (e *Estimator) EstimatePrimitive(patternSrc string) (Result, error) {
+	p, err := pattern.Parse(patternSrc)
+	if err != nil {
+		return Result{}, err
+	}
+	nodes := p.Nodes()
+	if len(nodes) != 2 {
+		return Result{}, fmt.Errorf("xmlest: EstimatePrimitive requires a two-node pattern, got %d nodes", len(nodes))
+	}
+	return e.inner.EstimatePairPrimitive(nodes[0].PredName(), nodes[1].PredName())
+}
+
+// Core exposes the underlying core estimator for advanced use (query
+// planners needing sub-pattern estimates).
+func (e *Estimator) Core() *core.Estimator { return e.inner }
+
+// StorageBytes reports the total compact-encoding size of all summary
+// structures — the paper's storage metric.
+func (e *Estimator) StorageBytes() int { return e.inner.StorageBytes() }
+
+// MarshalBinary serializes every summary structure, so estimation can
+// run later without the data (see LoadEstimator).
+func (e *Estimator) MarshalBinary() ([]byte, error) { return e.inner.MarshalBinary() }
+
+// LoadEstimator reconstructs an estimator from a summary blob produced
+// by Estimator.MarshalBinary. The loaded estimator answers every
+// estimation query; exact counting requires the original Database.
+func LoadEstimator(blob []byte) (*Estimator, error) {
+	inner, err := core.UnmarshalEstimator(blob)
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{inner: inner}, nil
+}
+
+// Find enumerates up to limit concrete matches of a twig pattern
+// (limit <= 0 enumerates all). Each match lists the data node assigned
+// to each pattern node in pattern pre-order. Combined with
+// Estimator.Estimate, this models the paper's online-query scenario:
+// show the first page of results together with a predicted total.
+func (db *Database) Find(patternSrc string, limit int) ([]match.Match, error) {
+	p, err := pattern.Parse(patternSrc)
+	if err != nil {
+		return nil, err
+	}
+	return match.FindTwigMatches(db.tree, p, db.resolve, limit)
+}
