@@ -368,17 +368,27 @@ func BenchmarkParentChildEstimate(b *testing.B) {
 }
 
 // BenchmarkStructuralJoin times the pair-producing stack-tree join (the
-// execution-side comparator for the counting-only CountPairs).
+// execution-side comparator for the counting-only CountPairs), plus the
+// parent-child pair counter on the same predicate lists (its sorted
+// binary-search lookup replaced a per-call hash map).
 func BenchmarkStructuralJoin(b *testing.B) {
 	s := experiments.DBLP()
 	anc := s.Catalog.MustGet("tag=article").Nodes
 	desc := s.Catalog.MustGet("tag=cdrom").Nodes
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if pairs := match.StructuralJoin(s.Tree, anc, desc); len(pairs) == 0 {
-			b.Fatal("no pairs")
+	b.Run("pairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if pairs := match.StructuralJoin(s.Tree, anc, desc); len(pairs) == 0 {
+				b.Fatal("no pairs")
+			}
 		}
-	}
+	})
+	b.Run("countchild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if n := match.CountChildPairs(s.Tree, anc, desc); n == 0 {
+				b.Fatal("no child pairs")
+			}
+		}
+	})
 }
 
 // BenchmarkFindTwigMatches times bounded twig enumeration (first page
@@ -509,8 +519,9 @@ func (w *bytesBuffer) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// BenchmarkFacadeEstimate times the public-API path end to end
-// (pattern parse + twig estimation).
+// BenchmarkFacadeEstimate times the public-API path end to end on a
+// hot query (the compiled-query cache absorbs the parse and the joins
+// after the first call).
 func BenchmarkFacadeEstimate(b *testing.B) {
 	db := xmlest.FromCatalog(experiments.DBLP().Catalog)
 	est, err := db.NewEstimator(xmlest.Options{GridSize: 10})
@@ -520,6 +531,26 @@ func BenchmarkFacadeEstimate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := est.Estimate("//article//author"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledEstimate times a PreparedQuery on a hot path — the
+// explicit Compile API the facade's cache is built from.
+func BenchmarkCompiledEstimate(b *testing.B) {
+	db := xmlest.FromCatalog(experiments.DBLP().Catalog)
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pq, err := est.Compile("//article[.//author]//cite")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pq.Estimate(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,188 @@
+// Equivalence tests for the performance paths introduced with the
+// sparse histogram engine: on every Table 2 (DBLP) and Table 4
+// (synthetic hierarchy) pattern, the sparse/cached/compiled paths must
+// reproduce the baseline algorithms' estimates (exact float equality
+// where the arithmetic is identical, ≤1e-9 relative where only
+// accumulation order differs).
+package xmlest_test
+
+import (
+	"testing"
+
+	"xmlest"
+	"xmlest/internal/core"
+	"xmlest/internal/experiments"
+)
+
+var table2Pairs = []struct{ anc, desc string }{
+	{"tag=article", "tag=author"},
+	{"tag=article", "tag=cdrom"},
+	{"tag=article", "tag=cite"},
+	{"tag=book", "tag=cdrom"},
+}
+
+var table4Pairs = []struct{ anc, desc string }{
+	{"tag=manager", "tag=department"},
+	{"tag=manager", "tag=employee"},
+	{"tag=manager", "tag=email"},
+	{"tag=department", "tag=employee"},
+	{"tag=department", "tag=email"},
+	{"tag=employee", "tag=name"},
+	{"tag=employee", "tag=email"},
+}
+
+func relClose(t *testing.T, label string, got, want float64) {
+	t.Helper()
+	tol := 1e-9 * (1 + abs(want))
+	if diff := got - want; diff > tol || diff < -tol {
+		t.Fatalf("%s: got %v, want %v", label, got, want)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestSparsePHJoinMatchesDenseOnTablePatterns cross-checks the sparse
+// pH-Join against the literal Fig 9 transcription on every table
+// pattern of the paper's evaluation.
+func TestSparsePHJoinMatchesDenseOnTablePatterns(t *testing.T) {
+	for _, tc := range []struct {
+		setup *experiments.Setup
+		pairs []struct{ anc, desc string }
+	}{
+		{experiments.DBLP(), table2Pairs},
+		{experiments.Hier(), table4Pairs},
+	} {
+		for _, q := range tc.pairs {
+			ha, err := tc.setup.Estimator.Histogram(q.anc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hb, err := tc.setup.Estimator.Histogram(q.desc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparse, err := core.PHJoin(ha, hb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dense, err := core.PHJoinDense(ha, hb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			relClose(t, q.anc+"//"+q.desc, sparse, dense)
+		}
+	}
+}
+
+// TestEstimatesStableAcrossBuildWorkers builds the Table 4 estimator
+// with different worker counts and requires identical estimates on all
+// table patterns — the parallel build must be deterministic.
+func TestEstimatesStableAcrossBuildWorkers(t *testing.T) {
+	s := experiments.Hier()
+	build := func(workers int) *core.Estimator {
+		est, err := core.NewEstimator(s.Catalog, core.Options{GridSize: 10, BuildWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return est
+	}
+	ref := build(1)
+	for _, workers := range []int{2, 8} {
+		est := build(workers)
+		for _, q := range table4Pairs {
+			want, err := ref.EstimatePair(q.anc, q.desc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := est.EstimatePair(q.anc, q.desc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Estimate != want.Estimate {
+				t.Fatalf("workers=%d %s//%s: %v, want %v", workers, q.anc, q.desc, got.Estimate, want.Estimate)
+			}
+		}
+	}
+}
+
+// TestFacadeCompiledMatchesDirect compares the three facade paths —
+// cold Estimate, cached Estimate, and an explicit PreparedQuery — on
+// table patterns and a branching twig.
+func TestFacadeCompiledMatchesDirect(t *testing.T) {
+	db := xmlest.FromCatalog(experiments.DBLP().Catalog)
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"//article//author",
+		"//article//cdrom",
+		"//article//cite",
+		"//book//cdrom",
+		"//article[.//author]//cite",
+	}
+	for _, src := range queries {
+		cold, err := est.Estimate(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		warm, err := est.Estimate(src) // compiled-cache hit
+		if err != nil {
+			t.Fatalf("%s (warm): %v", src, err)
+		}
+		if warm.Estimate != cold.Estimate {
+			t.Fatalf("%s: warm %v != cold %v", src, warm.Estimate, cold.Estimate)
+		}
+		pq, err := est.Compile(src)
+		if err != nil {
+			t.Fatalf("Compile(%s): %v", src, err)
+		}
+		if pq.Source() != src {
+			t.Fatalf("Source() = %q", pq.Source())
+		}
+		compiled, err := pq.Estimate()
+		if err != nil {
+			t.Fatalf("%s (compiled): %v", src, err)
+		}
+		if compiled.Estimate != cold.Estimate {
+			t.Fatalf("%s: compiled %v != direct %v", src, compiled.Estimate, cold.Estimate)
+		}
+	}
+	if _, err := est.Compile("//article//{no such predicate}"); err == nil {
+		t.Fatalf("Compile with unknown predicate: want error")
+	}
+	if _, err := est.Compile("//article[unbalanced"); err == nil {
+		t.Fatalf("Compile with syntax error: want error")
+	}
+}
+
+// TestPairEstimatesMatchSeedAlgorithms pins the sparse paths to the
+// estimates the seed's dense algorithms produced, via the dense pH-Join
+// (still the literal pseudo-code) for the primitive estimates.
+func TestPairEstimatesMatchSeedAlgorithms(t *testing.T) {
+	s := experiments.DBLP()
+	for _, q := range table2Pairs {
+		ha, err := s.Estimator.Histogram(q.anc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := s.Estimator.Histogram(q.desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Estimator.EstimatePairPrimitive(q.anc, q.desc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := core.PHJoinDense(ha, hb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relClose(t, "primitive "+q.anc+"//"+q.desc, res.Estimate, dense)
+	}
+}

@@ -1,0 +1,3 @@
+module xmlest
+
+go 1.22

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"xmlest/internal/histogram"
@@ -24,6 +27,17 @@ type Estimator struct {
 	levels   map[string]*LevelHistograms // nil unless Options.LevelHistograms
 	overlap  map[string]bool             // predicate name -> predicate may overlap
 	names    []string                    // stored order, for catalog-less estimators
+
+	// Memoization for hot query paths (see prepared.go): folded
+	// sub-pattern results keyed by canonical sub-twig signature, and
+	// parent-child edge ratios keyed by predicate pair. Both caches are
+	// lazily initialized and guarded for concurrent estimation; cached
+	// values are pure functions of the immutable histograms, so hits
+	// and misses produce identical estimates.
+	cacheOnce sync.Once
+	joinCache *joinLRU
+	ratioMu   sync.Mutex
+	ratios    map[[2]string]float64
 }
 
 // Options configures estimator construction.
@@ -49,6 +63,13 @@ type Options struct {
 	// edges are estimated as ancestor-descendant, an upper-biased
 	// approximation.
 	LevelHistograms bool
+
+	// BuildWorkers bounds the worker pool that fans the per-predicate
+	// summary builds (position, coverage, level histograms) during
+	// NewEstimator. Zero or negative means GOMAXPROCS. Per-predicate
+	// builds are independent and deterministic, so the resulting
+	// estimator is identical for every worker count.
+	BuildWorkers int
 }
 
 // DefaultOptions mirror the paper's experimental setup.
@@ -58,9 +79,21 @@ var DefaultOptions = Options{GridSize: 10}
 // predicates. The catalog must already contain the predicates that
 // queries will reference; it must also include the TRUE predicate if
 // compound-predicate estimation is wanted.
+//
+// Construction is a single-pass pipeline: every tree node is bucketed
+// exactly once (histogram.ComputeNodeCells) and the per-predicate
+// builds — position histogram, coverage histogram for no-overlap
+// predicates, optional level histograms — consume the shared cells and
+// fan out across a bounded worker pool (Options.BuildWorkers). The
+// builds are independent and deterministic, so the summary is
+// bit-identical for every worker count; a test asserts this.
 func NewEstimator(cat *predicate.Catalog, opts Options) (*Estimator, error) {
 	if opts.GridSize <= 0 {
 		opts.GridSize = DefaultOptions.GridSize
+	}
+	if opts.GridSize > histogram.MaxGridSize {
+		// histogram.NodeCells stores bucket indices as uint16.
+		return nil, fmt.Errorf("core: grid size %d exceeds the supported maximum %d", opts.GridSize, histogram.MaxGridSize)
 	}
 	t := cat.Tree
 	var grid histogram.Grid
@@ -77,10 +110,11 @@ func NewEstimator(cat *predicate.Catalog, opts Options) (*Estimator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	cells := histogram.ComputeNodeCells(t, grid)
 	e := &Estimator{
 		catalog:  cat,
 		grid:     grid,
-		trueHist: histogram.BuildTrue(t, grid),
+		trueHist: histogram.BuildTrueFromCells(cells),
 		hists:    make(map[string]*histogram.Position, cat.Len()),
 		covs:     make(map[string]*histogram.Coverage),
 		overlap:  make(map[string]bool, cat.Len()),
@@ -88,19 +122,74 @@ func NewEstimator(cat *predicate.Catalog, opts Options) (*Estimator, error) {
 	if opts.LevelHistograms {
 		e.levels = make(map[string]*LevelHistograms, cat.Len())
 	}
-	for _, name := range cat.Names() {
-		entry := cat.MustGet(name)
-		e.hists[name] = histogram.BuildPosition(t, entry.Nodes, grid)
-		e.overlap[name] = !entry.NoOverlap
+
+	names := cat.Names()
+	type built struct {
+		hist   *histogram.Position
+		cov    *histogram.Coverage
+		levels *LevelHistograms
+		err    error
+	}
+	results := make([]built, len(names))
+	buildOne := func(idx int) {
+		entry := cat.MustGet(names[idx])
+		r := &results[idx]
+		r.hist = histogram.BuildPositionFromCells(cells, entry.Nodes)
 		if entry.NoOverlap && !opts.SkipCoverage {
-			cov, err := histogram.BuildCoverage(t, entry.Nodes, e.trueHist)
+			cov, err := histogram.BuildCoverageFromCells(t, entry.Nodes, e.trueHist, cells)
 			if err != nil {
-				return nil, fmt.Errorf("core: coverage for %s: %w", name, err)
+				r.err = fmt.Errorf("core: coverage for %s: %w", names[idx], err)
+				return
 			}
-			e.covs[name] = cov
+			r.cov = cov
 		}
 		if opts.LevelHistograms {
-			e.levels[name] = BuildLevelHistograms(t, entry.Nodes, grid)
+			r.levels = buildLevelHistogramsFromCells(t, entry.Nodes, cells)
+		}
+	}
+
+	workers := opts.BuildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	if workers <= 1 {
+		for idx := range names {
+			buildOne(idx)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					idx := int(next.Add(1)) - 1
+					if idx >= len(names) {
+						return
+					}
+					buildOne(idx)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for idx, name := range names {
+		r := &results[idx]
+		if r.err != nil {
+			return nil, r.err
+		}
+		e.hists[name] = r.hist
+		e.overlap[name] = !cat.MustGet(name).NoOverlap
+		if r.cov != nil {
+			e.covs[name] = r.cov
+		}
+		if opts.LevelHistograms {
+			e.levels[name] = r.levels
 		}
 	}
 	return e, nil
@@ -134,8 +223,28 @@ func (e *Estimator) EstimatePairParentChild(ancName, descName string) (Result, e
 // childEdgeRatio returns the factor by which a parent-child edge's
 // estimate relates to the ancestor-descendant estimate between the two
 // base predicates, computed from level histograms; 1 when levels are
-// unavailable or the ancestor-descendant estimate is zero.
+// unavailable or the ancestor-descendant estimate is zero. The ratio is
+// a pure function of the (immutable) level histograms, so it is
+// memoized per predicate pair.
 func (e *Estimator) childEdgeRatio(ancName, descName string) float64 {
+	key := [2]string{ancName, descName}
+	e.ratioMu.Lock()
+	if r, ok := e.ratios[key]; ok {
+		e.ratioMu.Unlock()
+		return r
+	}
+	e.ratioMu.Unlock()
+	r := e.childEdgeRatioUncached(ancName, descName)
+	e.ratioMu.Lock()
+	if e.ratios == nil {
+		e.ratios = make(map[[2]string]float64)
+	}
+	e.ratios[key] = r
+	e.ratioMu.Unlock()
+	return r
+}
+
+func (e *Estimator) childEdgeRatioUncached(ancName, descName string) float64 {
 	la, lb := e.Levels(ancName), e.Levels(descName)
 	if la == nil || lb == nil {
 		return 1
@@ -287,17 +396,43 @@ func (e *Estimator) EstimateTwig(p *pattern.Pattern) (Result, error) {
 // EstimateSubPattern exposes sub-pattern estimation for query
 // optimizers that need intermediate-result estimates: it returns the
 // SubPattern (estimate, participation, coverage) of the pattern,
-// anchored at its root.
+// anchored at its root. The returned position histograms are private
+// clones, so callers may mutate them without corrupting the
+// estimator's sub-twig join cache.
 func (e *Estimator) EstimateSubPattern(p *pattern.Pattern) (SubPattern, error) {
 	sp, _, err := e.buildSubPattern(p.Root)
-	return sp, err
+	if err != nil {
+		return SubPattern{}, err
+	}
+	sp.Est = sp.Est.Clone()
+	sp.Hist = sp.Hist.Clone()
+	sp.Base = sp.Base.Clone()
+	if sp.Cvg != nil {
+		sp.Cvg = sp.Cvg.Clone()
+	}
+	return sp, nil
 }
 
 // buildSubPattern folds a pattern node's children into its leaf
 // sub-pattern with JoinAncestor, bottom-up. Parent-child edges are
 // scaled by the level-histogram ratio when level histograms are
 // available (see childEdgeRatio).
+//
+// Folded results for nodes with children are memoized in a bounded LRU
+// keyed by the sub-twig's canonical signature (see prepared.go): the
+// fold is a pure function of the immutable base histograms, so repeated
+// estimates of a hot twig — or of different twigs sharing a sub-twig —
+// skip the joins entirely. Cached sub-patterns are shared and must
+// never be mutated; joins only read their operands.
 func (e *Estimator) buildSubPattern(q *pattern.Node) (SubPattern, bool, error) {
+	if len(q.Children) == 0 {
+		acc, err := e.leaf(q.PredName())
+		return acc, false, err
+	}
+	sig := subtreeSig(q)
+	if hit, ok := e.joins().Get(sig); ok {
+		return hit.sp, hit.noOv, nil
+	}
 	acc, err := e.leaf(q.PredName())
 	if err != nil {
 		return SubPattern{}, false, err
@@ -323,6 +458,7 @@ func (e *Estimator) buildSubPattern(q *pattern.Node) (SubPattern, bool, error) {
 		}
 		acc = joined
 	}
+	e.joins().Put(sig, cachedJoin{sp: acc, noOv: usedNoOverlap})
 	return acc, usedNoOverlap, nil
 }
 

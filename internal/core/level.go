@@ -43,6 +43,24 @@ func BuildLevelHistograms(t *xmltree.Tree, nodes []xmltree.NodeID, grid histogra
 	return l
 }
 
+// buildLevelHistogramsFromCells is BuildLevelHistograms with the
+// per-node grid cells precomputed (the estimator construction path).
+func buildLevelHistogramsFromCells(t *xmltree.Tree, nodes []xmltree.NodeID, nc *histogram.NodeCells) *LevelHistograms {
+	grid := nc.Grid()
+	l := &LevelHistograms{grid: grid, byDepth: make(map[int]*histogram.Position)}
+	for _, id := range nodes {
+		n := t.Node(id)
+		h := l.byDepth[n.Depth]
+		if h == nil {
+			h = histogram.NewPosition(grid)
+			l.byDepth[n.Depth] = h
+		}
+		i, j := nc.Cell(id)
+		h.Add(i, j, 1)
+	}
+	return l
+}
+
 // Depths returns the occupied depths in ascending order.
 func (l *LevelHistograms) Depths() []int {
 	out := make([]int, 0, len(l.byDepth))

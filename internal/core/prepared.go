@@ -1,0 +1,133 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"xmlest/internal/cache"
+	"xmlest/internal/pattern"
+)
+
+// Compiled twig queries. A PreparedQuery binds a parsed pattern to an
+// estimator with every predicate reference resolved up front, and
+// caches the folded root sub-pattern after the first evaluation:
+// estimates are pure functions of the estimator's immutable histograms,
+// so a hot query answers subsequent calls from the cached fold. Distinct
+// queries sharing sub-twigs also benefit through the estimator-level
+// join cache below. See DESIGN.md, "Summary pipeline & performance".
+
+// joinCacheSize bounds the estimator-level sub-pattern join cache. Each
+// entry holds a folded SubPattern (two g×g histograms plus a sparse
+// coverage map), so the bound keeps the cache within a few megabytes at
+// the paper's grid sizes.
+const joinCacheSize = 256
+
+// cachedJoin is a folded sub-pattern with the no-overlap usage flag.
+type cachedJoin struct {
+	sp   SubPattern
+	noOv bool
+}
+
+// joinLRU memoizes folded sub-patterns by canonical sub-twig signature.
+type joinLRU = cache.LRU[string, cachedJoin]
+
+// joins returns the lazily-initialized join cache (estimators built by
+// UnmarshalEstimator do not pass through NewEstimator).
+func (e *Estimator) joins() *joinLRU {
+	e.cacheOnce.Do(func() {
+		e.joinCache = cache.New[string, cachedJoin](joinCacheSize)
+	})
+	return e.joinCache
+}
+
+// subtreeSig renders the canonical signature of the sub-twig rooted at
+// q: the anchor predicate name followed by each child edge's axis and
+// the child's signature, in syntax order. Predicate names are
+// length-prefixed because catalog aliases may contain any byte —
+// including the structural markers — so the encoding stays injective
+// on (predicate names, axes, shape) and equal signatures fold to
+// identical sub-patterns.
+func subtreeSig(q *pattern.Node) string {
+	var b strings.Builder
+	writeSig(&b, q)
+	return b.String()
+}
+
+func writeSig(b *strings.Builder, q *pattern.Node) {
+	name := q.PredName()
+	b.WriteString(strconv.Itoa(len(name)))
+	b.WriteByte(':')
+	b.WriteString(name)
+	for _, qc := range q.Children {
+		b.WriteByte('[')
+		b.WriteString(qc.Axis.String())
+		writeSig(b, qc)
+		b.WriteByte(']')
+	}
+}
+
+// PreparedQuery is a twig pattern compiled against one estimator:
+// parsed once, predicate references resolved once, and the folded root
+// sub-pattern cached across calls. A PreparedQuery is safe for
+// concurrent use and stays valid for the estimator's lifetime: the
+// histograms it folds are immutable after construction, and Synthesize
+// (which must not run concurrently with estimation) only adds
+// predicates, never replacing ones a compiled query references.
+type PreparedQuery struct {
+	e *Estimator
+	p *pattern.Pattern
+
+	once sync.Once
+	res  cachedJoin
+	err  error
+}
+
+// Prepare compiles a parsed pattern against the estimator. Every
+// predicate reference is resolved eagerly, so an unknown name fails
+// here rather than on first evaluation.
+func (e *Estimator) Prepare(p *pattern.Pattern) (*PreparedQuery, error) {
+	for _, n := range p.Nodes() {
+		if _, err := e.Histogram(n.PredName()); err != nil {
+			return nil, err
+		}
+	}
+	return &PreparedQuery{e: e, p: p}, nil
+}
+
+// Pattern returns the compiled pattern.
+func (pq *PreparedQuery) Pattern() *pattern.Pattern { return pq.p }
+
+// Estimate returns the twig's estimated answer size. The first call
+// folds the pattern (possibly hitting the estimator's sub-twig join
+// cache); later calls reuse the folded result.
+func (pq *PreparedQuery) Estimate() (Result, error) {
+	start := time.Now()
+	pq.once.Do(func() {
+		sp, noOv, err := pq.e.buildSubPattern(pq.p.Root)
+		if err == nil {
+			err = sp.validate()
+		}
+		pq.res, pq.err = cachedJoin{sp: sp, noOv: noOv}, err
+	})
+	if pq.err != nil {
+		return Result{}, pq.err
+	}
+	return Result{
+		Estimate:      pq.res.sp.Total(),
+		Elapsed:       time.Since(start),
+		UsedNoOverlap: pq.res.noOv,
+	}, nil
+}
+
+// EstimateSubPattern returns the folded root sub-pattern (estimate,
+// participation, coverage), for optimizers needing intermediate
+// results. The returned histograms are shared with the cache and must
+// not be mutated.
+func (pq *PreparedQuery) EstimateSubPattern() (SubPattern, error) {
+	if _, err := pq.Estimate(); err != nil {
+		return SubPattern{}, err
+	}
+	return pq.res.sp, nil
+}

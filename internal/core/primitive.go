@@ -6,135 +6,63 @@ import (
 	"xmlest/internal/histogram"
 )
 
-// partialSums precomputes, for one histogram H, every region sum the
-// Fig 6 formulas need, in O(g²) time and space. It generalizes the
-// pSum arrays of the Fig 9 pseudo-code and adds the up-left prefix
-// sums used by the descendant-based form.
-type partialSums struct {
-	g int
-	h *histogram.Position
-
-	// down[i][j]  = Σ_{l=i..j-1} H[i][l]        (same start column, below)
-	// right[i][j] = Σ_{k=i+1..j} H[k][j]        (same end row, to the right)
-	// inside[i][j]= Σ_{k=i+1..j} Σ_{l=k..j-1} H[k][l]  (strictly inside)
-	down, right, inside []float64
-
-	// prefix[i][j] = Σ_{k<=i} Σ_{l<=j} H[k][l], with one extra row and
-	// column of zeros at index 0, used for the up-left region sums.
-	prefix []float64
-}
-
-func (p *partialSums) at(a []float64, i, j int) float64 { return a[i*p.g+j] }
-
-func newPartialSums(h *histogram.Position) *partialSums {
-	g := h.Grid().Size()
-	p := &partialSums{
-		g: g, h: h,
-		down:   make([]float64, g*g),
-		right:  make([]float64, g*g),
-		inside: make([]float64, g*g),
-		prefix: make([]float64, (g+1)*(g+1)),
-	}
-	// Pass 1: column partial sums (same recurrence as Fig 9 pass 1).
-	for i := 0; i < g; i++ {
-		for j := i + 1; j < g; j++ {
-			p.down[i*g+j] = p.down[i*g+j-1] + h.Count(i, j-1)
-		}
-	}
-	// Pass 2: row and region partial sums (Fig 9 pass 2).
-	for j := g - 1; j >= 0; j-- {
-		for i := j - 1; i >= 0; i-- {
-			p.right[i*g+j] = p.right[(i+1)*g+j] + h.Count(i+1, j)
-			p.inside[i*g+j] = p.inside[(i+1)*g+j] + p.down[(i+1)*g+j]
-		}
-	}
-	// Up-left prefix matrix for the descendant-based regions.
-	for i := 0; i < g; i++ {
-		for j := 0; j < g; j++ {
-			p.prefix[(i+1)*(g+1)+j+1] = h.Count(i, j) +
-				p.prefix[i*(g+1)+j+1] + p.prefix[(i+1)*(g+1)+j] - p.prefix[i*(g+1)+j]
-		}
-	}
-	return p
-}
-
-// rect returns Σ H[k][l] over k in [i0, i1], l in [j0, j1] (inclusive,
-// clamped to the grid; empty ranges return 0).
-func (p *partialSums) rect(i0, i1, j0, j1 int) float64 {
-	if i0 < 0 {
-		i0 = 0
-	}
-	if j0 < 0 {
-		j0 = 0
-	}
-	if i1 >= p.g {
-		i1 = p.g - 1
-	}
-	if j1 >= p.g {
-		j1 = p.g - 1
-	}
-	if i0 > i1 || j0 > j1 {
-		return 0
-	}
-	g1 := p.g + 1
-	return p.prefix[(i1+1)*g1+j1+1] - p.prefix[i0*g1+j1+1] -
-		p.prefix[(i1+1)*g1+j0] + p.prefix[i0*g1+j0]
-}
+// The Fig 6 estimation formulas consume region sums of one operand
+// histogram. Those sums (column, row, inside and prefix planes) are
+// computed once per histogram and cached on the Position itself
+// (histogram.Position.Sums), so a join against a histogram that has
+// already participated in any join is O(nnz of the other operand): the
+// per-cell coefficients below are O(1) lookups into the cached planes.
+// See DESIGN.md, "Summary pipeline & performance".
 
 // ancestorCoef returns the Fig 6 ancestor-based multiplicative
-// coefficient for ancestor cell (i, j): the expected number of
-// descendant-histogram points joining with one point in (i, j).
-func (p *partialSums) ancestorCoef(i, j int) float64 {
+// coefficient for ancestor cell (i, j) against the descendant
+// histogram's sums: the expected number of descendant-histogram points
+// joining with one point in (i, j).
+func ancestorCoef(s *histogram.Sums, i, j int) float64 {
 	if i == j {
-		return p.h.Count(i, i) / 12
+		return s.Self(i, i) / 12
 	}
-	return p.at(p.inside, i, j) +
-		p.at(p.down, i, j) - p.h.Count(i, i)/2 +
-		p.at(p.right, i, j) - p.h.Count(j, j)/2 +
-		p.h.Count(i, j)/4
+	return s.Inside(i, j) +
+		s.Down(i, j) - s.Self(i, i)/2 +
+		s.Right(i, j) - s.Self(j, j)/2 +
+		s.Self(i, j)/4
 }
 
 // descendantCoef returns the Fig 6 descendant-based coefficient for
-// descendant cell (i, j): the expected number of ancestor-histogram
-// points joining with one point in (i, j). Regions F (same column,
-// above), G (strictly up-left) and H (same row, left) count with weight
-// 1; the cell itself with 1/4 off-diagonal and 1/12 on-diagonal.
-func (p *partialSums) descendantCoef(i, j int) float64 {
-	self := p.h.Count(i, j)
+// descendant cell (i, j) against the ancestor histogram's sums: the
+// expected number of ancestor-histogram points joining with one point
+// in (i, j). Regions F (same column, above), G (strictly up-left) and
+// H (same row, left) count with weight 1; the cell itself with 1/4
+// off-diagonal and 1/12 on-diagonal.
+func descendantCoef(s *histogram.Sums, i, j int) float64 {
+	g := s.GridSize()
+	self := s.Self(i, j)
 	selfW := 0.25
 	if i == j {
 		selfW = 1.0 / 12
 	}
-	return p.rect(0, i-1, j+1, p.g-1) + // G: strictly up-left block
-		p.rect(i, i, j+1, p.g-1) + // F: same start column, ending above
-		p.rect(0, i-1, j, j) + // H: same end row, starting left
+	return s.Rect(0, i-1, j+1, g-1) + // G: strictly up-left block
+		s.Rect(i, i, j+1, g-1) + // F: same start column, ending above
+		s.Rect(0, i-1, j, j) + // H: same end row, starting left
 		selfW*self
-}
-
-// triangle returns Σ_{m=i..j} Σ_{n=m..j} H[m][n] — the descendant-region
-// triangle the Fig 10 participation formula (case 2) sums over.
-func (p *partialSums) triangle(i, j int) float64 {
-	if i > j {
-		return 0
-	}
-	return p.at(p.inside, i, j) + p.at(p.down, i, j) + p.at(p.right, i, j) + p.h.Count(i, j)
 }
 
 // EstimateAncestorBased computes the Fig 6 ancestor-based estimation
 // histogram for the pattern P1//P2: cell (i, j) holds the estimated
 // number of (ancestor, descendant) pairs whose ancestor falls in cell
-// (i, j) of histA. histA and histB must share a grid.
+// (i, j) of histA. histA and histB must share a grid. Only histA's
+// non-zero cells are visited, against histB's cached sums.
 func EstimateAncestorBased(histA, histB *histogram.Position) (*histogram.Position, error) {
 	if err := checkGrids(histA, histB); err != nil {
 		return nil, err
 	}
-	ps := newPartialSums(histB)
+	s := histB.Sums()
 	out := histogram.NewPosition(histA.Grid())
-	histA.EachNonZero(func(i, j int, c float64) {
-		if est := c * ps.ancestorCoef(i, j); est != 0 {
-			out.Set(i, j, est)
+	for _, c := range histA.NonZeroCells() {
+		if est := c.Count * ancestorCoef(s, c.I, c.J); est != 0 {
+			out.Set(c.I, c.J, est)
 		}
-	})
+	}
 	return out, nil
 }
 
@@ -145,13 +73,13 @@ func EstimateDescendantBased(histA, histB *histogram.Position) (*histogram.Posit
 	if err := checkGrids(histA, histB); err != nil {
 		return nil, err
 	}
-	ps := newPartialSums(histA)
+	s := histA.Sums()
 	out := histogram.NewPosition(histB.Grid())
-	histB.EachNonZero(func(i, j int, c float64) {
-		if est := c * ps.descendantCoef(i, j); est != 0 {
-			out.Set(i, j, est)
+	for _, c := range histB.NonZeroCells() {
+		if est := c.Count * descendantCoef(s, c.I, c.J); est != 0 {
+			out.Set(c.I, c.J, est)
 		}
-	})
+	}
 	return out, nil
 }
 
@@ -162,12 +90,12 @@ func EstimateDescendantBased(histA, histB *histogram.Position) (*histogram.Posit
 // histogram itself), after which any join against that descendant
 // reduces to a cell-wise multiply-accumulate.
 func AncestorCoefficients(histB *histogram.Position) *histogram.Position {
-	ps := newPartialSums(histB)
+	s := histB.Sums()
 	g := histB.Grid().Size()
 	out := histogram.NewPosition(histB.Grid())
 	for i := 0; i < g; i++ {
 		for j := i; j < g; j++ {
-			if c := ps.ancestorCoef(i, j); c != 0 {
+			if c := ancestorCoef(s, i, j); c != 0 {
 				out.Set(i, j, c)
 			}
 		}

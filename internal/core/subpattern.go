@@ -39,10 +39,17 @@ type SubPattern struct {
 // Leaf returns the sub-pattern of a single pattern node: its estimate
 // and participation both equal the predicate's position histogram, and
 // its join factor is one everywhere.
+//
+// The leaf shares the base histogram directly instead of cloning it:
+// joins never mutate their operands, so sharing keeps the base's cached
+// partial sums and sparse cell list (histogram.Position.Sums and
+// NonZeroCells) warm across every estimate that touches the predicate.
+// Sub-pattern histograms must therefore be treated as read-only by all
+// downstream code; join results are always freshly allocated.
 func Leaf(base *histogram.Position, cvg *histogram.Coverage, noOverlap bool) SubPattern {
 	return SubPattern{
-		Est:       base.Clone(),
-		Hist:      base.Clone(),
+		Est:       base,
+		Hist:      base,
 		Base:      base,
 		Cvg:       cvg,
 		NoOverlap: noOverlap,
@@ -91,13 +98,13 @@ func joinAncestorOverlap(anc, desc SubPattern) (SubPattern, error) {
 	// histogram: each participating ancestor node carries jnFct(anc)
 	// matches of its own sub-pattern and pairs with the descendant
 	// match mass in its join regions.
-	ps := newPartialSums(desc.Est)
+	ps := desc.Est.Sums()
 	est := histogram.NewPosition(anc.Est.Grid())
-	anc.Est.EachNonZero(func(i, j int, c float64) {
-		if v := c * ps.ancestorCoef(i, j); v != 0 {
-			est.Set(i, j, v)
+	for _, c := range anc.Est.NonZeroCells() {
+		if v := c.Count * ancestorCoef(ps, c.I, c.J); v != 0 {
+			est.Set(c.I, c.J, v)
 		}
-	})
+	}
 	// Participation, case 1 (overlap anchor): HistAB = EstAB, capped at
 	// the number of distinct anchor nodes actually present per cell.
 	hist := capCellwise(est, anc.Hist)
@@ -106,7 +113,6 @@ func joinAncestorOverlap(anc, desc SubPattern) (SubPattern, error) {
 
 func joinAncestorNoOverlap(anc, desc SubPattern) (SubPattern, error) {
 	grid := anc.Est.Grid()
-	g := grid.Size()
 
 	// Estimate (Fig 10, ancestor-based):
 	// Est[i][j] = JnFct_anc[i][j] ×
@@ -121,37 +127,35 @@ func joinAncestorNoOverlap(anc, desc SubPattern) (SubPattern, error) {
 		}
 	})
 	est := histogram.NewPosition(grid)
-	for i := 0; i < g; i++ {
-		for j := i; j < g; j++ {
-			if v := anc.jnFct(i, j) * covMass.Count(i, j); v != 0 {
-				est.Set(i, j, v)
-			}
+	covMass.EachNonZero(func(i, j int, mass float64) {
+		if v := anc.jnFct(i, j) * mass; v != 0 {
+			est.Set(i, j, v)
 		}
-	}
+	})
 
 	// Participation (Fig 10, case 2):
 	// N = Hist_anc[i][j], M = Σ_{m=i..j, n=m..j} Hist_desc[m][n],
-	// HistAB[i][j] = N × (1 - ((N-1)/N)^M).
-	descPart := newPartialSums(desc.Hist)
+	// HistAB[i][j] = N × (1 - ((N-1)/N)^M). Only the ancestor's
+	// non-zero cells can participate; the triangle sum M is an O(1)
+	// lookup into the descendant participation histogram's cached sums.
+	descPart := desc.Hist.Sums()
 	hist := histogram.NewPosition(grid)
-	for i := 0; i < g; i++ {
-		for j := i; j < g; j++ {
-			n := anc.Hist.Count(i, j)
-			if n <= 0 {
-				continue
-			}
-			m := descPart.triangle(i, j)
-			if m <= 0 {
-				continue
-			}
-			var part float64
-			if n <= 1 {
-				part = n // a single ancestor participates if any descendant exists
-			} else {
-				part = n * (1 - math.Pow((n-1)/n, m))
-			}
-			hist.Set(i, j, part)
+	for _, c := range anc.Hist.NonZeroCells() {
+		n := c.Count
+		if n <= 0 {
+			continue
 		}
+		m := descPart.Triangle(c.I, c.J)
+		if m <= 0 {
+			continue
+		}
+		var part float64
+		if n <= 1 {
+			part = n // a single ancestor participates if any descendant exists
+		} else {
+			part = n * (1 - math.Pow((n-1)/n, m))
+		}
+		hist.Set(c.I, c.J, part)
 	}
 
 	// Coverage propagation (Fig 10, case 1):
@@ -188,11 +192,11 @@ func JoinDescendant(anc, desc SubPattern) (SubPattern, error) {
 				covFct.Add(vi, vj, f*jf)
 			}
 		})
-		desc.Est.EachNonZero(func(i, j int, e float64) {
-			if v := e * covFct.Count(i, j); v != 0 {
-				est.Set(i, j, v)
+		for _, c := range desc.Est.NonZeroCells() {
+			if v := c.Count * covFct.Count(c.I, c.J); v != 0 {
+				est.Set(c.I, c.J, v)
 			}
-		})
+		}
 		// Participation (Fig 10, case 3): the descendant participates in
 		// proportion to its covered fraction by non-empty ancestor cells.
 		hist := histogram.NewPosition(grid)
@@ -202,11 +206,11 @@ func JoinDescendant(anc, desc SubPattern) (SubPattern, error) {
 				covPart.Add(vi, vj, f)
 			}
 		})
-		desc.Hist.EachNonZero(func(i, j int, h float64) {
-			if v := h * covPart.Count(i, j); v != 0 {
-				hist.Set(i, j, v)
+		for _, c := range desc.Hist.NonZeroCells() {
+			if v := c.Count * covPart.Count(c.I, c.J); v != 0 {
+				hist.Set(c.I, c.J, v)
 			}
-		})
+		}
 		// Coverage propagation (Fig 10, case 2) applies when the
 		// descendant anchor itself is no-overlap with coverage.
 		var cvg *histogram.Coverage
@@ -223,12 +227,12 @@ func JoinDescendant(anc, desc SubPattern) (SubPattern, error) {
 	}
 
 	// Primitive descendant-based (Fig 6).
-	ps := newPartialSums(anc.Est)
-	desc.Est.EachNonZero(func(i, j int, c float64) {
-		if v := c * ps.descendantCoef(i, j); v != 0 {
-			est.Set(i, j, v)
+	ps := anc.Est.Sums()
+	for _, c := range desc.Est.NonZeroCells() {
+		if v := c.Count * descendantCoef(ps, c.I, c.J); v != 0 {
+			est.Set(c.I, c.J, v)
 		}
-	})
+	}
 	hist := capCellwise(est, desc.Hist)
 	var cvg *histogram.Coverage
 	if desc.NoOverlap && desc.Cvg != nil {

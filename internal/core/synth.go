@@ -49,6 +49,10 @@ func (op SynthOp) String() string {
 // to every estimation entry point (patterns reference it with the
 // {name} syntax). Synthesis requires the TRUE histogram, which
 // NewEstimator always builds.
+//
+// Synthesize writes the estimator's summary maps and must not be
+// called concurrently with estimation; register synthesized predicates
+// before sharing the estimator across goroutines.
 func (e *Estimator) Synthesize(name string, op SynthOp, parts ...string) error {
 	if _, exists := e.hists[name]; exists {
 		return fmt.Errorf("core: predicate %q already registered", name)

@@ -2,6 +2,8 @@ package histogram
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"xmlest/internal/xmltree"
 )
@@ -33,6 +35,19 @@ type Coverage struct {
 	// frac[v][a] = fraction of TRUE-nodes in cell v covered by P-nodes
 	// in cell a. Zero-fraction entries are not stored.
 	frac map[cellKey]map[cellKey]float64
+
+	// entries caches the stored entries sorted by (v, a), built lazily
+	// and invalidated by SetFrac. Iterating the sorted slice makes
+	// EachFrac deterministic (map order is not) and cheaper in the join
+	// inner loops.
+	entries atomic.Pointer[[]covEntry]
+}
+
+// covEntry is one stored coverage fraction in the flattened, sorted
+// iteration cache.
+type covEntry struct {
+	v, a cellKey
+	f    float64
 }
 
 // BuildCoverage constructs the exact coverage histogram for the
@@ -44,53 +59,101 @@ type Coverage struct {
 // trueHist must be the TRUE histogram on the same grid; it supplies the
 // per-cell population denominators.
 func BuildCoverage(t *xmltree.Tree, pnodes []xmltree.NodeID, trueHist *Position) (*Coverage, error) {
+	if g := trueHist.Grid().Size(); g > MaxGridSize {
+		return nil, fmt.Errorf("histogram: grid size %d exceeds the supported maximum %d", g, MaxGridSize)
+	}
+	return BuildCoverageFromCells(t, pnodes, trueHist, ComputeNodeCells(t, trueHist.Grid()))
+}
+
+// BuildCoverageFromCells is BuildCoverage with the per-node grid cells
+// precomputed (see ComputeNodeCells), so the sweep does no bucket
+// searches and no per-node map operations: descendants accumulate into
+// a dense g×g plane per distinct ancestor cell (Theorem 1 bounds the
+// distinct ancestor cells by O(g), so the planes stay small).
+//
+// Because node ids follow pre-order and intervals nest, the proper
+// descendants of a P-node occupy the contiguous id range just after it,
+// so the sweep visits only covered nodes — O(|P| + covered) rather than
+// one pass over the whole tree. Leaf-tag predicates cover nothing and
+// cost O(|P|).
+func BuildCoverageFromCells(t *xmltree.Tree, pnodes []xmltree.NodeID, trueHist *Position, nc *NodeCells) (*Coverage, error) {
 	grid := trueHist.Grid()
+	g := grid.Size()
 	cov := &Coverage{grid: grid, frac: make(map[cellKey]map[cellKey]float64)}
 
-	counts := make(map[cellKey]map[cellKey]float64)
-	// Sweep all nodes in document (pre-order = start) order, maintaining
-	// the currently-open P-interval, if any. pnodes is start-sorted, so a
-	// single cursor suffices; no-overlap means at most one P-interval is
-	// open at a time.
-	cursor := 0
-	openEnd := -1
-	var openCell cellKey
-	for id := 1; id < len(t.Nodes); id++ {
-		n := &t.Nodes[id]
-		if n.Start > openEnd {
-			openEnd = -1
-		}
-		if cursor < len(pnodes) && pnodes[cursor] == xmltree.NodeID(id) {
-			p := t.Node(pnodes[cursor])
-			if openEnd >= 0 && p.End <= openEnd {
-				return nil, fmt.Errorf("histogram: BuildCoverage on overlapping predicate (node %d nested)", id)
+	// Dense planes trade O(g²) memory per distinct ancestor cell (O(g)
+	// of them, Theorem 1) for map-free accumulation. That is the right
+	// trade at the paper's grid sizes but grows O(g³) transient memory,
+	// so very large grids fall back to sparse per-plane maps.
+	const densePlaneLimit = 128
+	dense := g <= densePlaneLimit
+
+	planeID := make(map[cellKey]int)
+	var planes [][]float64
+	var sparsePlanes []map[int]float64
+	var planeCells []cellKey // first-open order, parallel to planes
+	for cursor := 0; cursor < len(pnodes); cursor++ {
+		p := t.Node(pnodes[cursor])
+		// pnodes is start-sorted, so any P-node nested inside p would be
+		// the immediately following one.
+		if cursor+1 < len(pnodes) {
+			if next := t.Node(pnodes[cursor+1]); next.Start < p.End {
+				return nil, fmt.Errorf("histogram: BuildCoverage on overlapping predicate (node %d nested)", pnodes[cursor+1])
 			}
-			openEnd = p.End
-			openCell = key(grid.Bucket(p.Start), grid.Bucket(p.End))
-			cursor++
-			continue // a P-node is not its own descendant
 		}
-		if openEnd >= 0 && n.End < openEnd {
-			v := key(grid.Bucket(n.Start), grid.Bucket(n.End))
-			m := counts[v]
-			if m == nil {
-				m = make(map[cellKey]float64)
-				counts[v] = m
+		ak := key(int(nc.I[pnodes[cursor]]), int(nc.J[pnodes[cursor]]))
+		pid, ok := planeID[ak]
+		if !ok {
+			pid = len(planeCells)
+			planeID[ak] = pid
+			planeCells = append(planeCells, ak)
+			if dense {
+				planes = append(planes, make([]float64, g*g))
+			} else {
+				sparsePlanes = append(sparsePlanes, make(map[int]float64))
 			}
-			m[openCell]++
+		}
+		// The proper descendants of p: ids after p while starts stay
+		// inside p's interval (their ends nest inside automatically).
+		last := len(t.Nodes)
+		if dense {
+			open := planes[pid]
+			for id := int(pnodes[cursor]) + 1; id < last && t.Nodes[id].Start < p.End; id++ {
+				open[int(nc.I[id])*g+int(nc.J[id])]++
+			}
+		} else {
+			open := sparsePlanes[pid]
+			for id := int(pnodes[cursor]) + 1; id < last && t.Nodes[id].Start < p.End; id++ {
+				open[int(nc.I[id])*g+int(nc.J[id])]++
+			}
 		}
 	}
-	for v, byA := range counts {
-		i, j := v.split()
+	store := func(pid, idx int, c float64) {
+		i, j := idx/g, idx%g
 		pop := trueHist.Count(i, j)
 		if pop <= 0 {
-			continue
+			return
 		}
-		m := make(map[cellKey]float64, len(byA))
-		for a, c := range byA {
-			m[a] = c / pop
+		v := key(i, j)
+		m := cov.frac[v]
+		if m == nil {
+			m = make(map[cellKey]float64)
+			cov.frac[v] = m
 		}
-		cov.frac[v] = m
+		m[planeCells[pid]] = c / pop
+	}
+	for pid := range planeCells {
+		if dense {
+			for idx, c := range planes[pid] {
+				if c != 0 {
+					store(pid, idx, c)
+				}
+			}
+		} else {
+			for idx, c := range sparsePlanes[pid] {
+				store(pid, idx, c)
+			}
+		}
 	}
 	return cov, nil
 }
@@ -104,6 +167,7 @@ func NewCoverage(grid Grid) *Coverage {
 
 // SetFrac sets Cvg[i][j][m][n]. Setting zero removes the entry.
 func (c *Coverage) SetFrac(i, j, m, n int, f float64) {
+	c.entries.Store(nil)
 	v := key(i, j)
 	if f == 0 {
 		if byA, ok := c.frac[v]; ok {
@@ -120,6 +184,19 @@ func (c *Coverage) SetFrac(i, j, m, n int, f float64) {
 		c.frac[v] = byA
 	}
 	byA[key(m, n)] = f
+}
+
+// Clone returns a deep copy.
+func (c *Coverage) Clone() *Coverage {
+	out := &Coverage{grid: c.grid, frac: make(map[cellKey]map[cellKey]float64, len(c.frac))}
+	for v, byA := range c.frac {
+		m := make(map[cellKey]float64, len(byA))
+		for a, f := range byA {
+			m[a] = f
+		}
+		out.frac[v] = m
+	}
+	return out
 }
 
 // Grid returns the coverage histogram's grid.
@@ -145,15 +222,39 @@ func (c *Coverage) CoveredFrac(i, j int) float64 {
 	return s
 }
 
-// EachFrac calls fn for every stored (non-zero) coverage entry.
+// EachFrac calls fn for every stored (non-zero) coverage entry, in
+// ascending (i, j, m, n) order. The sorted order makes estimation
+// arithmetic deterministic (floating-point accumulation is order-
+// sensitive, and map iteration order is not stable); the flattened
+// entry list is cached until the next SetFrac.
 func (c *Coverage) EachFrac(fn func(i, j, m, n int, f float64)) {
+	for _, e := range c.sortedEntries() {
+		i, j := e.v.split()
+		m, n := e.a.split()
+		fn(i, j, m, n, e.f)
+	}
+}
+
+// sortedEntries returns the cached flattened entry list, building it on
+// first use after a mutation.
+func (c *Coverage) sortedEntries() []covEntry {
+	if p := c.entries.Load(); p != nil {
+		return *p
+	}
+	out := make([]covEntry, 0, c.Entries())
 	for v, byA := range c.frac {
-		i, j := v.split()
 		for a, f := range byA {
-			m, n := a.split()
-			fn(i, j, m, n, f)
+			out = append(out, covEntry{v: v, a: a, f: f})
 		}
 	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x].v != out[y].v {
+			return out[x].v < out[y].v
+		}
+		return out[x].a < out[y].a
+	})
+	c.entries.Store(&out)
+	return out
 }
 
 // PartialCells returns the number of stored cell pairs whose coverage is

@@ -2,6 +2,7 @@ package histogram
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"xmlest/internal/xmltree"
 )
@@ -19,6 +20,14 @@ type Position struct {
 	grid  Grid
 	cells []float64 // row-major: cells[i*g+j]
 	total float64
+
+	// Lazily built, atomically published caches: the sparse non-zero
+	// cell list and the partial/prefix summation planes. Any mutation
+	// (Add, Set, Scale) invalidates both; reads rebuild on demand.
+	// Concurrent readers may race to build, which only duplicates work —
+	// both build identical values from the same cells.
+	nz   atomic.Pointer[[]Cell]
+	sums atomic.Pointer[Sums]
 }
 
 // NewPosition returns an empty histogram on the given grid.
@@ -52,6 +61,33 @@ func BuildTrue(t *xmltree.Tree, grid Grid) *Position {
 	return h
 }
 
+// BuildPositionFromCells constructs the position histogram of a node
+// list from precomputed node cells (see ComputeNodeCells), avoiding the
+// per-node bucket searches of BuildPosition. It is the per-predicate
+// build the estimator's construction pipeline uses: cells are computed
+// once per tree and shared across every predicate.
+func BuildPositionFromCells(nc *NodeCells, nodes []xmltree.NodeID) *Position {
+	h := NewPosition(nc.grid)
+	g := nc.grid.Size()
+	for _, id := range nodes {
+		h.cells[int(nc.I[id])*g+int(nc.J[id])]++
+	}
+	h.total = float64(len(nodes))
+	return h
+}
+
+// BuildTrueFromCells constructs the TRUE histogram from precomputed
+// node cells.
+func BuildTrueFromCells(nc *NodeCells) *Position {
+	h := NewPosition(nc.grid)
+	g := nc.grid.Size()
+	for id := 1; id < len(nc.I); id++ {
+		h.cells[int(nc.I[id])*g+int(nc.J[id])]++
+	}
+	h.total = float64(len(nc.I) - 1)
+	return h
+}
+
 // Grid returns the histogram's grid.
 func (h *Position) Grid() Grid { return h.grid }
 
@@ -65,6 +101,7 @@ func (h *Position) Count(i, j int) float64 {
 func (h *Position) Add(i, j int, v float64) {
 	h.cells[i*h.grid.Size()+j] += v
 	h.total += v
+	h.invalidate()
 }
 
 // Set overwrites cell (i, j).
@@ -72,6 +109,13 @@ func (h *Position) Set(i, j int, v float64) {
 	idx := i*h.grid.Size() + j
 	h.total += v - h.cells[idx]
 	h.cells[idx] = v
+	h.invalidate()
+}
+
+// invalidate drops the cached sparse cell list and summation planes.
+func (h *Position) invalidate() {
+	h.nz.Store(nil)
+	h.sums.Store(nil)
 }
 
 // Total returns the sum over all cells.
@@ -103,7 +147,42 @@ func (h *Position) Scale(f float64) *Position {
 		h.cells[i] *= f
 	}
 	h.total *= f
+	h.invalidate()
 	return h
+}
+
+// NonZeroCells returns the histogram's non-zero cells in (i, j) order —
+// the sparse representation whose size Theorem 1 bounds by O(g) for
+// built histograms. The list is computed on first use and cached until
+// the histogram is mutated. Callers must not modify the returned slice.
+func (h *Position) NonZeroCells() []Cell {
+	if p := h.nz.Load(); p != nil {
+		return *p
+	}
+	g := h.grid.Size()
+	cells := make([]Cell, 0, 2*g)
+	for i := 0; i < g; i++ {
+		for j := i; j < g; j++ {
+			if c := h.cells[i*g+j]; c != 0 {
+				cells = append(cells, Cell{I: i, J: j, Count: c})
+			}
+		}
+	}
+	h.nz.Store(&cells)
+	return cells
+}
+
+// Sums returns the histogram's partial/prefix summation planes,
+// computed on first use and cached until the histogram is mutated.
+// Sharing the cached planes across joins turns each subsequent join
+// against this histogram from O(g²) into O(nnz of the other operand).
+func (h *Position) Sums() *Sums {
+	if s := h.sums.Load(); s != nil {
+		return s
+	}
+	s := newSums(h)
+	h.sums.Store(s)
+	return s
 }
 
 // EachNonZero calls fn for every non-zero cell in (i, j) order.

@@ -1,0 +1,187 @@
+package histogram
+
+import (
+	"fmt"
+
+	"xmlest/internal/xmltree"
+)
+
+// MaxGridSize is the largest grid NodeCells can represent (bucket
+// indices are uint16). Grid-accepting entry points reject larger grids
+// with an error before reaching NodeCells.
+const MaxGridSize = 1 << 16
+
+// Cell is one non-zero cell of a position histogram, in the sparse
+// representation Theorem 1 motivates: a built histogram has O(g)
+// non-zero cells, so iterating cells beats scanning the dense g×g
+// array whenever g is large or the same histogram participates in many
+// joins.
+type Cell struct {
+	I, J  int
+	Count float64
+}
+
+// Sums holds every partial and prefix summation plane the Fig 6 / Fig 9
+// estimation formulas consult, precomputed once per histogram in O(g²)
+// and cached on the Position (see Position.Sums). With the planes in
+// hand, each per-cell join coefficient is O(1), so a join over a sparse
+// operand costs O(nnz) instead of O(g²).
+//
+// Plane definitions for the source histogram H:
+//
+//	Self(i, j)   = H[i][j]
+//	Down(i, j)   = Σ_{l=i..j-1} H[i][l]               (same start column, below)
+//	Right(i, j)  = Σ_{k=i+1..j} H[k][j]               (same end row, to the right)
+//	Inside(i, j) = Σ_{k=i+1..j} Σ_{l=k..j-1} H[k][l]  (strictly inside)
+//	Rect(...)    = axis-aligned rectangle sums from an up-left prefix matrix
+type Sums struct {
+	g                         int
+	self, down, right, inside []float64
+
+	// prefix[i][j] = Σ_{k<=i} Σ_{l<=j} H[k][l], with one extra row and
+	// column of zeros at index 0, used for the up-left region sums.
+	prefix []float64
+}
+
+// newSums computes every plane for h. The passes mirror the Fig 9
+// pseudo-code (see PHJoinDense for the literal transcription).
+func newSums(h *Position) *Sums {
+	g := h.grid.Size()
+	s := &Sums{
+		g:      g,
+		self:   make([]float64, g*g),
+		down:   make([]float64, g*g),
+		right:  make([]float64, g*g),
+		inside: make([]float64, g*g),
+		prefix: make([]float64, (g+1)*(g+1)),
+	}
+	copy(s.self, h.cells)
+	// Pass 1: column partial sums (the Fig 9 pass 1 recurrence).
+	for i := 0; i < g; i++ {
+		for j := i + 1; j < g; j++ {
+			s.down[i*g+j] = s.down[i*g+j-1] + s.self[i*g+j-1]
+		}
+	}
+	// Pass 2: row and region partial sums (Fig 9 pass 2).
+	for j := g - 1; j >= 0; j-- {
+		for i := j - 1; i >= 0; i-- {
+			s.right[i*g+j] = s.right[(i+1)*g+j] + s.self[(i+1)*g+j]
+			s.inside[i*g+j] = s.inside[(i+1)*g+j] + s.down[(i+1)*g+j]
+		}
+	}
+	// Up-left prefix matrix for the descendant-based regions.
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			s.prefix[(i+1)*(g+1)+j+1] = s.self[i*g+j] +
+				s.prefix[i*(g+1)+j+1] + s.prefix[(i+1)*(g+1)+j] - s.prefix[i*(g+1)+j]
+		}
+	}
+	return s
+}
+
+// GridSize returns the number of buckets per axis of the summed grid.
+func (s *Sums) GridSize() int { return s.g }
+
+// Self returns H[i][j].
+func (s *Sums) Self(i, j int) float64 { return s.self[i*s.g+j] }
+
+// Down returns the same-start-column partial sum below (i, j).
+func (s *Sums) Down(i, j int) float64 { return s.down[i*s.g+j] }
+
+// Right returns the same-end-row partial sum to the right of (i, j).
+func (s *Sums) Right(i, j int) float64 { return s.right[i*s.g+j] }
+
+// Inside returns the strictly-inside region sum of (i, j).
+func (s *Sums) Inside(i, j int) float64 { return s.inside[i*s.g+j] }
+
+// Rect returns Σ H[k][l] over k in [i0, i1], l in [j0, j1] (inclusive,
+// clamped to the grid; empty ranges return 0).
+func (s *Sums) Rect(i0, i1, j0, j1 int) float64 {
+	if i0 < 0 {
+		i0 = 0
+	}
+	if j0 < 0 {
+		j0 = 0
+	}
+	if i1 >= s.g {
+		i1 = s.g - 1
+	}
+	if j1 >= s.g {
+		j1 = s.g - 1
+	}
+	if i0 > i1 || j0 > j1 {
+		return 0
+	}
+	g1 := s.g + 1
+	return s.prefix[(i1+1)*g1+j1+1] - s.prefix[i0*g1+j1+1] -
+		s.prefix[(i1+1)*g1+j0] + s.prefix[i0*g1+j0]
+}
+
+// Triangle returns Σ_{m=i..j} Σ_{n=m..j} H[m][n] — the descendant-region
+// triangle the Fig 10 participation formula (case 2) sums over.
+func (s *Sums) Triangle(i, j int) float64 {
+	if i > j {
+		return 0
+	}
+	return s.Inside(i, j) + s.Down(i, j) + s.Right(i, j) + s.Self(i, j)
+}
+
+// NodeCells is the precomputed grid cell (start bucket, end bucket) of
+// every tree node, shared by all per-predicate summary builds of one
+// estimator so bucket lookups run once per node instead of once per
+// node per predicate. Index 0 is the dummy root and is never consulted.
+type NodeCells struct {
+	grid Grid
+	I, J []uint16
+}
+
+// ComputeNodeCells buckets every node of the tree once. A transient
+// position→bucket lookup table makes each node O(1); positions are
+// dense interval labels, so the table is ~2 bytes per position and is
+// released when the function returns. Trees with unusually sparse
+// labels fall back to per-node binary search.
+func ComputeNodeCells(t *xmltree.Tree, grid Grid) *NodeCells {
+	if grid.Size() > MaxGridSize {
+		// Bucket indices are stored as uint16; silent wrap-around would
+		// corrupt every downstream histogram. Error-returning entry
+		// points (NewEstimator, BuildCoverage) reject such grids before
+		// reaching here.
+		panic(fmt.Sprintf("histogram: grid size %d exceeds %d", grid.Size(), MaxGridSize))
+	}
+	n := len(t.Nodes)
+	nc := &NodeCells{grid: grid, I: make([]uint16, n), J: make([]uint16, n)}
+	bounds := grid.Bounds()
+	g := grid.Size()
+	maxPos := grid.MaxPos()
+	// Interval numbering assigns 2 labels per node, so a dense tree has
+	// maxPos ≈ 2n; 8× covers generous label gaps before the table stops
+	// paying for itself.
+	if maxPos <= 8*n+1024 {
+		table := make([]uint16, maxPos)
+		for b := 0; b < g; b++ {
+			for pos := bounds[b]; pos < bounds[b+1]; pos++ {
+				table[pos] = uint16(b)
+			}
+		}
+		for id := 1; id < n; id++ {
+			node := &t.Nodes[id]
+			nc.I[id] = table[node.Start]
+			nc.J[id] = table[node.End]
+		}
+		return nc
+	}
+	for id := 1; id < n; id++ {
+		node := &t.Nodes[id]
+		nc.I[id] = uint16(grid.Bucket(node.Start))
+		nc.J[id] = uint16(grid.Bucket(node.End))
+	}
+	return nc
+}
+
+// Grid returns the grid the cells were computed on.
+func (nc *NodeCells) Grid() Grid { return nc.grid }
+
+// Cell returns the (start bucket, end bucket) cell of a node id.
+func (nc *NodeCells) Cell(id xmltree.NodeID) (int, int) {
+	return int(nc.I[id]), int(nc.J[id])
+}

@@ -42,15 +42,26 @@ func CountPairs(t *xmltree.Tree, anc, desc []xmltree.NodeID) int64 {
 }
 
 // CountChildPairs returns the exact number of (u, v) pairs with v's
-// parent equal to u. Runs in O(|anc| + |desc|).
+// parent equal to u. anc must be sorted by start position (catalog
+// lists are); parents are located by binary search on the sorted start
+// array, avoiding the per-call hash map an earlier version allocated.
+// Runs in O(|anc| + |desc| log |anc|).
 func CountChildPairs(t *xmltree.Tree, anc, desc []xmltree.NodeID) int64 {
-	in := make(map[xmltree.NodeID]bool, len(anc))
-	for _, a := range anc {
-		in[a] = true
+	starts := make([]int, len(anc))
+	for i, a := range anc {
+		starts[i] = t.Node(a).Start
 	}
 	var total int64
 	for _, d := range desc {
-		if in[t.Node(d).Parent] {
+		p := t.Node(d).Parent
+		if p == xmltree.InvalidNode {
+			continue
+		}
+		ps := t.Node(p).Start
+		// Start labels are unique, so an equal start identifies the
+		// parent; the id comparison guards mixed-tree inputs.
+		k := sort.SearchInts(starts, ps)
+		if k < len(starts) && starts[k] == ps && anc[k] == p {
 			total++
 		}
 	}

@@ -47,9 +47,7 @@ func (c *Catalog) Add(pred Predicate) *Entry {
 	var nodes []xmltree.NodeID
 	// Fast path: pure tag predicates read the postings list directly.
 	if tp, ok := pred.(Tag); ok {
-		src := c.Tree.NodesWithTag(tp.Value)
-		nodes = make([]xmltree.NodeID, len(src))
-		copy(nodes, src)
+		nodes = c.tagNodes(tp)
 	} else {
 		for id := xmltree.NodeID(1); int(id) < len(c.Tree.Nodes); id++ {
 			if pred.Eval(c.Tree, id) {
@@ -57,6 +55,50 @@ func (c *Catalog) Add(pred Predicate) *Entry {
 			}
 		}
 	}
+	return c.register(pred, nodes)
+}
+
+// AddBatch materializes several predicates in one shared pass over the
+// tree and registers them in order: Tag predicates still read their
+// postings lists directly, and all remaining predicates are evaluated
+// node by node in a single O(n) scan instead of one scan each. The
+// entries are identical to calling Add per predicate in the same order.
+func (c *Catalog) AddBatch(preds []Predicate) []*Entry {
+	nodeLists := make([][]xmltree.NodeID, len(preds))
+	var scan []int // indices of predicates needing the shared scan
+	for k, pred := range preds {
+		if tp, ok := pred.(Tag); ok {
+			nodeLists[k] = c.tagNodes(tp)
+		} else {
+			scan = append(scan, k)
+		}
+	}
+	if len(scan) > 0 {
+		for id := xmltree.NodeID(1); int(id) < len(c.Tree.Nodes); id++ {
+			for _, k := range scan {
+				if preds[k].Eval(c.Tree, id) {
+					nodeLists[k] = append(nodeLists[k], id)
+				}
+			}
+		}
+	}
+	entries := make([]*Entry, len(preds))
+	for k, pred := range preds {
+		entries[k] = c.register(pred, nodeLists[k])
+	}
+	return entries
+}
+
+// tagNodes copies a tag predicate's postings list.
+func (c *Catalog) tagNodes(tp Tag) []xmltree.NodeID {
+	src := c.Tree.NodesWithTag(tp.Value)
+	nodes := make([]xmltree.NodeID, len(src))
+	copy(nodes, src)
+	return nodes
+}
+
+// register detects the no-overlap property and stores the entry.
+func (c *Catalog) register(pred Predicate, nodes []xmltree.NodeID) *Entry {
 	e := &Entry{Pred: pred, Nodes: nodes, NoOverlap: noOverlap(c.Tree, nodes)}
 	if _, exists := c.entries[pred.Name()]; !exists {
 		c.order = append(c.order, pred.Name())

@@ -1,0 +1,75 @@
+package predicate
+
+import (
+	"testing"
+
+	"xmlest/internal/xmltree"
+)
+
+// TestAddBatchMatchesAdd asserts the shared-scan batch registration is
+// indistinguishable from per-predicate Add: same node lists, same
+// no-overlap detection, same registration order.
+func TestAddBatchMatchesAdd(t *testing.T) {
+	tr := xmltree.Fig1Document()
+	preds := []Predicate{
+		Tag{Value: "faculty"},
+		ContentPrefix{Value: "J"},
+		And{Parts: []Predicate{Tag{Value: "TA"}}},
+		Named{Alias: "everything", Inner: True{}},
+		Tag{Value: "RA"},
+		Or{Parts: []Predicate{Tag{Value: "TA"}, Tag{Value: "RA"}}},
+	}
+
+	seq := NewCatalog(tr)
+	for _, p := range preds {
+		seq.Add(p)
+	}
+	batch := NewCatalog(tr)
+	entries := batch.AddBatch(preds)
+
+	if len(entries) != len(preds) {
+		t.Fatalf("AddBatch returned %d entries, want %d", len(entries), len(preds))
+	}
+	seqNames, batchNames := seq.Names(), batch.Names()
+	if len(seqNames) != len(batchNames) {
+		t.Fatalf("name counts differ: %d vs %d", len(seqNames), len(batchNames))
+	}
+	for i := range seqNames {
+		if seqNames[i] != batchNames[i] {
+			t.Fatalf("registration order differs at %d: %q vs %q", i, seqNames[i], batchNames[i])
+		}
+	}
+	for _, name := range seqNames {
+		a, b := seq.MustGet(name), batch.MustGet(name)
+		if a.NoOverlap != b.NoOverlap {
+			t.Fatalf("%s: NoOverlap %v vs %v", name, a.NoOverlap, b.NoOverlap)
+		}
+		if len(a.Nodes) != len(b.Nodes) {
+			t.Fatalf("%s: %d nodes vs %d", name, len(a.Nodes), len(b.Nodes))
+		}
+		for i := range a.Nodes {
+			if a.Nodes[i] != b.Nodes[i] {
+				t.Fatalf("%s: node %d differs: %d vs %d", name, i, a.Nodes[i], b.Nodes[i])
+			}
+		}
+	}
+}
+
+// TestAddBatchEmptyAndTagOnly covers the degenerate batches.
+func TestAddBatchEmptyAndTagOnly(t *testing.T) {
+	tr := xmltree.Fig1Document()
+	c := NewCatalog(tr)
+	if entries := c.AddBatch(nil); len(entries) != 0 {
+		t.Fatalf("empty batch returned %d entries", len(entries))
+	}
+	entries := c.AddBatch([]Predicate{Tag{Value: "TA"}, Tag{Value: "nosuch"}})
+	if len(entries) != 2 {
+		t.Fatalf("tag batch returned %d entries", len(entries))
+	}
+	if entries[0].Count() == 0 {
+		t.Fatalf("TA entry empty")
+	}
+	if entries[1].Count() != 0 {
+		t.Fatalf("nosuch entry has %d nodes", entries[1].Count())
+	}
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the tracked performance benchmarks and records ns/op into
+# BENCH_PR1.json, the first point of the repo's perf trajectory.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=2s scripts/bench.sh   # override -benchtime
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR1.json}"
+benchtime="${BENCHTIME:-1s}"
+pattern='^(BenchmarkEstimatorBuild|BenchmarkPHJoin|BenchmarkTwigEstimate|BenchmarkFacadeEstimate|BenchmarkCompiledEstimate)$'
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+  /^goos:/   { goos = $2 }
+  /^goarch:/ { goarch = $2 }
+  /^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+    ns[++count] = sprintf("    \"%s\": %s", name, $3)
+  }
+  END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"ns_per_op\": {\n"
+    for (i = 1; i <= count; i++)
+      printf "%s%s\n", ns[i], (i < count ? "," : "")
+    printf "  }\n"
+    printf "}\n"
+  }
+' "$tmp" > "$out"
+
+echo "wrote $out"

@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
+	"xmlest/internal/cache"
 	"xmlest/internal/core"
 	"xmlest/internal/match"
 	"xmlest/internal/pattern"
@@ -132,6 +134,11 @@ func (db *Database) AddAllTagPredicates() int {
 // name with the {name} syntax, or implicitly for Tag predicates).
 func (db *Database) AddPredicate(p Predicate) { db.catalog.Add(p) }
 
+// AddPredicates registers several predicates in one shared tree scan
+// (see predicate.Catalog.AddBatch): non-tag predicates are evaluated
+// together node by node instead of one full pass each.
+func (db *Database) AddPredicates(ps ...Predicate) { db.catalog.AddBatch(ps) }
+
 // Count computes the exact answer size of a twig pattern — the ground
 // truth the paper's tables report in their "Real Result" column.
 func (db *Database) Count(patternSrc string) (float64, error) {
@@ -203,10 +210,31 @@ func (db *Database) SchemaUpperBound(patternSrc string) (bound float64, ok bool,
 }
 
 // Estimator answers answer-size queries from histogram summaries.
+// Concurrent estimation is safe: it only reads the immutable
+// histograms, and the internal query caches are synchronized.
+// Registering new predicates through Core().Synthesize mutates the
+// summary maps and must not run concurrently with estimation.
 type Estimator struct {
 	inner *core.Estimator
 	db    *Database
+
+	// compiled memoizes Compile results per pattern source, so the hot
+	// path of Estimate skips re-parsing and re-joining identical
+	// queries. Bounded; misses simply recompile.
+	compileOnce sync.Once
+	compiled    *cache.LRU[string, *PreparedQuery]
 }
+
+// compiledQueries returns the lazily-initialized compiled-query cache.
+func (e *Estimator) compiledQueries() *cache.LRU[string, *PreparedQuery] {
+	e.compileOnce.Do(func() {
+		e.compiled = cache.New[string, *PreparedQuery](compiledCacheSize)
+	})
+	return e.compiled
+}
+
+// compiledCacheSize bounds the facade's compiled-query cache.
+const compiledCacheSize = 256
 
 // NewEstimator builds the position histograms (and coverage histograms
 // for no-overlap predicates) for every registered predicate.
@@ -220,14 +248,51 @@ func (db *Database) NewEstimator(opts Options) (*Estimator, error) {
 
 // Estimate estimates the answer size of a twig pattern, choosing the
 // no-overlap algorithm wherever the schema allows and the primitive
-// pH-Join elsewhere.
+// pH-Join elsewhere. Repeated estimates of the same pattern source hit
+// a bounded compiled-query cache (see Compile) and skip parsing and
+// joining entirely.
 func (e *Estimator) Estimate(patternSrc string) (Result, error) {
-	p, err := pattern.Parse(patternSrc)
+	if pq, ok := e.compiledQueries().Get(patternSrc); ok {
+		return pq.Estimate()
+	}
+	pq, err := e.Compile(patternSrc)
 	if err != nil {
 		return Result{}, err
 	}
-	return e.inner.EstimateTwig(p)
+	e.compiledQueries().Put(patternSrc, pq)
+	return pq.Estimate()
 }
+
+// Compile parses and prepares a twig pattern once: predicate references
+// are resolved eagerly (an unknown name fails here), and the compiled
+// query caches its folded join result, so Estimate on a PreparedQuery
+// costs histogram-total arithmetic only. Use Compile for hot query
+// paths that bypass the facade's internal cache, or to surface pattern
+// errors early.
+func (e *Estimator) Compile(patternSrc string) (*PreparedQuery, error) {
+	p, err := pattern.Parse(patternSrc)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := e.inner.Prepare(p)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{inner: inner, src: patternSrc}, nil
+}
+
+// PreparedQuery is a compiled twig query bound to an Estimator. It is
+// safe for concurrent use.
+type PreparedQuery struct {
+	inner *core.PreparedQuery
+	src   string
+}
+
+// Source returns the pattern source the query was compiled from.
+func (pq *PreparedQuery) Source() string { return pq.src }
+
+// Estimate returns the estimated answer size of the compiled twig.
+func (pq *PreparedQuery) Estimate() (Result, error) { return pq.inner.Estimate() }
 
 // EstimatePrimitive forces the primitive (overlap) algorithm for a
 // two-node pattern — the "Overlap Estimate" column of the paper's
