@@ -9,6 +9,23 @@
 //	xqest -data a.xml exact '//article//author'
 //	xqest -data a.xml -grid 10 explain '//a[.//b]//c'
 //
+// Shard lifecycle: -append lands extra files as one shard each (only
+// the new documents are summarized), `shards` lists the serving set,
+// `compact` merges small shards, and `drop <id>` removes one.
+//
+//	xqest -data a.xml -append b.xml,c.xml shards
+//	xqest -data a.xml -append b.xml estimate '//article//author'
+//	xqest -data a.xml -append b.xml,c.xml,d.xml compact
+//	xqest -data a.xml -append b.xml drop 2
+//
+// Persistence: `build` (or -save with estimate) writes the summary —
+// the monolithic XQS1 format for one shard, the XQS2 shard-set
+// container for several — and -load estimates from a saved summary
+// without touching any data.
+//
+//	xqest -data a.xml -append b.xml build -o summary.bin
+//	xqest -load summary.bin estimate '//article//author'
+//
 // The -dataset flag substitutes a built-in synthetic dataset for -data:
 // dblp, hier, xmark or shakespeare.
 package main
@@ -17,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"xmlest"
@@ -26,19 +44,26 @@ import (
 )
 
 func main() {
-	data := flag.String("data", "", "comma-separated XML files")
+	data := flag.String("data", "", "comma-separated XML files (one shard)")
+	appendFiles := flag.String("append", "", "comma-separated XML files appended as one shard each")
 	dataset := flag.String("dataset", "", "built-in dataset: dblp, hier, xmark, shakespeare")
 	grid := flag.Int("grid", 10, "histogram grid size g (gxg buckets)")
 	scale := flag.Float64("scale", 0.1, "built-in dataset scale")
 	seed := flag.Int64("seed", 2002, "built-in dataset seed")
 	summary := flag.String("summary", "", "summary file: estimate from it without loading data")
+	load := flag.String("load", "", "alias of -summary")
+	save := flag.String("save", "", "after estimating, save the summary to this file")
 	out := flag.String("o", "summary.bin", "output file for the build command")
+	maxShards := flag.Int("max-shards", 0, "compact: target shard count (0 = policy default)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
 		usage()
 	}
 	cmd := flag.Arg(0)
+	if *load != "" {
+		*summary = *load
+	}
 
 	// Estimation from a saved summary needs no data at all.
 	if *summary != "" && cmd == "estimate" {
@@ -54,14 +79,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("estimate: %.2f\nestimation time: %s\n(loaded from %s, %d bytes)\n",
-			res.Estimate, res.Elapsed, *summary, len(blob))
+		fmt.Printf("estimate: %.2f\nestimation time: %s\n(loaded from %s, %d bytes, %d shard(s))\n",
+			res.Estimate, res.Elapsed, *summary, len(blob), est.ShardCount())
 		return
 	}
 
 	db, err := openDatabase(*data, *dataset, *scale, *seed)
 	if err != nil {
 		fatal(err)
+	}
+	if *appendFiles != "" {
+		for _, path := range strings.Split(*appendFiles, ",") {
+			info, err := appendFile(db, path)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("appended %s as shard %d (%d nodes)\n", path, info.ID, info.Nodes)
+		}
 	}
 
 	switch cmd {
@@ -77,12 +111,40 @@ func main() {
 		if err := os.WriteFile(*out, blob, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %d-byte summary for %d predicates to %s\n",
-			len(blob), db.Catalog().Len(), *out)
+		fmt.Printf("wrote %d-byte summary for %d predicates across %d shard(s) to %s\n",
+			len(blob), db.Catalog().Len(), est.ShardCount(), *out)
 	case "stats":
 		s := db.Tree().Stats()
-		fmt.Printf("nodes: %d\ndistinct tags: %d\nmax depth: %d\nmax position: %d\n",
-			s.Nodes, s.DistinctTag, s.MaxDepth, s.MaxPos)
+		fmt.Printf("nodes: %d\ndistinct tags: %d\nmax depth: %d\nmax position: %d\nshards: %d\n",
+			s.Nodes, s.DistinctTag, s.MaxDepth, s.MaxPos, db.ShardCount())
+	case "shards":
+		fmt.Printf("version %d, %d shard(s):\n", db.Version(), db.ShardCount())
+		for _, sh := range db.Shards() {
+			kind := "documents"
+			if sh.SummaryOnly {
+				kind = "summary-only"
+			}
+			fmt.Printf("  shard %-4d %10d nodes %6d doc(s)  %s\n", sh.ID, sh.Nodes, sh.Docs, kind)
+		}
+	case "compact":
+		policy := xmlest.CompactionPolicy{MaxShards: *maxShards}
+		merged, err := db.Compact(policy)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("merged %d shard(s); %d remain (version %d)\n", merged, db.ShardCount(), db.Version())
+	case "drop":
+		if flag.NArg() < 2 {
+			fatal(fmt.Errorf("xqest: drop requires a shard id"))
+		}
+		id, err := strconv.ParseUint(flag.Arg(1), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("xqest: bad shard id %q", flag.Arg(1)))
+		}
+		if !db.DropShard(id) {
+			fatal(fmt.Errorf("xqest: no shard %d", id))
+		}
+		fmt.Printf("dropped shard %d; %d remain\n", id, db.ShardCount())
 	case "predicates":
 		for _, name := range db.Catalog().Names() {
 			e := db.Catalog().MustGet(name)
@@ -106,8 +168,18 @@ func main() {
 		if res.UsedNoOverlap {
 			algo = "no-overlap (coverage)"
 		}
-		fmt.Printf("estimate: %.2f\nalgorithm: %s\nestimation time: %s\nsummary storage: %d bytes\n",
-			res.Estimate, algo, res.Elapsed, est.StorageBytes())
+		fmt.Printf("estimate: %.2f\nalgorithm: %s\nestimation time: %s\nsummary storage: %d bytes (%d shard(s))\n",
+			res.Estimate, algo, res.Elapsed, est.StorageBytes(), est.ShardCount())
+		if *save != "" {
+			blob, err := est.MarshalBinary()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*save, blob, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("saved summary to %s (%d bytes)\n", *save, len(blob))
+		}
 	case "exact":
 		src := needPattern()
 		real, err := db.Count(src)
@@ -140,6 +212,15 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+func appendFile(db *xmlest.Database, path string) (xmlest.ShardInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return xmlest.ShardInfo{}, err
+	}
+	defer f.Close()
+	return db.Append(f)
 }
 
 func openDatabase(data, dataset string, scale float64, seed int64) (*xmlest.Database, error) {
@@ -185,15 +266,20 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: xqest [-data files | -dataset name] [-grid g] <command> [pattern]
+	fmt.Fprintln(os.Stderr, `usage: xqest [-data files | -dataset name] [-append files] [-grid g] <command> [arg]
 
 commands:
   stats                 dataset statistics
+  shards                list live shards (id, nodes, docs, kind)
   predicates            registered predicates with counts and overlap property
-  build                 build histograms and write them to -o (default summary.bin)
+  build                 build histograms and write them to -o (default summary.bin);
+                        one shard writes XQS1, several write the XQS2 container
   estimate '<pattern>'  estimated answer size via position histograms
-                        (with -summary file: estimate without loading any data)
+                        (-save file: persist the summary afterwards;
+                         -load file: estimate from a saved summary, no data)
   exact '<pattern>'     exact answer size (ground truth)
-  explain '<pattern>'   candidate join orders with intermediate estimates`)
+  explain '<pattern>'   candidate join orders with intermediate estimates
+  compact               merge small shards (size-tiered; -max-shards caps the count)
+  drop <shard-id>       remove a shard from the serving set`)
 	os.Exit(2)
 }

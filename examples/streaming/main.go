@@ -10,6 +10,7 @@ import (
 	"io"
 	"log"
 
+	"xmlest"
 	"xmlest/internal/core"
 	"xmlest/internal/datagen"
 	"xmlest/internal/stream"
@@ -51,4 +52,31 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\narticle//author estimated from streamed histograms: %.0f\n", est.Total())
+
+	// Streamed ingest lands as a shard: wrap the histograms into a
+	// summary-only shard of a live database, and twig estimates
+	// immediately reflect the streamed documents — still without ever
+	// materializing their tree.
+	db, err := xmlest.Open(bytes.NewReader(doc)) // a small resident shard
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	facade, err := db.NewEstimator(xmlest.Options{GridSize: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, _ := facade.Estimate("//article//author")
+	if _, _, err := stream.AppendShard(db.Store(), src, 10, []stream.EventPredicate{
+		stream.TagPred{Tag: "article"},
+		stream.TagPred{Tag: "author"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	after, err := facade.Estimate("//article//author")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live estimate before streamed shard %.0f, after %.0f (%d shards)\n",
+		before.Estimate, after.Estimate, facade.ShardCount())
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,6 +111,32 @@ func NewEstimator(cat *predicate.Catalog, opts Options) (*Estimator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	return buildEstimator(cat, grid, opts)
+}
+
+// NewEstimatorWithGrid builds the estimator over an explicitly supplied
+// grid instead of deriving one from Options.GridSize. The grid must
+// cover every position label of the catalog's tree. The shard subsystem
+// uses this to build a monolithic reference estimator on a
+// document-aligned grid — the grid under which cross-shard estimate
+// summation is provably exact (see DESIGN.md, "Shard lifecycle").
+func NewEstimatorWithGrid(cat *predicate.Catalog, grid histogram.Grid, opts Options) (*Estimator, error) {
+	if grid.Size() < 1 {
+		return nil, fmt.Errorf("core: empty grid")
+	}
+	if grid.Size() > histogram.MaxGridSize {
+		return nil, fmt.Errorf("core: grid size %d exceeds the supported maximum %d", grid.Size(), histogram.MaxGridSize)
+	}
+	if grid.MaxPos() < cat.Tree.MaxPos {
+		return nil, fmt.Errorf("core: grid covers positions [0,%d) but the tree uses [0,%d)", grid.MaxPos(), cat.Tree.MaxPos)
+	}
+	return buildEstimator(cat, grid, opts)
+}
+
+// buildEstimator is the shared construction pipeline behind
+// NewEstimator and NewEstimatorWithGrid.
+func buildEstimator(cat *predicate.Catalog, grid histogram.Grid, opts Options) (*Estimator, error) {
+	t := cat.Tree
 	cells := histogram.ComputeNodeCells(t, grid)
 	e := &Estimator{
 		catalog:  cat,
@@ -191,6 +218,50 @@ func NewEstimator(cat *predicate.Catalog, opts Options) (*Estimator, error) {
 		if opts.LevelHistograms {
 			e.levels[name] = r.levels
 		}
+	}
+	return e, nil
+}
+
+// NewEstimatorFromHistograms wraps externally built summaries — for
+// example the output of a streaming ingest pass — into a fully
+// functional estimator. trueHist is the TRUE histogram; hists maps
+// predicate names to their position histograms (all on trueHist's
+// grid); overlap reports, per name, whether the predicate may overlap
+// (false = the no-overlap property holds). Coverage histograms are not
+// supplied, so no-overlap predicates estimate through the primitive
+// algorithm until a coverage-carrying summary replaces the shard.
+//
+// The estimator has no catalog or tree attached, like one loaded from a
+// summary blob. Predicate names are stored in sorted order for
+// deterministic serialization.
+func NewEstimatorFromHistograms(trueHist *histogram.Position, hists map[string]*histogram.Position, overlap map[string]bool) (*Estimator, error) {
+	if trueHist == nil {
+		return nil, fmt.Errorf("core: nil TRUE histogram")
+	}
+	grid := trueHist.Grid()
+	e := &Estimator{
+		grid:     grid,
+		trueHist: trueHist,
+		hists:    make(map[string]*histogram.Position, len(hists)),
+		covs:     make(map[string]*histogram.Coverage),
+		overlap:  make(map[string]bool, len(hists)),
+	}
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := hists[name]
+		if h == nil {
+			return nil, fmt.Errorf("core: nil histogram for predicate %q", name)
+		}
+		if !h.Grid().Equal(grid) {
+			return nil, fmt.Errorf("core: predicate %q grid differs from TRUE grid", name)
+		}
+		e.hists[name] = h
+		e.overlap[name] = overlap[name]
+		e.names = append(e.names, name)
 	}
 	return e, nil
 }
@@ -285,6 +356,15 @@ func (e *Estimator) Histogram(name string) (*histogram.Position, error) {
 		return nil, fmt.Errorf("core: no histogram for predicate %q", name)
 	}
 	return h, nil
+}
+
+// HasPredicate reports whether the estimator holds a position
+// histogram for the named predicate. Sharded estimation uses it to
+// distinguish a predicate absent from one shard (zero contribution)
+// from one unknown to the whole corpus (an error).
+func (e *Estimator) HasPredicate(name string) bool {
+	_, ok := e.hists[name]
+	return ok
 }
 
 // CoverageHistogram returns the coverage histogram for a no-overlap

@@ -99,19 +99,7 @@ func (l *LevelHistograms) StorageBytes() int {
 // between two predicates: the primitive ancestor-based estimate summed
 // over depth-adjacent histogram pairs.
 func EstimateParentChild(anc, desc *LevelHistograms) (float64, error) {
-	var total float64
-	for d, ha := range anc.byDepth {
-		hb := desc.byDepth[d+1]
-		if hb == nil {
-			continue
-		}
-		est, err := EstimateAncestorBased(ha, hb)
-		if err != nil {
-			return 0, err
-		}
-		total += est.Total()
-	}
-	return total, nil
+	return EstimateAtDistance(anc, desc, 1)
 }
 
 // EstimateAtDistance generalizes EstimateParentChild to any fixed depth
@@ -119,12 +107,15 @@ func EstimateParentChild(anc, desc *LevelHistograms) (float64, error) {
 // grandparent-style path constraints).
 func EstimateAtDistance(anc, desc *LevelHistograms, k int) (float64, error) {
 	var total float64
-	for d, ha := range anc.byDepth {
+	// Ascending depth order keeps the float accumulation deterministic
+	// (map iteration order is not; near rounding boundaries the printed
+	// estimate used to flip between runs).
+	for _, d := range anc.Depths() {
 		hb := desc.byDepth[d+k]
 		if hb == nil {
 			continue
 		}
-		est, err := EstimateAncestorBased(ha, hb)
+		est, err := EstimateAncestorBased(anc.byDepth[d], hb)
 		if err != nil {
 			return 0, err
 		}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// XQS2 is the shard-set container format: a whole sharded summary in
+// one blob. It wraps one XQS1 summary (see store.go) per shard together
+// with the shard metadata needed to reconstruct the serving set, so a
+// summary built incrementally — shard by shard — ships and loads as one
+// artifact, exactly like the monolithic XQS1 blob did.
+//
+// Layout:
+//
+//	magic "XQS2"
+//	uvarint shard count
+//	per shard:
+//	  uvarint shard id
+//	  uvarint document count
+//	  uvarint node count
+//	  XQS1 summary blob (uvarint length + bytes)
+const shardSetMagic = "XQS2"
+
+// ShardSummary pairs one shard's estimator with its identity and size
+// metadata, the unit the XQS2 container stores.
+type ShardSummary struct {
+	ID    uint64
+	Docs  int
+	Nodes int
+	Est   *Estimator
+}
+
+// MarshalShardSet serializes a set of shard summaries into one XQS2
+// blob, in slice order.
+func MarshalShardSet(shards []ShardSummary) ([]byte, error) {
+	buf := []byte(shardSetMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(shards)))
+	for _, s := range shards {
+		if s.Est == nil {
+			return nil, fmt.Errorf("core: shard %d has no estimator", s.ID)
+		}
+		blob, err := s.Est.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", s.ID, err)
+		}
+		buf = binary.AppendUvarint(buf, s.ID)
+		buf = binary.AppendUvarint(buf, uint64(s.Docs))
+		buf = binary.AppendUvarint(buf, uint64(s.Nodes))
+		buf = appendBlob(buf, blob)
+	}
+	return buf, nil
+}
+
+// UnmarshalShardSet reconstructs the shard summaries from an XQS2 blob.
+// Each returned estimator is summary-only, exactly as if loaded through
+// UnmarshalEstimator.
+func UnmarshalShardSet(data []byte) ([]ShardSummary, error) {
+	if !IsShardSetBlob(data) {
+		return nil, fmt.Errorf("core: bad shard-set magic")
+	}
+	r := &blobReader{data: data, off: len(shardSetMagic)}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("core: shard count %d too large", n)
+	}
+	out := make([]ShardSummary, 0, n)
+	for k := uint64(0); k < n; k++ {
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		docs, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		nodes, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		blob, err := r.blob()
+		if err != nil {
+			return nil, err
+		}
+		est, err := UnmarshalEstimator(blob)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", id, err)
+		}
+		out = append(out, ShardSummary{ID: id, Docs: int(docs), Nodes: int(nodes), Est: est})
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("core: %d trailing bytes after shard set", len(data)-r.off)
+	}
+	return out, nil
+}
+
+// IsShardSetBlob reports whether the blob starts with the XQS2 magic —
+// the dispatch check loaders use to accept both container formats.
+func IsShardSetBlob(data []byte) bool {
+	return len(data) >= len(shardSetMagic) && string(data[:len(shardSetMagic)]) == shardSetMagic
+}

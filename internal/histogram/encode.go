@@ -28,6 +28,19 @@ const (
 	flagIntegral = 1
 )
 
+// decodeMaxGridSize bounds the grid size decoders accept: a dense g×g
+// plane is allocated per decoded histogram, so untrusted blobs must not
+// dictate unbounded g. 4096 (a 128 MB plane) is far beyond any grid the
+// paper's experiments — or this repo's sweeps — use.
+const decodeMaxGridSize = 1 << 12
+
+func checkDecodedGridSize(size uint64) error {
+	if size == 0 || size > decodeMaxGridSize {
+		return fmt.Errorf("histogram: bad grid size %d (decoder accepts 1..%d)", size, decodeMaxGridSize)
+	}
+	return nil
+}
+
 // isUniform reports whether the grid's bounds match NewUniformGrid for
 // its size and maxPos, so the encoding can store just two integers.
 func (g Grid) isUniform() bool {
@@ -44,7 +57,11 @@ func (g Grid) isUniform() bool {
 func (h *Position) MarshalBinary() ([]byte, error) {
 	integral := true
 	h.EachNonZero(func(_, _ int, c float64) {
-		if c != math.Trunc(c) || c < 0 {
+		// Varint-encodable counts only: non-negative integers small
+		// enough that the float→uint64 conversion is exact. Anything
+		// else (fractions, negatives, astronomically large estimates)
+		// takes the lossless float branch.
+		if c != math.Trunc(c) || c < 0 || c >= 1<<63 {
 			integral = false
 		}
 	})
@@ -101,6 +118,9 @@ func UnmarshalPosition(data []byte) (*Position, error) {
 	}
 	var grid Grid
 	if first != 0 {
+		if err := checkDecodedGridSize(first); err != nil {
+			return nil, err
+		}
 		maxPos, err := r.uvarint()
 		if err != nil {
 			return nil, err
@@ -114,8 +134,8 @@ func UnmarshalPosition(data []byte) (*Position, error) {
 		if err != nil {
 			return nil, err
 		}
-		if size == 0 || size > 1<<16 {
-			return nil, fmt.Errorf("histogram: bad grid size %d", size)
+		if err := checkDecodedGridSize(size); err != nil {
+			return nil, err
 		}
 		bounds := make([]int, size+1)
 		for i := range bounds {
@@ -145,10 +165,20 @@ func UnmarshalPosition(data []byte) (*Position, error) {
 		if err != nil {
 			return nil, err
 		}
+		if d == 0 {
+			// Deltas are idx-prev with strictly increasing idx; a zero
+			// delta would duplicate a cell.
+			return nil, fmt.Errorf("histogram: zero cell delta")
+		}
 		idx := prev + int(d)
 		prev = idx
 		if idx < 0 || idx >= g*g {
 			return nil, fmt.Errorf("histogram: cell index %d out of range", idx)
+		}
+		if idx%g < idx/g {
+			// start bucket > end bucket is impossible for any node
+			// (start < end); the encoder never emits such cells.
+			return nil, fmt.Errorf("histogram: cell (%d,%d) below the diagonal", idx/g, idx%g)
 		}
 		var c float64
 		if integral {
@@ -264,6 +294,9 @@ func readGrid(r *byteReader) (Grid, error) {
 		return Grid{}, err
 	}
 	if first != 0 {
+		if err := checkDecodedGridSize(first); err != nil {
+			return Grid{}, err
+		}
 		maxPos, err := r.uvarint()
 		if err != nil {
 			return Grid{}, err
@@ -274,8 +307,8 @@ func readGrid(r *byteReader) (Grid, error) {
 	if err != nil {
 		return Grid{}, err
 	}
-	if size == 0 || size > 1<<16 {
-		return Grid{}, fmt.Errorf("histogram: bad grid size %d", size)
+	if err := checkDecodedGridSize(size); err != nil {
+		return Grid{}, err
 	}
 	bounds := make([]int, size+1)
 	for i := range bounds {

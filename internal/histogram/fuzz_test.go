@@ -1,0 +1,141 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzSeedBlobs builds seed corpus blobs covering every encoder branch:
+// uniform and non-uniform grids, integral and fractional counts, empty
+// and dense histograms.
+func fuzzSeedBlobs(f *testing.F) [][]byte {
+	f.Helper()
+	var blobs [][]byte
+	add := func(h *Position) {
+		b, err := h.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		blobs = append(blobs, b)
+	}
+
+	// Uniform grid, integral counts (the built-histogram common case).
+	uni := MustUniformGrid(4, 100)
+	h := NewPosition(uni)
+	h.Add(0, 0, 3)
+	h.Add(0, 3, 1)
+	h.Add(2, 3, 7)
+	add(h)
+
+	// Empty histogram.
+	add(NewPosition(uni))
+
+	// Non-uniform grid (explicit bounds), integral counts.
+	nug, err := NewGrid([]int{0, 5, 9, 40, 100})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h2 := NewPosition(nug)
+	h2.Add(1, 2, 2)
+	h2.Add(3, 3, 5)
+	add(h2)
+
+	// Fractional counts (estimated histograms) on both grid shapes.
+	h3 := NewPosition(uni)
+	h3.Add(1, 2, 0.625)
+	h3.Add(0, 1, 1e-3)
+	add(h3)
+	h4 := NewPosition(nug)
+	h4.Add(0, 3, 2.5)
+	add(h4)
+
+	return blobs
+}
+
+// FuzzEncodeDecode round-trips the position-histogram binary encoding:
+// any blob UnmarshalPosition accepts must re-marshal and re-unmarshal
+// to an identical histogram (grid and per-cell counts, bit for bit),
+// and the decoder must never panic on arbitrary input.
+func FuzzEncodeDecode(f *testing.F) {
+	for _, b := range fuzzSeedBlobs(f) {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'P'})
+	f.Add([]byte("Pjunkjunkjunk"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := UnmarshalPosition(data)
+		if err != nil {
+			return // invalid input is fine; panics are not
+		}
+		blob, err := h.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted blob failed: %v", err)
+		}
+		h2, err := UnmarshalPosition(blob)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if !h.Grid().Equal(h2.Grid()) {
+			t.Fatal("grid changed across round trip")
+		}
+		g := h.Grid().Size()
+		for i := 0; i < g; i++ {
+			for j := 0; j < g; j++ {
+				a, b := h.Count(i, j), h2.Count(i, j)
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("cell (%d,%d): %v != %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}
+
+// FuzzCoverageEncodeDecode does the same for the coverage-histogram
+// encoding.
+func FuzzCoverageEncodeDecode(f *testing.F) {
+	uni := MustUniformGrid(3, 60)
+	c := NewCoverage(uni)
+	c.SetFrac(1, 1, 0, 2, 0.5)
+	c.SetFrac(2, 2, 0, 2, 1)
+	c.SetFrac(0, 1, 0, 2, 0.125)
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	empty, err := NewCoverage(uni).MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte{'C'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalCoverage(data)
+		if err != nil {
+			return
+		}
+		blob, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		c2, err := UnmarshalCoverage(blob)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if c.Entries() != c2.Entries() {
+			t.Fatalf("entries %d != %d", c.Entries(), c2.Entries())
+		}
+		var mismatch bool
+		c.EachFrac(func(i, j, m, n int, frac float64) {
+			if math.Float64bits(c2.Frac(i, j, m, n)) != math.Float64bits(frac) {
+				mismatch = true
+			}
+		})
+		if mismatch {
+			t.Fatal("coverage fraction changed across round trip")
+		}
+	})
+}

@@ -9,6 +9,7 @@ package histogram
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -32,12 +33,42 @@ func NewUniformGrid(g, maxPos int) (Grid, error) {
 	if maxPos < g {
 		return Grid{}, fmt.Errorf("histogram: maxPos %d < grid size %d", maxPos, g)
 	}
+	if maxPos > math.MaxInt/g {
+		// The boundary formula computes i*maxPos; reject positions that
+		// would overflow it (labels are ~2× the node count in practice,
+		// nowhere near this).
+		return Grid{}, fmt.Errorf("histogram: maxPos %d too large for grid size %d", maxPos, g)
+	}
 	bounds := make([]int, g+1)
 	for i := 0; i <= g; i++ {
 		// Spread remainder evenly so bucket widths differ by at most 1.
 		bounds[i] = i * maxPos / g
 	}
 	return Grid{bounds: bounds}, nil
+}
+
+// NewGrid builds a grid from explicit bucket boundaries: bounds[i] is
+// the inclusive lower edge of bucket i, bounds[len-1] the exclusive
+// upper edge of the position space. Boundaries must start at 0 and be
+// strictly increasing. The shard subsystem uses explicit bounds to
+// build document-aligned monolithic grids — grids whose buckets never
+// span a document boundary — which make cross-shard estimate summation
+// exact (see DESIGN.md, "Shard lifecycle").
+func NewGrid(bounds []int) (Grid, error) {
+	if len(bounds) < 2 {
+		return Grid{}, fmt.Errorf("histogram: grid needs at least 2 boundaries, got %d", len(bounds))
+	}
+	if bounds[0] != 0 {
+		return Grid{}, fmt.Errorf("histogram: grid boundaries must start at 0, got %d", bounds[0])
+	}
+	own := make([]int, len(bounds))
+	copy(own, bounds)
+	for i := 1; i < len(own); i++ {
+		if own[i] <= own[i-1] {
+			return Grid{}, fmt.Errorf("histogram: grid boundaries not strictly increasing at index %d", i)
+		}
+	}
+	return Grid{bounds: own}, nil
 }
 
 // MustUniformGrid is NewUniformGrid for statically valid arguments.

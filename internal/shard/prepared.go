@@ -1,0 +1,64 @@
+package shard
+
+import (
+	"time"
+
+	"xmlest/internal/core"
+	"xmlest/internal/pattern"
+)
+
+// Prepared is a twig pattern compiled against one shard set: one
+// core.PreparedQuery per shard that can resolve every predicate of the
+// pattern. It is immutable and safe for concurrent use; its estimate
+// is the cross-shard sum, like Set.EstimateTwig, but with each shard's
+// parse/resolve/fold work done once.
+type Prepared struct {
+	set     *Set
+	queries []*core.PreparedQuery
+}
+
+// Prepare compiles the pattern against every shard summary for opts.
+// Shards lacking one of the pattern's predicates are skipped (they
+// contribute zero); a predicate unknown to every shard is an error.
+func (s *Set) Prepare(p *pattern.Pattern, opts core.Options) (*Prepared, error) {
+	sums, err := s.summaries(opts)
+	if err != nil {
+		return nil, err
+	}
+	names := patternNames(p)
+	if err := checkResolvable(sums, names); err != nil {
+		return nil, err
+	}
+	pr := &Prepared{set: s}
+	for _, est := range sums {
+		if !hasAll(est, names) {
+			continue
+		}
+		q, err := est.Prepare(p)
+		if err != nil {
+			return nil, err
+		}
+		pr.queries = append(pr.queries, q)
+	}
+	return pr, nil
+}
+
+// Set returns the shard set the query was prepared against, so callers
+// can detect staleness and rebind.
+func (pr *Prepared) Set() *Set { return pr.set }
+
+// Estimate sums the per-shard estimates of the compiled twig.
+func (pr *Prepared) Estimate() (core.Result, error) {
+	start := time.Now()
+	out := core.Result{}
+	for _, q := range pr.queries {
+		r, err := q.Estimate()
+		if err != nil {
+			return core.Result{}, err
+		}
+		out.Estimate += r.Estimate
+		out.UsedNoOverlap = out.UsedNoOverlap || r.UsedNoOverlap
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}

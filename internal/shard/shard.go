@@ -1,0 +1,362 @@
+// Package shard decomposes the estimator into an LSM-flavored set of
+// immutable per-shard summaries behind a versioned, copy-on-write
+// serving snapshot.
+//
+// The paper's summary structure is built once over one mega-tree, so
+// any document added or removed forces a full rebuild. But under the
+// dummy root, documents are independent: a twig match never spans two
+// documents, so both exact answer sizes and position-histogram
+// estimates are additive across disjoint document subsets. That makes
+// the sharded decomposition exact — a ShardSet that partitions the
+// corpus answers every query as the sum of per-shard answers (see
+// DESIGN.md, "Shard lifecycle", for the proof sketch and the grid
+// alignment caveat).
+//
+// The lifecycle mirrors an LSM tree: Append lands new documents as a
+// fresh shard (summarizing only those documents), Drop removes a shard,
+// and Compact merges small shards into one off the serving path. Every
+// mutation installs a new immutable Set via an atomic pointer swap;
+// readers estimate against whatever Set they loaded and are never
+// blocked.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xmlest/internal/core"
+	"xmlest/internal/match"
+	"xmlest/internal/pattern"
+	"xmlest/internal/predicate"
+	"xmlest/internal/xmltree"
+)
+
+// Shard is one immutable member of a shard set: a subset of the
+// corpus's documents with its predicate catalog and lazily built
+// summaries. Tree-backed shards can build a summary for any Options and
+// participate in exact counting and compaction; summary-only shards
+// (streamed ingest, loaded blobs) carry one prebuilt estimator and no
+// documents.
+type Shard struct {
+	id    uint64
+	tree  *xmltree.Tree      // nil for summary-only shards
+	cat   *predicate.Catalog // nil for summary-only shards
+	docs  int
+	nodes int
+
+	mu       sync.Mutex
+	sums     map[core.Options]*core.Estimator // built summaries, keyed by options
+	prebuilt *core.Estimator                  // the sole summary of a summary-only shard
+}
+
+// ID returns the shard's store-unique id.
+func (s *Shard) ID() uint64 { return s.id }
+
+// Docs returns the number of documents the shard holds (0 when
+// unknown, e.g. a summary-only shard loaded without metadata).
+func (s *Shard) Docs() int { return s.docs }
+
+// Nodes returns the shard's node count excluding its dummy root.
+func (s *Shard) Nodes() int { return s.nodes }
+
+// Tree returns the shard's document tree, or nil for summary-only
+// shards.
+func (s *Shard) Tree() *xmltree.Tree { return s.tree }
+
+// Catalog returns the shard's materialized predicate catalog, or nil
+// for summary-only shards.
+func (s *Shard) Catalog() *predicate.Catalog { return s.cat }
+
+// SummaryOnly reports whether the shard carries only a prebuilt
+// summary (no documents): it estimates but cannot count exactly, serve
+// new predicate registrations, or be compacted.
+func (s *Shard) SummaryOnly() bool { return s.tree == nil }
+
+// summaryKey normalizes options into a summary cache key: fields that
+// cannot change the built summary (BuildWorkers — the parallel build is
+// deterministic) are zeroed, so semantically identical estimators share
+// one build per shard.
+func summaryKey(opts core.Options) core.Options {
+	opts.BuildWorkers = 0
+	return opts
+}
+
+// Summary returns the shard's estimator for the given options, building
+// and caching it on first use. Summary-only shards return their
+// prebuilt estimator for every options value. Concurrent callers are
+// safe; at most one build runs per shard at a time.
+//
+// The grid size is clamped to the shard's own position space: shards
+// hold arbitrarily small document batches, and a g×g grid needs g
+// positions, so a corpus-sized g would otherwise reject (or poison)
+// small appends that the monolithic rebuild absorbed without comment.
+// A clamped shard simply has one bucket per position — the finest
+// summary its documents admit.
+func (s *Shard) Summary(opts core.Options) (*core.Estimator, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prebuilt != nil {
+		return s.prebuilt, nil
+	}
+	key := summaryKey(opts)
+	if est, ok := s.sums[key]; ok {
+		return est, nil
+	}
+	build := opts
+	if build.GridSize > s.tree.MaxPos {
+		build.GridSize = s.tree.MaxPos
+	}
+	est, err := core.NewEstimator(s.cat, build)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", s.id, err)
+	}
+	if s.sums == nil {
+		s.sums = make(map[core.Options]*core.Estimator)
+	}
+	s.sums[key] = est
+	return est, nil
+}
+
+// invalidateSummaries drops cached summaries after the shard's catalog
+// gained predicates (setup-time only; see Store registration methods).
+func (s *Shard) invalidateSummaries() {
+	s.mu.Lock()
+	s.sums = nil
+	s.mu.Unlock()
+}
+
+// Set is one immutable serving snapshot: a version number and the
+// shards that were live when it was installed. Reads against a Set see
+// a consistent corpus regardless of concurrent store mutations.
+type Set struct {
+	version uint64
+	shards  []*Shard
+}
+
+// Version returns the snapshot's monotonically increasing version.
+func (s *Set) Version() uint64 { return s.version }
+
+// Len returns the number of shards.
+func (s *Set) Len() int { return len(s.shards) }
+
+// Shards returns the member shards in serving order. The returned
+// slice is shared and must not be modified.
+func (s *Set) Shards() []*Shard { return s.shards }
+
+// TotalNodes sums the member shards' node counts.
+func (s *Set) TotalNodes() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.nodes
+	}
+	return n
+}
+
+// TotalDocs sums the member shards' document counts.
+func (s *Set) TotalDocs() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.docs
+	}
+	return n
+}
+
+// summaries materializes every shard's estimator for opts.
+func (s *Set) summaries(opts core.Options) ([]*core.Estimator, error) {
+	sums := make([]*core.Estimator, len(s.shards))
+	for i, sh := range s.shards {
+		est, err := sh.Summary(opts)
+		if err != nil {
+			return nil, err
+		}
+		sums[i] = est
+	}
+	return sums, nil
+}
+
+// EstimateTwig estimates the answer size of a twig pattern as the sum
+// of per-shard estimates — exact composition, since no match spans two
+// documents. A shard lacking one of the pattern's predicates
+// contributes zero; a predicate unknown to every shard is an error.
+func (s *Set) EstimateTwig(p *pattern.Pattern, opts core.Options) (core.Result, error) {
+	start := time.Now()
+	sums, err := s.summaries(opts)
+	if err != nil {
+		return core.Result{}, err
+	}
+	names := patternNames(p)
+	if err := checkResolvable(sums, names); err != nil {
+		return core.Result{}, err
+	}
+	out := core.Result{}
+	for _, est := range sums {
+		if !hasAll(est, names) {
+			continue
+		}
+		r, err := est.EstimateTwig(p)
+		if err != nil {
+			return core.Result{}, err
+		}
+		out.Estimate += r.Estimate
+		out.UsedNoOverlap = out.UsedNoOverlap || r.UsedNoOverlap
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// EstimatePairPrimitive estimates anc//desc with the primitive
+// algorithm on every shard and sums.
+func (s *Set) EstimatePairPrimitive(ancName, descName string, opts core.Options) (core.Result, error) {
+	start := time.Now()
+	sums, err := s.summaries(opts)
+	if err != nil {
+		return core.Result{}, err
+	}
+	names := []string{ancName, descName}
+	if err := checkResolvable(sums, names); err != nil {
+		return core.Result{}, err
+	}
+	out := core.Result{}
+	for _, est := range sums {
+		if !hasAll(est, names) {
+			continue
+		}
+		r, err := est.EstimatePairPrimitive(ancName, descName)
+		if err != nil {
+			return core.Result{}, err
+		}
+		out.Estimate += r.Estimate
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// Count computes the exact answer size of a twig pattern as the sum of
+// per-shard exact counts. It requires every shard to be tree-backed.
+// Like estimation, a shard lacking one of the pattern's predicates
+// contributes zero matches, but a predicate unknown to every shard is
+// an error (the monolithic "unknown predicate" behaviour).
+func (s *Set) Count(p *pattern.Pattern) (float64, error) {
+	names := patternNames(p)
+	for _, name := range names {
+		found := false
+		for _, sh := range s.shards {
+			if sh.cat != nil && sh.cat.Has(name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("shard: no catalog entry for predicate %q in any shard", name)
+		}
+	}
+	var total float64
+	for _, sh := range s.shards {
+		if sh.SummaryOnly() {
+			return 0, fmt.Errorf("shard: exact counting requires document-backed shards (shard %d is summary-only)", sh.id)
+		}
+		missing := false
+		for _, name := range names {
+			if !sh.cat.Has(name) {
+				missing = true
+				break
+			}
+		}
+		if missing {
+			continue
+		}
+		n, err := match.CountTwig(sh.tree, p, func(name string) ([]xmltree.NodeID, error) {
+			e, err := sh.cat.Get(name)
+			if err != nil {
+				return nil, err
+			}
+			return e.Nodes, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// StorageBytes sums the compact-encoding size of every shard's summary
+// for the given options.
+func (s *Set) StorageBytes(opts core.Options) (int, error) {
+	sums, err := s.summaries(opts)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, est := range sums {
+		total += est.StorageBytes()
+	}
+	return total, nil
+}
+
+// Summaries returns the per-shard summaries for opts, packaged for the
+// XQS2 container.
+func (s *Set) Summaries(opts core.Options) ([]core.ShardSummary, error) {
+	sums, err := s.summaries(opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.ShardSummary, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = core.ShardSummary{ID: sh.id, Docs: sh.docs, Nodes: sh.nodes, Est: sums[i]}
+	}
+	return out, nil
+}
+
+// patternNames collects the distinct predicate names of a pattern.
+func patternNames(p *pattern.Pattern) []string {
+	nodes := p.Nodes()
+	seen := make(map[string]bool, len(nodes))
+	names := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if name := n.PredName(); !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// checkResolvable errors when some predicate name is unknown to every
+// summary — the sharded analogue of the monolithic "no histogram for
+// predicate" error.
+func checkResolvable(sums []*core.Estimator, names []string) error {
+	for _, name := range names {
+		found := false
+		for _, est := range sums {
+			if est.HasPredicate(name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("shard: no histogram for predicate %q in any shard", name)
+		}
+	}
+	return nil
+}
+
+// hasAll reports whether one summary resolves every name.
+func hasAll(est *core.Estimator, names []string) bool {
+	for _, name := range names {
+		if !est.HasPredicate(name) {
+			return false
+		}
+	}
+	return true
+}
+
+// countDocs counts a tree's documents (children of the dummy root).
+func countDocs(t *xmltree.Tree) int {
+	n := 0
+	for c := t.Nodes[0].FirstChild; c != xmltree.InvalidNode; c = t.Nodes[c].NextSibling {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,400 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"xmlest/internal/core"
+	"xmlest/internal/match"
+	"xmlest/internal/pattern"
+	"xmlest/internal/predicate"
+	"xmlest/internal/xmltree"
+)
+
+// doc builds one small department document with f faculty members, t
+// TAs per faculty and one staff member.
+func doc(f, tas int) *xmltree.Tree {
+	b := xmltree.NewBuilder()
+	b.Begin("department")
+	for i := 0; i < f; i++ {
+		b.Begin("faculty")
+		b.Element("name", fmt.Sprintf("f%d", i))
+		for k := 0; k < tas; k++ {
+			b.Element("TA", "")
+		}
+		b.End()
+	}
+	b.Begin("staff")
+	b.Element("name", "s")
+	b.End()
+	b.End()
+	return b.Tree()
+}
+
+func allTagsSpec() predicate.Spec { return predicate.Spec{AllTags: true} }
+
+var defaultOpts = core.Options{GridSize: 4}
+
+func mustEstimate(t *testing.T, set *Set, src string) core.Result {
+	t.Helper()
+	p, err := pattern.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := set.EstimateTwig(p, defaultOpts)
+	if err != nil {
+		t.Fatalf("EstimateTwig(%s): %v", src, err)
+	}
+	return res
+}
+
+func TestAppendIsAdditive(t *testing.T) {
+	st := NewStore(allTagsSpec())
+	if _, err := st.EnsureSummaries(defaultOpts); err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := doc(3, 2), doc(5, 1)
+	if _, err := st.AppendTree(d1); err != nil {
+		t.Fatal(err)
+	}
+	only1 := mustEstimate(t, st.Current(), "//faculty//TA")
+
+	if _, err := st.AppendTree(d2); err != nil {
+		t.Fatal(err)
+	}
+	both := mustEstimate(t, st.Current(), "//faculty//TA")
+
+	// The second shard's contribution must equal a store holding only d2.
+	st2 := NewStore(allTagsSpec())
+	if _, err := st2.AppendTree(doc(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	only2 := mustEstimate(t, st2.Current(), "//faculty//TA")
+	if diff := math.Abs(both.Estimate - (only1.Estimate + only2.Estimate)); diff > 1e-9 {
+		t.Fatalf("append not additive: both=%v, parts=%v+%v", both.Estimate, only1.Estimate, only2.Estimate)
+	}
+}
+
+func TestVersionAndSnapshotIsolation(t *testing.T) {
+	st := NewStore(allTagsSpec())
+	if _, err := st.AppendTree(doc(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	snap := st.Current()
+	v := snap.Version()
+	before := mustEstimate(t, snap, "//faculty//TA")
+
+	if _, err := st.AppendTree(doc(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version() != v+1 {
+		t.Fatalf("version = %d, want %d", st.Version(), v+1)
+	}
+	// The old snapshot still answers from its frozen shard set.
+	after := mustEstimate(t, snap, "//faculty//TA")
+	if after.Estimate != before.Estimate {
+		t.Fatalf("snapshot changed: %v -> %v", before.Estimate, after.Estimate)
+	}
+	if cur := mustEstimate(t, st.Current(), "//faculty//TA"); cur.Estimate <= before.Estimate {
+		t.Fatalf("current estimate %v did not grow past %v", cur.Estimate, before.Estimate)
+	}
+}
+
+func TestDropRemovesContribution(t *testing.T) {
+	st := NewStore(allTagsSpec())
+	if _, err := st.AppendTree(doc(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	sh2, err := st.AppendTree(doc(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := mustEstimate(t, st.Current(), "//faculty//TA")
+	if !st.Drop(sh2.ID()) {
+		t.Fatal("Drop: shard not found")
+	}
+	if st.Drop(sh2.ID()) {
+		t.Fatal("Drop twice: want false")
+	}
+	after := mustEstimate(t, st.Current(), "//faculty//TA")
+	if after.Estimate >= before.Estimate {
+		t.Fatalf("drop did not shrink estimate: %v -> %v", before.Estimate, after.Estimate)
+	}
+}
+
+func TestCountAdditiveMatchesMergedExact(t *testing.T) {
+	st := NewStore(allTagsSpec())
+	trees := []*xmltree.Tree{doc(3, 2), doc(5, 1), doc(2, 6)}
+	for _, tr := range trees {
+		if _, err := st.AppendTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := pattern.MustParse("//faculty//TA")
+	got, err := st.Current().Count(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := xmltree.Merge(trees...)
+	cat := allTagsSpec().Build(merged)
+	want, err := match.CountTwig(merged, p, func(name string) ([]xmltree.NodeID, error) {
+		e, err := cat.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		return e.Nodes, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("sharded count %v != merged count %v", got, want)
+	}
+}
+
+// TestCompactEquivalentToSingleBuild pins the exactness of compaction:
+// compacting shards into one is bit-identical to having appended their
+// documents as a single shard, because xmltree.Merge reproduces the
+// concatenated numbering.
+func TestCompactEquivalentToSingleBuild(t *testing.T) {
+	st := NewStore(allTagsSpec())
+	if _, err := st.EnsureSummaries(defaultOpts); err != nil {
+		t.Fatal(err)
+	}
+	mk := func() []*xmltree.Tree {
+		return []*xmltree.Tree{doc(3, 2), doc(5, 1), doc(2, 6)}
+	}
+	for _, tr := range mk() {
+		if _, err := st.AppendTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := st.Compact(CompactionPolicy{TierRatio: 1e9}) // everything in one tier
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != 3 {
+		t.Fatalf("Compact merged %d shards, want 3", merged)
+	}
+	if st.Current().Len() != 1 {
+		t.Fatalf("%d shards after compaction, want 1", st.Current().Len())
+	}
+
+	single := NewStore(allTagsSpec())
+	if _, err := single.AppendTree(xmltree.Merge(mk()...)); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"//faculty//TA", "//department//faculty[.//TA]//name", "//department//name"} {
+		got := mustEstimate(t, st.Current(), q)
+		want := mustEstimate(t, single.Current(), q)
+		if got.Estimate != want.Estimate {
+			t.Fatalf("%s: compacted %v != single-build %v", q, got.Estimate, want.Estimate)
+		}
+	}
+}
+
+func TestCompactionPolicyPlan(t *testing.T) {
+	mkShard := func(id uint64, nodes int) *Shard { return &Shard{id: id, nodes: nodes, tree: doc(1, 1), cat: nil} }
+	set := &Set{shards: []*Shard{
+		mkShard(1, 10000), mkShard(2, 12), mkShard(3, 14), mkShard(4, 9000),
+	}}
+	group := DefaultCompactionPolicy.plan(set)
+	if len(group) != 2 || group[0].id != 2 || group[1].id != 3 {
+		t.Fatalf("plan picked %v, want small shards 2 and 3", ids(group))
+	}
+
+	// Summary-only shards never compact.
+	set2 := &Set{shards: []*Shard{
+		{id: 1, nodes: 10}, {id: 2, nodes: 11}, // no tree: summary-only
+	}}
+	if g := DefaultCompactionPolicy.plan(set2); g != nil {
+		t.Fatalf("plan over summary-only shards: %v, want nil", ids(g))
+	}
+
+	// Under MaxShards pressure the smallest pair merges even across tiers.
+	set3 := &Set{shards: []*Shard{
+		mkShard(1, 10), mkShard(2, 1000), mkShard(3, 100000),
+	}}
+	pol := CompactionPolicy{TierRatio: 2, MinMerge: 2, MaxShards: 2}
+	if g := pol.plan(set3); len(g) != 2 || g[0].id != 1 || g[1].id != 2 {
+		t.Fatalf("pressure plan picked %v, want shards 1 and 2", ids(g))
+	}
+}
+
+func ids(shs []*Shard) []uint64 {
+	out := make([]uint64, len(shs))
+	for i, s := range shs {
+		out[i] = s.id
+	}
+	return out
+}
+
+func TestMissingPredicateSemantics(t *testing.T) {
+	st := NewStore(allTagsSpec())
+	if _, err := st.AppendTree(doc(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Second shard has no TA elements at all.
+	b := xmltree.NewBuilder()
+	b.Begin("department")
+	b.Begin("faculty")
+	b.Element("name", "x")
+	b.End()
+	b.End()
+	if _, err := st.AppendTree(b.Tree()); err != nil {
+		t.Fatal(err)
+	}
+	// tag=TA resolves in shard 1 only: estimate works, shard 2 adds zero.
+	res := mustEstimate(t, st.Current(), "//faculty//TA")
+	if res.Estimate <= 0 {
+		t.Fatalf("estimate = %v, want > 0", res.Estimate)
+	}
+	// A predicate unknown everywhere errors.
+	p := pattern.MustParse("//faculty//nosuchtag")
+	if _, err := st.Current().EstimateTwig(p, defaultOpts); err == nil {
+		t.Fatal("unknown predicate: want error")
+	}
+}
+
+func TestPreparedRebindAcrossVersions(t *testing.T) {
+	st := NewStore(allTagsSpec())
+	if _, err := st.AppendTree(doc(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.MustParse("//faculty//TA")
+	pr, err := st.Current().Prepare(p, defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := pr.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := mustEstimate(t, st.Current(), "//faculty//TA")
+	if r1.Estimate != direct.Estimate {
+		t.Fatalf("prepared %v != direct %v", r1.Estimate, direct.Estimate)
+	}
+	if pr.Set() != st.Current() {
+		t.Fatal("prepared set mismatch")
+	}
+}
+
+func TestShardSetPersistenceRoundTrip(t *testing.T) {
+	st := NewStore(allTagsSpec())
+	for _, tr := range []*xmltree.Tree{doc(3, 2), doc(5, 1)} {
+		if _, err := st.AppendTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set := st.Current()
+	blob, err := set.Marshal(defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSet(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 || loaded.TotalNodes() != set.TotalNodes() || loaded.TotalDocs() != set.TotalDocs() {
+		t.Fatalf("loaded set: len=%d nodes=%d docs=%d", loaded.Len(), loaded.TotalNodes(), loaded.TotalDocs())
+	}
+	for _, q := range []string{"//faculty//TA", "//department//name"} {
+		want := mustEstimate(t, set, q)
+		got := mustEstimate(t, loaded, q)
+		if got.Estimate != want.Estimate {
+			t.Fatalf("%s: loaded %v != original %v", q, got.Estimate, want.Estimate)
+		}
+	}
+	// Summary-only shards cannot count exactly.
+	if _, err := loaded.Count(pattern.MustParse("//faculty//TA")); err == nil {
+		t.Fatal("Count on summary-only set: want error")
+	}
+	if _, err := LoadSet([]byte("junk")); err == nil {
+		t.Fatal("LoadSet(junk): want error")
+	}
+}
+
+// TestConcurrentAppendEstimate exercises the snapshot-serving contract
+// under the race detector: readers estimate from atomically loaded
+// sets while a writer appends, drops and compacts.
+func TestConcurrentAppendEstimate(t *testing.T) {
+	st := NewStore(allTagsSpec())
+	if _, err := st.EnsureSummaries(defaultOpts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendTree(doc(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	pinned := st.Current()
+	want := mustEstimate(t, pinned, "//faculty//TA").Estimate
+
+	const readers = 4
+	const writes = 30
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers+1)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := pattern.MustParse("//faculty//TA")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Pinned snapshot: must never change.
+				res, err := pinned.EstimateTwig(p, defaultOpts)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Estimate != want {
+					errs <- fmt.Errorf("pinned estimate changed: %v != %v", res.Estimate, want)
+					return
+				}
+				// Live snapshot: must never error.
+				if _, err := st.Current().EstimateTwig(p, defaultOpts); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		var appended []uint64
+		for i := 0; i < writes; i++ {
+			sh, err := st.AppendTree(doc(1+i%4, 1+i%3))
+			if err != nil {
+				errs <- err
+				return
+			}
+			appended = append(appended, sh.ID())
+			switch {
+			case i%7 == 3 && len(appended) > 2:
+				st.Drop(appended[0])
+				appended = appended[1:]
+			case i%5 == 4:
+				if _, err := st.Compact(DefaultCompactionPolicy); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

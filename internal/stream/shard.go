@@ -1,0 +1,40 @@
+package stream
+
+import (
+	"xmlest/internal/core"
+	"xmlest/internal/shard"
+)
+
+// BuildEstimator runs the two-pass streaming build and wraps the
+// resulting histograms into a catalog-less core.Estimator — the form a
+// shard store can serve. No-overlap predicates are detected during the
+// pass (Result.MayOverlap) but coverage histograms are not built, so
+// estimation over a streamed summary uses the primitive algorithm; the
+// document tree is never materialized.
+func BuildEstimator(src Source, gridSize int, preds []EventPredicate) (*core.Estimator, *Result, error) {
+	res, err := Build(src, gridSize, preds)
+	if err != nil {
+		return nil, nil, err
+	}
+	trueHist := res.Hists["TRUE"]
+	est, err := core.NewEstimatorFromHistograms(trueHist, res.Hists, res.MayOverlap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return est, res, nil
+}
+
+// AppendShard streams one XML source into a summary-only shard of the
+// store: the ingest path for documents that exceed memory, landing with
+// cost proportional to the new document only, like every other append.
+func AppendShard(st *shard.Store, src Source, gridSize int, preds []EventPredicate) (*shard.Shard, *Result, error) {
+	est, res, err := BuildEstimator(src, gridSize, preds)
+	if err != nil {
+		return nil, nil, err
+	}
+	sh, err := st.AppendSummary(est, 1, res.Nodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sh, res, nil
+}

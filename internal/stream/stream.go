@@ -85,6 +85,13 @@ type Result struct {
 	Nodes int
 	// MaxDepth is the deepest element seen.
 	MaxDepth int
+	// MayOverlap maps predicate names to whether two satisfying nodes
+	// were seen in an ancestor-descendant relationship (Definition 2
+	// fails). Detected during the streaming pass: elements are emitted
+	// in end-label order, so a satisfying node contains an earlier-
+	// emitted satisfying node exactly when its start label precedes the
+	// largest start label emitted so far for the predicate.
+	MayOverlap map[string]bool
 }
 
 // Build scans the source twice and returns the histograms of the given
@@ -110,11 +117,13 @@ func Build(src Source, gridSize int, preds []EventPredicate) (*Result, error) {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
 	res := &Result{
-		Hists: make(map[string]*histogram.Position, len(preds)+1),
-		Grid:  grid,
+		Hists:      make(map[string]*histogram.Position, len(preds)+1),
+		Grid:       grid,
+		MayOverlap: make(map[string]bool, len(preds)+1),
 	}
 	trueHist := histogram.NewPosition(grid)
 	res.Hists["TRUE"] = trueHist
+	res.MayOverlap["TRUE"] = true
 	for _, p := range preds {
 		if _, dup := res.Hists[p.Name()]; dup {
 			return nil, fmt.Errorf("stream: duplicate predicate %q", p.Name())
@@ -122,7 +131,15 @@ func Build(src Source, gridSize int, preds []EventPredicate) (*Result, error) {
 		res.Hists[p.Name()] = histogram.NewPosition(grid)
 	}
 
-	// Pass 2: number elements and feed the histograms.
+	// Pass 2: number elements and feed the histograms. maxStart tracks,
+	// per predicate, the largest start label among emitted matches: a
+	// later-emitted match starting before it must contain one of them
+	// (intervals in a tree never partially overlap), which is exactly
+	// the overlap property.
+	maxStart := make([]int, len(preds))
+	for k := range maxStart {
+		maxStart[k] = -1
+	}
 	err = scan(src, func(ev *Event) {
 		res.Nodes++
 		if ev.Depth > res.MaxDepth {
@@ -130,9 +147,14 @@ func Build(src Source, gridSize int, preds []EventPredicate) (*Result, error) {
 		}
 		i, j := grid.Bucket(ev.Start), grid.Bucket(ev.End)
 		trueHist.Add(i, j, 1)
-		for _, p := range preds {
+		for k, p := range preds {
 			if p.Matches(ev) {
 				res.Hists[p.Name()].Add(i, j, 1)
+				if ev.Start < maxStart[k] {
+					res.MayOverlap[p.Name()] = true
+				} else {
+					maxStart[k] = ev.Start
+				}
 			}
 		}
 	})

@@ -1,0 +1,43 @@
+package xmltree
+
+// Merge concatenates the documents of several trees into one mega-tree
+// under a fresh dummy root, in argument order, and renumbers the result
+// with the standard shared-counter scheme. Each input tree's documents
+// (the children of its dummy root) become documents of the merged tree,
+// so Merge(a, b) is equivalent to parsing a's documents followed by b's
+// documents in one ParseCollection call.
+//
+// Because numbering is sequential and every document's labels are
+// self-contained, a node at local position p in the k-th input tree
+// lands at position p + offset(k) in the merged tree, where offset(k)
+// is twice the total node count of the earlier inputs. The shard
+// subsystem's compaction relies on exactly this: merging shards and
+// re-summarizing is equivalent to having built one shard from the
+// concatenated documents.
+//
+// Inputs are not modified. Merge of zero trees returns an empty tree
+// (dummy root only).
+func Merge(trees ...*Tree) *Tree {
+	b := NewBuilder()
+	for _, t := range trees {
+		for doc := t.Nodes[0].FirstChild; doc != InvalidNode; doc = t.Nodes[doc].NextSibling {
+			copySubtree(b, t, doc)
+		}
+	}
+	return b.Tree()
+}
+
+// copySubtree replays the subtree rooted at id into the builder,
+// preserving tags and text. Attribute nodes ("@name") are ordinary
+// nodes in the source tree and copy through unchanged.
+func copySubtree(b *Builder, t *Tree, id NodeID) {
+	n := t.Node(id)
+	b.Begin(n.Tag)
+	if n.Text != "" {
+		b.Text(n.Text)
+	}
+	for c := n.FirstChild; c != InvalidNode; c = t.Nodes[c].NextSibling {
+		copySubtree(b, t, c)
+	}
+	b.End()
+}

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Runs the tracked performance benchmarks and records ns/op into
-# BENCH_PR1.json, the first point of the repo's perf trajectory.
+# BENCH_PR2.json: the PR 1 series (histogram engine, compiled queries)
+# plus the PR 2 shard-lifecycle series (append-to-visible vs monolithic
+# rebuild, sharded estimates, compaction).
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh   # override -benchtime
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR1.json}"
+out="${1:-BENCH_PR2.json}"
 benchtime="${BENCHTIME:-1s}"
-pattern='^(BenchmarkEstimatorBuild|BenchmarkPHJoin|BenchmarkTwigEstimate|BenchmarkFacadeEstimate|BenchmarkCompiledEstimate)$'
+pattern='^(BenchmarkEstimatorBuild|BenchmarkPHJoin|BenchmarkTwigEstimate|BenchmarkFacadeEstimate|BenchmarkCompiledEstimate|BenchmarkAppendToVisible|BenchmarkAppendRebuildMonolithic|BenchmarkShardedEstimate|BenchmarkCompact)(/.+)?$'
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT

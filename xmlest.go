@@ -14,6 +14,16 @@
 //	res, _ := est.Estimate("//department//faculty[.//TA][.//RA]")
 //	fmt.Println(res.Estimate, res.Elapsed)
 //
+// Internally the collection is sharded: each batch of appended
+// documents is summarized as its own immutable shard, and estimates
+// are the sums of per-shard estimates — an exact decomposition, since
+// a twig match never spans two documents under the dummy root.
+// Database.Append lands new documents by summarizing only those
+// documents, concurrent estimation serves from an atomically-swapped
+// snapshot, and Database.Compact merges small shards off the serving
+// path. A database opened once and never appended to behaves exactly
+// like the paper's single mega-tree summary.
+//
 // Exact answer sizes (ground truth) are available through
 // Database.Count, and the naive and schema-only baselines of the
 // paper's evaluation through Naive and SchemaUpperBound.
@@ -24,12 +34,14 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"xmlest/internal/cache"
 	"xmlest/internal/core"
 	"xmlest/internal/match"
 	"xmlest/internal/pattern"
 	"xmlest/internal/predicate"
+	"xmlest/internal/shard"
 	"xmlest/internal/xmltree"
 )
 
@@ -68,15 +80,46 @@ type Options = core.Options
 // Result is one estimation outcome.
 type Result = core.Result
 
-// Database is an XML document collection prepared for estimation: a
-// single interval-numbered mega-tree plus a predicate catalog.
-type Database struct {
-	tree    *xmltree.Tree
-	catalog *predicate.Catalog
+// CompactionPolicy tunes Database.Compact's size-tiered shard merging.
+// See shard.CompactionPolicy.
+type CompactionPolicy = shard.CompactionPolicy
+
+// ShardInfo describes one live shard for introspection.
+type ShardInfo struct {
+	// ID is the shard's store-unique id (usable with DropShard).
+	ID uint64
+	// Docs and Nodes are the shard's document and node counts.
+	Docs  int
+	Nodes int
+	// SummaryOnly marks shards that carry only a prebuilt summary (for
+	// example, loaded or streamed): they estimate but hold no documents.
+	SummaryOnly bool
 }
 
-// Open parses one or more XML documents into a Database. Multiple
-// documents are merged under a dummy root, as the paper prescribes.
+// Database is an XML document collection prepared for estimation: a
+// set of interval-numbered document shards sharing one predicate
+// vocabulary. A single Open (or FromTree/FromCatalog) produces one
+// shard — the paper's mega-tree; Append grows the collection one shard
+// per call.
+//
+// Exact-counting paths (Count, Find, Participation, the baselines)
+// consult a merged mega-tree view, materialized lazily per version
+// when the database holds more than one shard.
+type Database struct {
+	store *shard.Store
+
+	// Lazily merged mega-tree view, cached per store version. The
+	// single-shard case bypasses the cache and serves the shard's own
+	// tree and (live) catalog, preserving the seed's exact behaviour.
+	mergedMu  sync.Mutex
+	mergedVer uint64
+	merged    *xmltree.Tree
+	mergedCat *predicate.Catalog
+}
+
+// Open parses one or more XML documents into a Database holding one
+// shard. Multiple documents are merged under a dummy root, as the paper
+// prescribes.
 func Open(readers ...io.Reader) (*Database, error) {
 	tree, err := xmltree.ParseCollection(readers, xmltree.DefaultParseOptions)
 	if err != nil {
@@ -106,47 +149,176 @@ func OpenFiles(paths ...string) (*Database, error) {
 }
 
 // FromTree wraps an already-built tree (for example, from the synthetic
-// dataset generators).
+// dataset generators) as the database's first shard.
 func FromTree(tree *xmltree.Tree) *Database {
-	return &Database{tree: tree, catalog: predicate.NewCatalog(tree)}
+	return FromCatalog(predicate.NewCatalog(tree))
 }
 
-// FromCatalog wraps a tree with an existing predicate catalog.
+// FromCatalog wraps a tree with an existing predicate catalog as the
+// database's first shard. The catalog's predicates become the recipe
+// future appended shards are materialized with.
 func FromCatalog(cat *predicate.Catalog) *Database {
-	return &Database{tree: cat.Tree, catalog: cat}
+	st := shard.NewStore(predicate.SpecFromCatalog(cat))
+	if _, err := st.AppendCatalog(cat); err != nil {
+		// Appending a catalog-backed shard cannot fail: the tree is
+		// already built and no summaries are active yet.
+		panic("xmlest: " + err.Error())
+	}
+	return &Database{store: st}
 }
 
-// Tree exposes the underlying numbered tree.
-func (db *Database) Tree() *xmltree.Tree { return db.tree }
+// Append parses one or more XML documents and lands them as a new
+// shard: only the new documents are scanned and summarized, so the
+// cost is independent of the existing corpus size. Estimators created
+// by NewEstimator see the new shard on their next call; snapshots
+// taken before the append do not. It returns the new shard's info.
+//
+// Append is safe to call concurrently with estimation; concurrent
+// Appends serialize.
+func (db *Database) Append(readers ...io.Reader) (ShardInfo, error) {
+	tree, err := xmltree.ParseCollection(readers, xmltree.DefaultParseOptions)
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	return db.AppendTree(tree)
+}
 
-// Catalog exposes the predicate catalog.
-func (db *Database) Catalog() *predicate.Catalog { return db.catalog }
+// AppendTree lands an already-built tree as a new shard (see Append).
+func (db *Database) AppendTree(tree *xmltree.Tree) (ShardInfo, error) {
+	sh, err := db.store.AppendTree(tree)
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	return shardInfo(sh), nil
+}
+
+// DropShard removes a shard from the serving set, reporting whether it
+// was present. Estimates stop reflecting its documents immediately;
+// earlier snapshots still see them.
+func (db *Database) DropShard(id uint64) bool { return db.store.Drop(id) }
+
+// Compact runs one round of size-tiered compaction: small shards are
+// rebuilt into one merged shard entirely off the serving path, then
+// swapped in atomically. The zero policy uses defaults (see
+// shard.DefaultCompactionPolicy). It returns the number of shards
+// merged away (0 when nothing qualified).
+func (db *Database) Compact(policy CompactionPolicy) (int, error) {
+	return db.store.Compact(policy)
+}
+
+// Shards lists the live shards in serving order.
+func (db *Database) Shards() []ShardInfo {
+	shs := db.store.Current().Shards()
+	out := make([]ShardInfo, len(shs))
+	for i, sh := range shs {
+		out[i] = shardInfo(sh)
+	}
+	return out
+}
+
+// ShardCount returns the number of live shards.
+func (db *Database) ShardCount() int { return db.store.Current().Len() }
+
+// Version returns the serving snapshot's version; it increases with
+// every Append, DropShard and Compact.
+func (db *Database) Version() uint64 { return db.store.Version() }
+
+// Store exposes the underlying shard store for advanced use (streamed
+// summary-only shards, custom compaction scheduling).
+func (db *Database) Store() *shard.Store { return db.store }
+
+func shardInfo(sh *shard.Shard) ShardInfo {
+	return ShardInfo{ID: sh.ID(), Docs: sh.Docs(), Nodes: sh.Nodes(), SummaryOnly: sh.SummaryOnly()}
+}
+
+// Tree exposes the underlying numbered tree: the single shard's tree,
+// or — after appends — a merged mega-tree view over every
+// document-backed shard, rebuilt lazily per version.
+func (db *Database) Tree() *xmltree.Tree {
+	t, _ := db.mergedView()
+	return t
+}
+
+// Catalog exposes the predicate catalog over Tree().
+func (db *Database) Catalog() *predicate.Catalog {
+	_, cat := db.mergedView()
+	return cat
+}
+
+// mergedView returns the mega-tree and catalog over all document-backed
+// shards. With exactly one such shard it returns that shard's own tree
+// and live catalog (the seed's monolithic behaviour); otherwise it
+// merges and re-materializes, cached per store version.
+func (db *Database) mergedView() (*xmltree.Tree, *predicate.Catalog) {
+	set := db.store.Current()
+	backed := make([]*shard.Shard, 0, set.Len())
+	for _, sh := range set.Shards() {
+		if !sh.SummaryOnly() {
+			backed = append(backed, sh)
+		}
+	}
+	if len(backed) == 1 {
+		return backed[0].Tree(), backed[0].Catalog()
+	}
+	db.mergedMu.Lock()
+	defer db.mergedMu.Unlock()
+	if db.mergedVer == set.Version() && db.merged != nil {
+		return db.merged, db.mergedCat
+	}
+	trees := make([]*xmltree.Tree, len(backed))
+	for i, sh := range backed {
+		trees[i] = sh.Tree()
+	}
+	merged := xmltree.Merge(trees...)
+	cat := db.store.Spec().Build(merged)
+	// Only cache forward: a caller that loaded an older set before a
+	// concurrent Append must not evict a newer cached view.
+	if db.merged == nil || set.Version() >= db.mergedVer {
+		db.merged, db.mergedCat, db.mergedVer = merged, cat, set.Version()
+	}
+	return merged, cat
+}
+
+// invalidateMerged drops the cached merged view after predicate
+// registration changed the vocabulary.
+func (db *Database) invalidateMerged() {
+	db.mergedMu.Lock()
+	db.merged, db.mergedCat, db.mergedVer = nil, nil, 0
+	db.mergedMu.Unlock()
+}
 
 // AddAllTagPredicates registers a Tag predicate per distinct element
-// tag and the TRUE predicate. It returns the number of tag predicates.
+// tag and the TRUE predicate, on every shard and in the recipe for
+// future shards. It returns the number of tag predicates on the first
+// shard. Registration is setup-time API: it must not run concurrently
+// with estimation or appends.
 func (db *Database) AddAllTagPredicates() int {
-	n := db.catalog.AddAllTags()
-	db.catalog.Add(predicate.True{})
+	n := db.store.AddAllTagPredicates()
+	db.invalidateMerged()
 	return n
 }
 
 // AddPredicate registers a predicate for use in patterns (referenced by
 // name with the {name} syntax, or implicitly for Tag predicates).
-func (db *Database) AddPredicate(p Predicate) { db.catalog.Add(p) }
+func (db *Database) AddPredicate(p Predicate) { db.AddPredicates(p) }
 
 // AddPredicates registers several predicates in one shared tree scan
-// (see predicate.Catalog.AddBatch): non-tag predicates are evaluated
-// together node by node instead of one full pass each.
-func (db *Database) AddPredicates(ps ...Predicate) { db.catalog.AddBatch(ps) }
+// per shard (see predicate.Catalog.AddBatch).
+func (db *Database) AddPredicates(ps ...Predicate) {
+	db.store.AddPredicates(ps...)
+	db.invalidateMerged()
+}
 
 // Count computes the exact answer size of a twig pattern — the ground
-// truth the paper's tables report in their "Real Result" column.
+// truth the paper's tables report in their "Real Result" column. With
+// multiple shards the per-shard exact counts are summed (matches never
+// span documents); summary-only shards cannot be counted over.
 func (db *Database) Count(patternSrc string) (float64, error) {
 	p, err := pattern.Parse(patternSrc)
 	if err != nil {
 		return 0, err
 	}
-	return match.CountTwig(db.tree, p, db.resolve)
+	return db.store.Current().Count(p)
 }
 
 // Participation computes, per pattern node in pre-order, the exact
@@ -156,15 +328,23 @@ func (db *Database) Participation(patternSrc string) ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
-	return match.Participation(db.tree, p, db.resolve)
+	tree, cat := db.mergedView()
+	return match.Participation(tree, p, resolveIn(cat))
 }
 
-func (db *Database) resolve(name string) ([]xmltree.NodeID, error) {
-	e, err := db.catalog.Get(name)
-	if err != nil {
-		return nil, err
+// resolveIn returns a predicate resolver over one consistent catalog.
+// Exact-matching paths must resolve against the same merged view they
+// walk: re-reading db.mergedView() per name could observe a newer
+// version mid-walk when Append runs concurrently, yielding node ids
+// numbered against a different tree.
+func resolveIn(cat *predicate.Catalog) func(string) ([]xmltree.NodeID, error) {
+	return func(name string) ([]xmltree.NodeID, error) {
+		e, err := cat.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		return e.Nodes, nil
 	}
-	return e.Nodes, nil
 }
 
 // Naive returns the paper's naive baseline for a pattern: the product
@@ -174,9 +354,10 @@ func (db *Database) Naive(patternSrc string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	_, cat := db.mergedView()
 	est := 1.0
 	for _, n := range p.Nodes() {
-		e, err := db.catalog.Get(n.PredName())
+		e, err := cat.Get(n.PredName())
 		if err != nil {
 			return 0, err
 		}
@@ -197,11 +378,12 @@ func (db *Database) SchemaUpperBound(patternSrc string) (bound float64, ok bool,
 	if len(nodes) != 2 {
 		return 0, false, nil
 	}
-	anc, err := db.catalog.Get(nodes[0].PredName())
+	_, cat := db.mergedView()
+	anc, err := cat.Get(nodes[0].PredName())
 	if err != nil {
 		return 0, false, err
 	}
-	desc, err := db.catalog.Get(nodes[1].PredName())
+	desc, err := cat.Get(nodes[1].PredName())
 	if err != nil {
 		return 0, false, err
 	}
@@ -210,19 +392,33 @@ func (db *Database) SchemaUpperBound(patternSrc string) (bound float64, ok bool,
 }
 
 // Estimator answers answer-size queries from histogram summaries.
-// Concurrent estimation is safe: it only reads the immutable
-// histograms, and the internal query caches are synchronized.
+// Concurrent estimation is safe: each call serves from an atomically
+// loaded immutable shard snapshot, and the internal query caches are
+// synchronized. A live estimator (from NewEstimator) follows the
+// database — estimates reflect shards appended, dropped or compacted
+// after it was created; Snapshot pins the current shard set instead.
 // Registering new predicates through Core().Synthesize mutates the
 // summary maps and must not run concurrently with estimation.
 type Estimator struct {
-	inner *core.Estimator
-	db    *Database
+	db     *Database    // nil for estimators loaded from a summary blob
+	store  *shard.Store // nil for loaded estimators
+	opts   core.Options
+	pinned *shard.Set // non-nil: frozen snapshot, ignores later mutations
 
 	// compiled memoizes Compile results per pattern source, so the hot
-	// path of Estimate skips re-parsing and re-joining identical
-	// queries. Bounded; misses simply recompile.
+	// path of Estimate skips re-parsing identical queries. Entries
+	// rebind themselves when the serving snapshot changes. Bounded;
+	// misses simply recompile.
 	compileOnce sync.Once
 	compiled    *cache.LRU[string, *PreparedQuery]
+
+	// Lazily built monolithic summary over the merged view, for Core().
+	// Keyed by the merged catalog (live estimators; a new catalog is
+	// materialized per version and per predicate registration) or by the
+	// pinned set (snapshots; immutable).
+	coreMu  sync.Mutex
+	coreKey any
+	coreEst *core.Estimator
 }
 
 // compiledQueries returns the lazily-initialized compiled-query cache.
@@ -237,20 +433,53 @@ func (e *Estimator) compiledQueries() *cache.LRU[string, *PreparedQuery] {
 const compiledCacheSize = 256
 
 // NewEstimator builds the position histograms (and coverage histograms
-// for no-overlap predicates) for every registered predicate.
+// for no-overlap predicates) for every registered predicate on every
+// shard, and registers the options with the store so future appends
+// summarize new shards eagerly (off the estimation path).
 func (db *Database) NewEstimator(opts Options) (*Estimator, error) {
-	inner, err := core.NewEstimator(db.catalog, opts)
-	if err != nil {
+	if opts.GridSize <= 0 {
+		opts.GridSize = core.DefaultOptions.GridSize
+	}
+	if _, err := db.store.EnsureSummaries(opts); err != nil {
 		return nil, err
 	}
-	return &Estimator{inner: inner, db: db}, nil
+	return &Estimator{db: db, store: db.store, opts: opts}, nil
+}
+
+// set returns the shard set this estimator currently serves from.
+func (e *Estimator) set() *shard.Set {
+	if e.pinned != nil {
+		return e.pinned
+	}
+	return e.store.Current()
+}
+
+// Snapshot returns an estimator pinned to the current shard set:
+// estimates ignore all later Appends, Drops and Compacts, and stay
+// answerable even after the originating shards leave the serving set.
+func (e *Estimator) Snapshot() *Estimator {
+	return &Estimator{db: e.db, store: e.store, opts: e.opts, pinned: e.set()}
+}
+
+// ShardCount returns the number of shards in the serving (or pinned)
+// set.
+func (e *Estimator) ShardCount() int { return e.set().Len() }
+
+// Version returns the version of the shard set the estimator serves
+// from.
+func (e *Estimator) Version() uint64 { return e.set().Version() }
+
+// Stale reports whether a pinned snapshot has fallen behind the live
+// database (live estimators are never stale).
+func (e *Estimator) Stale() bool {
+	return e.pinned != nil && e.store != nil && e.pinned.Version() != e.store.Version()
 }
 
 // Estimate estimates the answer size of a twig pattern, choosing the
 // no-overlap algorithm wherever the schema allows and the primitive
 // pH-Join elsewhere. Repeated estimates of the same pattern source hit
-// a bounded compiled-query cache (see Compile) and skip parsing and
-// joining entirely.
+// a bounded compiled-query cache (see Compile) and skip parsing
+// entirely; compiled entries rebind automatically when shards change.
 func (e *Estimator) Estimate(patternSrc string) (Result, error) {
 	if pq, ok := e.compiledQueries().Get(patternSrc); ok {
 		return pq.Estimate()
@@ -264,35 +493,60 @@ func (e *Estimator) Estimate(patternSrc string) (Result, error) {
 }
 
 // Compile parses and prepares a twig pattern once: predicate references
-// are resolved eagerly (an unknown name fails here), and the compiled
-// query caches its folded join result, so Estimate on a PreparedQuery
-// costs histogram-total arithmetic only. Use Compile for hot query
-// paths that bypass the facade's internal cache, or to surface pattern
-// errors early.
+// are resolved eagerly against the current shard set (a name unknown to
+// every shard fails here), and the compiled query caches its per-shard
+// folded join results, so Estimate on a PreparedQuery costs histogram
+// arithmetic only. Use Compile for hot query paths that bypass the
+// facade's internal cache, or to surface pattern errors early.
 func (e *Estimator) Compile(patternSrc string) (*PreparedQuery, error) {
 	p, err := pattern.Parse(patternSrc)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := e.inner.Prepare(p)
-	if err != nil {
+	pq := &PreparedQuery{est: e, p: p, src: patternSrc}
+	if _, err := pq.bindingFor(e.set()); err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{inner: inner, src: patternSrc}, nil
+	return pq, nil
 }
 
 // PreparedQuery is a compiled twig query bound to an Estimator. It is
-// safe for concurrent use.
+// safe for concurrent use; when the estimator's shard set changes, the
+// query transparently rebinds to the new set on its next call.
 type PreparedQuery struct {
-	inner *core.PreparedQuery
-	src   string
+	est *Estimator
+	p   *pattern.Pattern
+	src string
+
+	binding atomic.Pointer[shard.Prepared]
 }
 
 // Source returns the pattern source the query was compiled from.
 func (pq *PreparedQuery) Source() string { return pq.src }
 
-// Estimate returns the estimated answer size of the compiled twig.
-func (pq *PreparedQuery) Estimate() (Result, error) { return pq.inner.Estimate() }
+// bindingFor returns the per-shard prepared queries for the given set,
+// rebinding if the cached binding belongs to another set.
+func (pq *PreparedQuery) bindingFor(set *shard.Set) (*shard.Prepared, error) {
+	if b := pq.binding.Load(); b != nil && b.Set() == set {
+		return b, nil
+	}
+	b, err := set.Prepare(pq.p, pq.est.opts)
+	if err != nil {
+		return nil, err
+	}
+	pq.binding.Store(b)
+	return b, nil
+}
+
+// Estimate returns the estimated answer size of the compiled twig
+// against the estimator's current shard set.
+func (pq *PreparedQuery) Estimate() (Result, error) {
+	b, err := pq.bindingFor(pq.est.set())
+	if err != nil {
+		return Result{}, err
+	}
+	return b.Estimate()
+}
 
 // EstimatePrimitive forces the primitive (overlap) algorithm for a
 // two-node pattern — the "Overlap Estimate" column of the paper's
@@ -306,41 +560,129 @@ func (e *Estimator) EstimatePrimitive(patternSrc string) (Result, error) {
 	if len(nodes) != 2 {
 		return Result{}, fmt.Errorf("xmlest: EstimatePrimitive requires a two-node pattern, got %d nodes", len(nodes))
 	}
-	return e.inner.EstimatePairPrimitive(nodes[0].PredName(), nodes[1].PredName())
+	return e.set().EstimatePairPrimitive(nodes[0].PredName(), nodes[1].PredName(), e.opts)
 }
 
-// Core exposes the underlying core estimator for advanced use (query
-// planners needing sub-pattern estimates).
-func (e *Estimator) Core() *core.Estimator { return e.inner }
+// Core exposes a monolithic core estimator for advanced use (query
+// planners needing sub-pattern estimates). With a single shard it is
+// that shard's own summary — the exact estimator Estimate consults.
+// With multiple shards it is a summary built over the merged mega-tree
+// view of the estimator's own shard set — a pinned snapshot merges its
+// pinned shards, not the live database. Estimators loaded from a
+// multi-shard blob (and snapshots holding only summary-only shards)
+// have no documents to merge and return nil.
+func (e *Estimator) Core() *core.Estimator {
+	set := e.set()
+	if set.Len() == 1 {
+		est, err := set.Shards()[0].Summary(e.opts)
+		if err != nil {
+			return nil
+		}
+		return est
+	}
+	if e.pinned != nil {
+		return e.coreFor(set, func() *predicate.Catalog {
+			if e.store == nil {
+				return nil
+			}
+			var trees []*xmltree.Tree
+			for _, sh := range set.Shards() {
+				if !sh.SummaryOnly() {
+					trees = append(trees, sh.Tree())
+				}
+			}
+			if len(trees) == 0 {
+				return nil
+			}
+			return e.store.Spec().Build(xmltree.Merge(trees...))
+		})
+	}
+	if e.db == nil {
+		return nil
+	}
+	// Live estimator: the merged catalog is the cache key — a fresh one
+	// is materialized per store version and per predicate registration,
+	// so staleness on either axis forces a rebuild.
+	_, cat := e.db.mergedView()
+	return e.coreFor(cat, func() *predicate.Catalog { return cat })
+}
+
+// coreFor returns the cached monolithic summary for the given cache
+// key, building it from the catalog the supplier materializes.
+func (e *Estimator) coreFor(key any, catFn func() *predicate.Catalog) *core.Estimator {
+	e.coreMu.Lock()
+	defer e.coreMu.Unlock()
+	if e.coreEst != nil && e.coreKey == key {
+		return e.coreEst
+	}
+	cat := catFn()
+	if cat == nil {
+		return nil
+	}
+	est, err := core.NewEstimator(cat, e.opts)
+	if err != nil {
+		return nil
+	}
+	e.coreEst, e.coreKey = est, key
+	return est
+}
 
 // StorageBytes reports the total compact-encoding size of all summary
-// structures — the paper's storage metric.
-func (e *Estimator) StorageBytes() int { return e.inner.StorageBytes() }
+// structures across shards — the paper's storage metric.
+func (e *Estimator) StorageBytes() int {
+	n, err := e.set().StorageBytes(e.opts)
+	if err != nil {
+		return 0
+	}
+	return n
+}
 
 // MarshalBinary serializes every summary structure, so estimation can
-// run later without the data (see LoadEstimator).
-func (e *Estimator) MarshalBinary() ([]byte, error) { return e.inner.MarshalBinary() }
+// run later without the data (see LoadEstimator). A single-shard
+// estimator writes the monolithic XQS1 summary format; multi-shard
+// estimators write the XQS2 shard-set container.
+func (e *Estimator) MarshalBinary() ([]byte, error) {
+	set := e.set()
+	if set.Len() == 1 {
+		est, err := set.Shards()[0].Summary(e.opts)
+		if err != nil {
+			return nil, err
+		}
+		return est.MarshalBinary()
+	}
+	return set.Marshal(e.opts)
+}
 
 // LoadEstimator reconstructs an estimator from a summary blob produced
-// by Estimator.MarshalBinary. The loaded estimator answers every
+// by Estimator.MarshalBinary — either a monolithic XQS1 summary or an
+// XQS2 shard-set container. The loaded estimator answers every
 // estimation query; exact counting requires the original Database.
 func LoadEstimator(blob []byte) (*Estimator, error) {
+	if core.IsShardSetBlob(blob) {
+		set, err := shard.LoadSet(blob)
+		if err != nil {
+			return nil, err
+		}
+		return &Estimator{pinned: set}, nil
+	}
 	inner, err := core.UnmarshalEstimator(blob)
 	if err != nil {
 		return nil, err
 	}
-	return &Estimator{inner: inner}, nil
+	return &Estimator{pinned: shard.SetFromSummaries(core.ShardSummary{ID: 1, Est: inner})}, nil
 }
 
 // Find enumerates up to limit concrete matches of a twig pattern
 // (limit <= 0 enumerates all). Each match lists the data node assigned
-// to each pattern node in pattern pre-order. Combined with
-// Estimator.Estimate, this models the paper's online-query scenario:
-// show the first page of results together with a predicted total.
+// to each pattern node in pattern pre-order, with node ids into
+// Tree()'s merged view. Combined with Estimator.Estimate, this models
+// the paper's online-query scenario: show the first page of results
+// together with a predicted total.
 func (db *Database) Find(patternSrc string, limit int) ([]match.Match, error) {
 	p, err := pattern.Parse(patternSrc)
 	if err != nil {
 		return nil, err
 	}
-	return match.FindTwigMatches(db.tree, p, db.resolve, limit)
+	tree, cat := db.mergedView()
+	return match.FindTwigMatches(tree, p, resolveIn(cat), limit)
 }

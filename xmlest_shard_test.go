@@ -1,0 +1,356 @@
+// Facade-level tests of the shard lifecycle: append-to-visible,
+// snapshot pinning and staleness, compaction, shard-set persistence
+// and streamed summary-only shards.
+package xmlest_test
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"xmlest"
+	"xmlest/internal/stream"
+)
+
+const dept1 = `<department>
+	<faculty><name>A</name><TA/><TA/></faculty>
+	<staff><name>B</name></staff>
+</department>`
+
+const dept2 = `<department>
+	<faculty><name>C</name><TA/><TA/><TA/></faculty>
+	<faculty><name>D</name><TA/></faculty>
+</department>`
+
+func TestAppendToVisible(t *testing.T) {
+	db, err := xmlest.Open(strings.NewReader(dept1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := est.Estimate("//faculty//TA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := est.Snapshot()
+	if snap.Stale() {
+		t.Fatal("fresh snapshot reports stale")
+	}
+
+	info, err := db.Append(strings.NewReader(dept2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Docs != 1 || info.Nodes == 0 || info.SummaryOnly {
+		t.Fatalf("appended shard info = %+v", info)
+	}
+	if db.ShardCount() != 2 {
+		t.Fatalf("ShardCount = %d, want 2", db.ShardCount())
+	}
+
+	// The live estimator sees the new documents immediately; the pinned
+	// snapshot does not, and now reports stale.
+	after, err := est.Estimate("//faculty//TA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Estimate <= before.Estimate {
+		t.Fatalf("append not visible: %v -> %v", before.Estimate, after.Estimate)
+	}
+	pinned, err := snap.Estimate("//faculty//TA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Estimate != before.Estimate {
+		t.Fatalf("snapshot estimate moved: %v != %v", pinned.Estimate, before.Estimate)
+	}
+	if !snap.Stale() {
+		t.Fatal("snapshot not stale after append")
+	}
+	if est.Stale() {
+		t.Fatal("live estimator reports stale")
+	}
+
+	// Exact counting sums across shards: 2 TAs + 4 TAs.
+	real, err := db.Count("//faculty//TA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real != 6 {
+		t.Fatalf("Count = %v, want 6", real)
+	}
+}
+
+func TestAppendNewTagVisible(t *testing.T) {
+	db, err := xmlest.Open(strings.NewReader(dept1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "RA" exists only in the appended document: unknown before the
+	// append, resolvable after.
+	if _, err := est.Estimate("//faculty//RA"); err == nil {
+		t.Fatal("unknown tag before append: want error")
+	}
+	if _, err := db.Append(strings.NewReader(`<department><faculty><RA/><RA/></faculty></department>`)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := est.Estimate("//faculty//RA")
+	if err != nil {
+		t.Fatalf("appended tag: %v", err)
+	}
+	if res.Estimate <= 0 {
+		t.Fatalf("estimate = %v, want > 0", res.Estimate)
+	}
+}
+
+func TestDropAndCompactFacade(t *testing.T) {
+	db, err := xmlest.Open(strings.NewReader(dept1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	for i := 0; i < 3; i++ {
+		if _, err := db.Append(strings.NewReader(dept2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := db.Shards()
+	if len(shards) != 4 {
+		t.Fatalf("%d shards, want 4", len(shards))
+	}
+	before, _ := est.Estimate("//faculty//TA")
+
+	if !db.DropShard(shards[3].ID) {
+		t.Fatal("DropShard: not found")
+	}
+	afterDrop, _ := est.Estimate("//faculty//TA")
+	if afterDrop.Estimate >= before.Estimate {
+		t.Fatalf("drop not reflected: %v -> %v", before.Estimate, afterDrop.Estimate)
+	}
+
+	merged, err := db.Compact(xmlest.CompactionPolicy{TierRatio: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != 3 {
+		t.Fatalf("Compact merged %d, want 3", merged)
+	}
+	if db.ShardCount() != 1 {
+		t.Fatalf("ShardCount after compact = %d, want 1", db.ShardCount())
+	}
+	// Exact counts are preserved exactly by compaction.
+	real, err := db.Count("//faculty//TA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real != 10 { // 2 + 4 + 4 after dropping one dept2 shard
+		t.Fatalf("Count after compact = %v, want 10", real)
+	}
+}
+
+func TestShardSetPersistenceFacade(t *testing.T) {
+	db, err := xmlest.Open(strings.NewReader(dept1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	if _, err := db.Append(strings.NewReader(dept2)); err != nil {
+		t.Fatal(err)
+	}
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := est.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := xmlest.LoadEstimator(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ShardCount() != 2 {
+		t.Fatalf("loaded ShardCount = %d, want 2", loaded.ShardCount())
+	}
+	want, err := est.Estimate("//faculty//TA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Estimate("//faculty//TA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Estimate != want.Estimate {
+		t.Fatalf("loaded estimate %v != original %v", got.Estimate, want.Estimate)
+	}
+}
+
+func TestAppendTinyDocument(t *testing.T) {
+	db, err := xmlest.Open(strings.NewReader(dept1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-element document has position space [0, 6): far smaller than
+	// the corpus grid. The shard grid clamps instead of rejecting the
+	// append (the monolithic rebuild absorbed such documents silently).
+	if _, err := db.Append(strings.NewReader(`<department><TA/></department>`)); err != nil {
+		t.Fatalf("tiny append: %v", err)
+	}
+	res, err := est.Estimate("//department//TA")
+	if err != nil {
+		t.Fatalf("estimate after tiny append: %v", err)
+	}
+	if res.Estimate <= 0 {
+		t.Fatalf("estimate = %v, want > 0", res.Estimate)
+	}
+	// Same ordering risk the other way: tiny shard first, estimator
+	// (with a big grid) created afterwards.
+	db2, err := xmlest.Open(strings.NewReader(`<a><b/></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2.AddAllTagPredicates()
+	if _, err := db2.NewEstimator(xmlest.Options{GridSize: 10}); err != nil {
+		t.Fatalf("estimator over tiny corpus: %v", err)
+	}
+}
+
+func TestCountUnknownPredicateErrors(t *testing.T) {
+	db, err := xmlest.Open(strings.NewReader(dept1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	if _, err := db.Append(strings.NewReader(dept2)); err != nil {
+		t.Fatal(err)
+	}
+	// A typo'd predicate must error (seed behaviour), not count as 0 —
+	// even when the pattern's other predicates resolve.
+	if _, err := db.Count("//faculty//{typo}"); err == nil {
+		t.Fatal("Count with unknown predicate: want error")
+	}
+}
+
+func TestSnapshotCoreIsolation(t *testing.T) {
+	db, err := xmlest.Open(strings.NewReader(dept1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	if _, err := db.Append(strings.NewReader(dept2)); err != nil {
+		t.Fatal(err)
+	}
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := est.Snapshot()
+	snapCore := snap.Core()
+	if snapCore == nil {
+		t.Fatal("snapshot Core() = nil")
+	}
+	taBefore, err := snapCore.Histogram("tag=TA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Appending after the pin must not leak into the snapshot's Core():
+	// the TA histogram total stays at the pinned corpus's 6.
+	if _, err := db.Append(strings.NewReader(dept2)); err != nil {
+		t.Fatal(err)
+	}
+	taAfter, err := snap.Core().Histogram("tag=TA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if taBefore.Total() != 6 || taAfter.Total() != 6 {
+		t.Fatalf("snapshot Core() corpus moved: before=%v after=%v, want 6", taBefore.Total(), taAfter.Total())
+	}
+	// The live estimator's Core() does follow the append.
+	taLive, err := est.Core().Histogram("tag=TA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if taLive.Total() != 10 {
+		t.Fatalf("live Core() TA total = %v, want 10", taLive.Total())
+	}
+}
+
+func TestCoreSeesRegisteredPredicates(t *testing.T) {
+	db, err := xmlest.Open(strings.NewReader(dept1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	if _, err := db.Append(strings.NewReader(dept2)); err != nil {
+		t.Fatal(err)
+	}
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Core() == nil {
+		t.Fatal("Core() = nil")
+	}
+	// Register a predicate after Core() was cached: the next Core()
+	// must include it (multi-shard cache invalidation).
+	db.AddPredicate(xmlest.Named{Alias: "isTA", Inner: xmlest.Tag{Value: "TA"}})
+	if _, err := est.Core().Histogram("isTA"); err != nil {
+		t.Fatalf("Core() after AddPredicate: %v", err)
+	}
+}
+
+func TestStreamedShardJoinsDatabase(t *testing.T) {
+	db, err := xmlest.Open(strings.NewReader(dept1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := est.Estimate("//faculty//TA")
+
+	doc := []byte(dept2)
+	src := func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(doc)), nil }
+	sh, res, err := stream.AppendShard(db.Store(), src, 4, []stream.EventPredicate{
+		stream.TagPred{Tag: "faculty"},
+		stream.TagPred{Tag: "TA"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes == 0 || !db.Shards()[1].SummaryOnly || sh.ID() == 0 {
+		t.Fatalf("streamed shard: res.Nodes=%d info=%+v", res.Nodes, db.Shards()[1])
+	}
+	after, err := est.Estimate("//faculty//TA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Estimate <= before.Estimate {
+		t.Fatalf("streamed shard not visible: %v -> %v", before.Estimate, after.Estimate)
+	}
+	// Exact counting cannot cover summary-only shards.
+	if _, err := db.Count("//faculty//TA"); err == nil {
+		t.Fatal("Count over summary-only shard: want error")
+	}
+}
