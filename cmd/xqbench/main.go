@@ -1,0 +1,357 @@
+// Command xqbench is a rockbench-style closed-loop load generator for
+// a live xqestd daemon: N estimate workers and M append workers hammer
+// the HTTP API concurrently, and the report records sustained QPS,
+// client-observed tail latency (p50/p95/p99), and append-to-visible
+// staleness — the time from issuing an append until an /estimate
+// response's snapshot version proves the new documents are being
+// served.
+//
+//	xqestd -dataset dblp -scale 0.1 -addr 127.0.0.1:8080 &
+//	xqbench -addr http://127.0.0.1:8080 -duration 10s \
+//	        -estimators 8 -appenders 2 -o serving.json
+//
+// Closed loop means each worker issues its next request only after the
+// previous response: reported QPS is sustained throughput at bounded
+// concurrency, not an open-loop arrival rate.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmlest/internal/metrics"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	estimators := flag.Int("estimators", 8, "closed-loop estimate workers")
+	appenders := flag.Int("appenders", 2, "closed-loop append workers")
+	patterns := flag.String("patterns", "//article//author,//article//year,//article//title",
+		"comma-separated twig patterns cycled by estimate workers")
+	visPattern := flag.String("vis-pattern", "", "pattern for visibility probes (default: first of -patterns)")
+	wait := flag.Duration("wait", 10*time.Second, "max wait for the daemon to report healthy")
+	out := flag.String("o", "", "write the JSON report here (default stdout)")
+	flag.Parse()
+
+	pats := strings.Split(*patterns, ",")
+	probe := *visPattern
+	if probe == "" {
+		probe = pats[0]
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *estimators + *appenders + 8,
+		MaxIdleConnsPerHost: *estimators + *appenders + 8,
+	}}
+	b := &bench{
+		addr:    strings.TrimRight(*addr, "/"),
+		client:  client,
+		pats:    pats,
+		probe:   probe,
+		est:     metrics.NewLatencyHistogram(),
+		app:     metrics.NewLatencyHistogram(),
+		visible: metrics.NewLatencyHistogram(),
+	}
+
+	if err := b.waitHealthy(*wait); err != nil {
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *estimators; i++ {
+		wg.Add(1)
+		go func(id int) { defer wg.Done(); b.estimateLoop(ctx, id) }(i)
+	}
+	for i := 0; i < *appenders; i++ {
+		wg.Add(1)
+		go func(id int) { defer wg.Done(); b.appendLoop(ctx, id) }(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report := b.report(elapsed, *estimators, *appenders)
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if b.errs.Load() > 0 {
+		fatal(fmt.Errorf("xqbench: %d request errors during the run", b.errs.Load()))
+	}
+}
+
+type bench struct {
+	addr   string
+	client *http.Client
+	pats   []string
+	probe  string
+
+	est     *metrics.LatencyHistogram // estimate request latency
+	app     *metrics.LatencyHistogram // append request latency
+	visible *metrics.LatencyHistogram // append-to-visible staleness
+	errs    atomic.Uint64
+}
+
+// errBackpressured marks a 503 from /append: expected under load, not
+// a benchmark failure.
+var errBackpressured = errors.New("append: backpressured")
+
+// estimateResponse is the slice of the wire type xqbench needs.
+type estimateResponse struct {
+	Version uint64 `json:"version"`
+}
+
+type appendResponse struct {
+	Version uint64 `json:"version"`
+}
+
+// waitHealthy polls /healthz until it answers 200. The whole wait —
+// including any single wedged probe — is bounded by the budget, so a
+// daemon that accepts connections but never responds still fails fast.
+func (b *bench) waitHealthy(budget time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := b.client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("xqbench: daemon at %s not healthy after %s", b.addr, budget)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// estimateLoop is one closed-loop estimate worker cycling through the
+// pattern list.
+func (b *bench) estimateLoop(ctx context.Context, id int) {
+	for i := id; ctx.Err() == nil; i++ {
+		pat := b.pats[i%len(b.pats)]
+		start := time.Now()
+		_, err := b.postEstimate(ctx, pat)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			b.errs.Add(1)
+			continue
+		}
+		b.est.Observe(time.Since(start))
+	}
+}
+
+// appendLoop is one closed-loop append worker: it lands a small
+// document, then probes /estimate until the served snapshot version
+// reaches the append's, recording the full append-to-visible time.
+func (b *bench) appendLoop(ctx context.Context, id int) {
+	rng := rand.New(rand.NewSource(int64(id) + 1))
+	for seq := 0; ctx.Err() == nil; seq++ {
+		doc := syntheticDoc(rng, id, seq)
+		start := time.Now()
+		ver, err := b.postAppend(ctx, doc)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if !errors.Is(err, errBackpressured) {
+				b.errs.Add(1)
+			}
+			continue
+		}
+		b.app.Observe(time.Since(start))
+		for ctx.Err() == nil {
+			served, err := b.postEstimate(ctx, b.probe)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				b.errs.Add(1)
+				break
+			}
+			if served >= ver {
+				b.visible.Observe(time.Since(start))
+				break
+			}
+		}
+	}
+}
+
+// postEstimate issues one single-pattern estimate and returns the
+// snapshot version it was served from.
+func (b *bench) postEstimate(ctx context.Context, pattern string) (uint64, error) {
+	body, _ := json.Marshal(map[string]string{"pattern": pattern})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+"/estimate", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("estimate: HTTP %d", resp.StatusCode)
+	}
+	var er estimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		return 0, err
+	}
+	return er.Version, nil
+}
+
+// postAppend lands one raw-XML document and returns the first snapshot
+// version serving it.
+func (b *bench) postAppend(ctx context.Context, doc string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+"/append", strings.NewReader(doc))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		// Backpressure is the daemon working as designed; retry after a
+		// beat rather than counting an error.
+		time.Sleep(50 * time.Millisecond)
+		return 0, errBackpressured
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("append: HTTP %d", resp.StatusCode)
+	}
+	var ar appendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		return 0, err
+	}
+	return ar.Version, nil
+}
+
+// syntheticDoc renders a small dblp-flavoured document whose tags are
+// in the default datasets' vocabulary, so appended shards answer the
+// benchmark's patterns.
+func syntheticDoc(rng *rand.Rand, worker, seq int) string {
+	var sb strings.Builder
+	sb.WriteString("<article>")
+	fmt.Fprintf(&sb, "<author>bench w%d</author>", worker)
+	fmt.Fprintf(&sb, "<title>load doc %d-%d</title>", worker, seq)
+	fmt.Fprintf(&sb, "<year>%d</year>", 1990+rng.Intn(30))
+	sb.WriteString("</article>")
+	return sb.String()
+}
+
+// histJSON flattens a latency histogram for the report.
+type histJSON struct {
+	Requests uint64  `json:"requests"`
+	QPS      float64 `json:"qps"`
+	MeanUS   float64 `json:"mean_us"`
+	P50US    float64 `json:"p50_us"`
+	P95US    float64 `json:"p95_us"`
+	P99US    float64 `json:"p99_us"`
+	MaxUS    float64 `json:"max_us"`
+}
+
+func digest(h *metrics.LatencyHistogram, elapsed time.Duration) histJSON {
+	s := h.Summary()
+	out := histJSON{
+		Requests: s.Count,
+		MeanUS:   s.MeanUSec,
+		P50US:    s.P50USec,
+		P95US:    s.P95USec,
+		P99US:    s.P99USec,
+		MaxUS:    float64(s.Max) / float64(time.Microsecond),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		out.QPS = float64(s.Count) / sec
+	}
+	return out
+}
+
+type reportJSON struct {
+	Target          string          `json:"target"`
+	DurationSeconds float64         `json:"duration_seconds"`
+	EstimateWorkers int             `json:"estimate_workers"`
+	AppendWorkers   int             `json:"append_workers"`
+	Errors          uint64          `json:"errors"`
+	Estimate        histJSON        `json:"estimate"`
+	Append          histJSON        `json:"append"`
+	AppendToVisible histJSON        `json:"append_to_visible"`
+	ServerStats     json.RawMessage `json:"server_stats,omitempty"`
+}
+
+func (b *bench) report(elapsed time.Duration, estimators, appenders int) reportJSON {
+	r := reportJSON{
+		Target:          b.addr,
+		DurationSeconds: elapsed.Seconds(),
+		EstimateWorkers: estimators,
+		AppendWorkers:   appenders,
+		Errors:          b.errs.Load(),
+		Estimate:        digest(b.est, elapsed),
+		Append:          digest(b.app, elapsed),
+		AppendToVisible: digest(b.visible, elapsed),
+	}
+	// Fold in the daemon's own view (server-side latency excludes the
+	// network) when it answers promptly; a daemon wedged after the run
+	// must not hang the report we already computed.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+"/stats", nil)
+	if err != nil {
+		return r
+	}
+	if resp, err := b.client.Do(req); err == nil {
+		stats, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusOK && json.Valid(stats) {
+			r.ServerStats = stats
+		}
+	}
+	return r
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	os.Exit(1)
+}

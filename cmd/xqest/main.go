@@ -28,6 +28,11 @@
 //
 // The -dataset flag substitutes a built-in synthetic dataset for -data:
 // dblp, hier, xmark or shakespeare.
+//
+// Serving: `serve` runs the HTTP estimation daemon (internal/server,
+// same as the xqestd command) over the loaded database.
+//
+//	xqest -dataset dblp -addr :8080 -autocompact 30s serve
 package main
 
 import (
@@ -36,11 +41,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"xmlest"
-	"xmlest/internal/datagen"
+	"xmlest/internal/cliutil"
 	"xmlest/internal/pattern"
 	"xmlest/internal/planner"
+	"xmlest/internal/server"
 )
 
 func main() {
@@ -55,6 +62,8 @@ func main() {
 	save := flag.String("save", "", "after estimating, save the summary to this file")
 	out := flag.String("o", "summary.bin", "output file for the build command")
 	maxShards := flag.Int("max-shards", 0, "compact: target shard count (0 = policy default)")
+	addr := flag.String("addr", server.DefaultAddr, "serve: listen address")
+	autocompact := flag.Duration("autocompact", 0, "serve: background compaction interval (0 disables)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -63,6 +72,27 @@ func main() {
 	cmd := flag.Arg(0)
 	if *load != "" {
 		*summary = *load
+	}
+
+	// Serving from a saved summary needs no data: the daemon runs
+	// read-only, exactly like xqestd -load.
+	if *summary != "" && cmd == "serve" {
+		blob, err := os.ReadFile(*summary)
+		if err != nil {
+			fatal(err)
+		}
+		est, err := xmlest.LoadEstimator(blob)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := server.NewFromEstimator(est, server.Config{Addr: *addr, SnapshotPath: *save})
+		if err != nil {
+			fatal(err)
+		}
+		if err := cliutil.RunUntilSignal(srv, 15*time.Second); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// Estimation from a saved summary needs no data at all.
@@ -180,6 +210,22 @@ func main() {
 			}
 			fmt.Printf("saved summary to %s (%d bytes)\n", *save, len(blob))
 		}
+	case "serve":
+		// Delegates to the internal/server daemon, so the CLI stays the
+		// one entry point for demos: xqest -dataset dblp serve
+		srv, err := server.New(db, server.Config{
+			Addr:                *addr,
+			Options:             xmlest.Options{GridSize: *grid},
+			AutoCompactInterval: *autocompact,
+			CompactionPolicy:    xmlest.CompactionPolicy{MaxShards: *maxShards},
+			SnapshotPath:        *save,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := cliutil.RunUntilSignal(srv, 15*time.Second); err != nil {
+			fatal(err)
+		}
 	case "exact":
 		src := needPattern()
 		real, err := db.Count(src)
@@ -224,33 +270,11 @@ func appendFile(db *xmlest.Database, path string) (xmlest.ShardInfo, error) {
 }
 
 func openDatabase(data, dataset string, scale float64, seed int64) (*xmlest.Database, error) {
-	switch {
-	case data != "":
-		db, err := xmlest.OpenFiles(strings.Split(data, ",")...)
-		if err != nil {
-			return nil, err
-		}
-		db.AddAllTagPredicates()
-		return db, nil
-	case dataset == "dblp":
-		db := xmlest.FromCatalog(datagen.DBLPCatalog(datagen.GenerateDBLP(
-			datagen.DBLPConfig{Seed: seed, Scale: scale})))
-		return db, nil
-	case dataset == "hier":
-		db := xmlest.FromCatalog(datagen.HierCatalog(datagen.GenerateHier(
-			datagen.HierConfig{Seed: seed, Scale: scale * 10})))
-		return db, nil
-	case dataset == "xmark":
-		db := xmlest.FromTree(datagen.GenerateXMark(seed, int(1000*scale)))
-		db.AddAllTagPredicates()
-		return db, nil
-	case dataset == "shakespeare":
-		db := xmlest.FromTree(datagen.GenerateShakespeare(seed, int(10*scale)+1))
-		db.AddAllTagPredicates()
-		return db, nil
-	default:
-		return nil, fmt.Errorf("xqest: provide -data files or -dataset name")
+	db, err := cliutil.OpenDatabase(data, dataset, scale, seed)
+	if err != nil {
+		return nil, fmt.Errorf("xqest: %w", err)
 	}
+	return db, nil
 }
 
 func needPattern() string {
@@ -280,6 +304,10 @@ commands:
   exact '<pattern>'     exact answer size (ground truth)
   explain '<pattern>'   candidate join orders with intermediate estimates
   compact               merge small shards (size-tiered; -max-shards caps the count)
-  drop <shard-id>       remove a shard from the serving set`)
+  drop <shard-id>       remove a shard from the serving set
+  serve                 run the HTTP estimation daemon on -addr (see xqestd;
+                        -autocompact 30s enables background compaction,
+                        -save persists the summary on shutdown,
+                        -load file serves a saved summary read-only)`)
 	os.Exit(2)
 }

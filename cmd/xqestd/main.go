@@ -1,0 +1,86 @@
+// Command xqestd is the estimation daemon: it loads an XML corpus (or
+// a saved summary), builds position-histogram summaries, and serves
+// answer-size estimates over HTTP while accepting document ingest and
+// compacting shards in the background.
+//
+//	xqestd -dataset dblp -scale 0.1 -addr :8080
+//	xqestd -data a.xml,b.xml -autocompact 30s -save snapshot.xqs
+//	xqestd -load snapshot.xqs -addr :8080          # read-only serving
+//
+// Endpoints: POST /estimate /append /compact, GET /shards /stats
+// /healthz — see internal/server. SIGINT/SIGTERM shut down
+// gracefully: in-flight requests drain and, with -save, the summary is
+// persisted for the next boot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xmlest"
+	"xmlest/internal/cliutil"
+	"xmlest/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", server.DefaultAddr, "listen address")
+	data := flag.String("data", "", "comma-separated XML files (one shard)")
+	dataset := flag.String("dataset", "", "built-in dataset: dblp, hier, xmark, shakespeare")
+	scale := flag.Float64("scale", 0.1, "built-in dataset scale")
+	seed := flag.Int64("seed", 2002, "built-in dataset seed")
+	grid := flag.Int("grid", 10, "histogram grid size g (gxg buckets)")
+	workers := flag.Int("build-workers", 0, "summary build workers (0 = GOMAXPROCS)")
+	load := flag.String("load", "", "serve read-only from a saved summary (XQS1/XQS2) instead of data")
+	save := flag.String("save", "", "persist the summary snapshot here on shutdown")
+	autocompact := flag.Duration("autocompact", 0, "background compaction interval (0 disables)")
+	maxShards := flag.Int("max-shards", 0, "compaction policy shard-count target (0 = default)")
+	maxAppends := flag.Int("max-inflight-appends", 0, "ingest backpressure bound (0 = default)")
+	drain := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain budget")
+	flag.Parse()
+
+	cfg := server.Config{
+		Addr:                *addr,
+		Options:             xmlest.Options{GridSize: *grid, BuildWorkers: *workers},
+		MaxInflightAppends:  *maxAppends,
+		AutoCompactInterval: *autocompact,
+		CompactionPolicy:    xmlest.CompactionPolicy{MaxShards: *maxShards},
+		SnapshotPath:        *save,
+	}
+
+	var srv *server.Server
+	var err error
+	if *load != "" {
+		var blob []byte
+		blob, err = os.ReadFile(*load)
+		if err != nil {
+			fatal(err)
+		}
+		var est *xmlest.Estimator
+		est, err = xmlest.LoadEstimator(blob)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err = server.NewFromEstimator(est, cfg)
+	} else {
+		var db *xmlest.Database
+		db, err = cliutil.OpenDatabase(*data, *dataset, *scale, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("xqestd: %w", err))
+		}
+		srv, err = server.New(db, cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if err := cliutil.RunUntilSignal(srv, *drain); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+// Package cliutil holds the flag plumbing shared by the xqest and
+// xqestd commands: opening a database from -data files or a built-in
+// synthetic -dataset.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlest"
+	"xmlest/internal/datagen"
+)
+
+// OpenDatabase builds a Database from comma-separated XML files (data)
+// or a built-in dataset name (dblp, hier, xmark, shakespeare), with
+// tag predicates registered and ready for estimator construction.
+// Exactly the behaviour the xqest CLI has always had.
+func OpenDatabase(data, dataset string, scale float64, seed int64) (*xmlest.Database, error) {
+	switch {
+	case data != "":
+		db, err := xmlest.OpenFiles(strings.Split(data, ",")...)
+		if err != nil {
+			return nil, err
+		}
+		db.AddAllTagPredicates()
+		return db, nil
+	case dataset == "dblp":
+		db := xmlest.FromCatalog(datagen.DBLPCatalog(datagen.GenerateDBLP(
+			datagen.DBLPConfig{Seed: seed, Scale: scale})))
+		return db, nil
+	case dataset == "hier":
+		db := xmlest.FromCatalog(datagen.HierCatalog(datagen.GenerateHier(
+			datagen.HierConfig{Seed: seed, Scale: scale * 10})))
+		return db, nil
+	case dataset == "xmark":
+		db := xmlest.FromTree(datagen.GenerateXMark(seed, int(1000*scale)))
+		db.AddAllTagPredicates()
+		return db, nil
+	case dataset == "shakespeare":
+		db := xmlest.FromTree(datagen.GenerateShakespeare(seed, int(10*scale)+1))
+		db.AddAllTagPredicates()
+		return db, nil
+	default:
+		return nil, fmt.Errorf("provide -data files or -dataset name (dblp, hier, xmark, shakespeare)")
+	}
+}

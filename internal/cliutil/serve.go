@@ -1,0 +1,28 @@
+package cliutil
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xmlest/internal/server"
+)
+
+// RunUntilSignal starts the daemon, blocks until SIGINT or SIGTERM,
+// then shuts it down gracefully within the drain budget — the shared
+// serving loop of xqestd and `xqest serve`.
+func RunUntilSignal(srv *server.Server, drain time.Duration) error {
+	if _, err := srv.Start(); err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "received %s: draining and shutting down\n", s)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

@@ -67,14 +67,42 @@ type Options struct {
 
 	// BuildWorkers bounds the worker pool that fans the per-predicate
 	// summary builds (position, coverage, level histograms) during
-	// NewEstimator. Zero or negative means GOMAXPROCS. Per-predicate
-	// builds are independent and deterministic, so the resulting
-	// estimator is identical for every worker count.
+	// NewEstimator. Zero means GOMAXPROCS; negative values are a
+	// configuration error (see Validate). Per-predicate builds are
+	// independent and deterministic, so the resulting estimator is
+	// identical for every worker count.
 	BuildWorkers int
+
+	// QueryCacheSize bounds the facade's compiled-query cache (the
+	// per-estimator memo that lets repeated Estimate calls skip parsing
+	// and binding). Zero means the default of 256; negative values are
+	// a configuration error (see Validate). It does not affect the
+	// built summaries.
+	QueryCacheSize int
 }
 
 // DefaultOptions mirror the paper's experimental setup.
 var DefaultOptions = Options{GridSize: 10}
+
+// Validate reports configuration errors instead of letting bad values
+// surface as silent misbehaviour (or huge allocations) deep inside a
+// build. The zero value of every field is valid: zero GridSize,
+// BuildWorkers and QueryCacheSize select defaults.
+func (o Options) Validate() error {
+	if o.GridSize < 0 {
+		return fmt.Errorf("core: negative grid size %d (use 0 for the default of %d)", o.GridSize, DefaultOptions.GridSize)
+	}
+	if o.GridSize > histogram.MaxGridSize {
+		return fmt.Errorf("core: grid size %d exceeds the supported maximum %d", o.GridSize, histogram.MaxGridSize)
+	}
+	if o.BuildWorkers < 0 {
+		return fmt.Errorf("core: negative BuildWorkers %d (use 0 for GOMAXPROCS)", o.BuildWorkers)
+	}
+	if o.QueryCacheSize < 0 {
+		return fmt.Errorf("core: negative QueryCacheSize %d (use 0 for the default)", o.QueryCacheSize)
+	}
+	return nil
+}
 
 // NewEstimator builds every summary structure for the catalog's
 // predicates. The catalog must already contain the predicates that
@@ -89,12 +117,11 @@ var DefaultOptions = Options{GridSize: 10}
 // builds are independent and deterministic, so the summary is
 // bit-identical for every worker count; a test asserts this.
 func NewEstimator(cat *predicate.Catalog, opts Options) (*Estimator, error) {
-	if opts.GridSize <= 0 {
-		opts.GridSize = DefaultOptions.GridSize
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
-	if opts.GridSize > histogram.MaxGridSize {
-		// histogram.NodeCells stores bucket indices as uint16.
-		return nil, fmt.Errorf("core: grid size %d exceeds the supported maximum %d", opts.GridSize, histogram.MaxGridSize)
+	if opts.GridSize == 0 {
+		opts.GridSize = DefaultOptions.GridSize
 	}
 	t := cat.Tree
 	var grid histogram.Grid

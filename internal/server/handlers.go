@@ -1,0 +1,326 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"xmlest"
+	"xmlest/internal/metrics"
+)
+
+// Wire types. Versions let clients reason about snapshot visibility:
+// an /append response's version is the first snapshot containing the
+// new shard, and any /estimate response with version >= it reflects
+// the appended documents — the append-to-visible contract xqbench
+// measures.
+
+// EstimateRequest asks for one pattern or a batch. Pattern and
+// Patterns may be combined; Pattern is estimated first.
+type EstimateRequest struct {
+	Pattern  string   `json:"pattern,omitempty"`
+	Patterns []string `json:"patterns,omitempty"`
+}
+
+// EstimateResult is one pattern's estimate.
+type EstimateResult struct {
+	Pattern       string  `json:"pattern"`
+	Estimate      float64 `json:"estimate"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	UsedNoOverlap bool    `json:"used_no_overlap"`
+}
+
+// EstimateResponse reports the snapshot version every result was
+// computed against. Estimate echoes the first result for one-pattern
+// requests.
+type EstimateResponse struct {
+	Version  uint64           `json:"version"`
+	Estimate *float64         `json:"estimate,omitempty"`
+	Results  []EstimateResult `json:"results"`
+}
+
+// AppendResponse describes the landed shard and the first snapshot
+// version that serves it.
+type AppendResponse struct {
+	ShardID uint64 `json:"shard_id"`
+	Docs    int    `json:"docs"`
+	Nodes   int    `json:"nodes"`
+	Version uint64 `json:"version"`
+}
+
+// AppendRequest is the JSON ingest form: each document is one XML
+// string; the batch lands as a single shard.
+type AppendRequest struct {
+	Documents []string `json:"documents"`
+}
+
+// CompactRequest optionally overrides the policy's shard-count target.
+type CompactRequest struct {
+	MaxShards int `json:"max_shards,omitempty"`
+}
+
+// CompactResponse reports one compaction round's outcome.
+type CompactResponse struct {
+	Merged  int    `json:"merged"`
+	Shards  int    `json:"shards"`
+	Version uint64 `json:"version"`
+}
+
+// ShardJSON describes one live shard. InstalledAt is the first
+// snapshot version that served it (0 for loaded, store-less sets).
+type ShardJSON struct {
+	ID          uint64 `json:"id"`
+	Docs        int    `json:"docs"`
+	Nodes       int    `json:"nodes"`
+	SummaryOnly bool   `json:"summary_only"`
+	InstalledAt uint64 `json:"installed_at"`
+}
+
+// ShardsResponse lists the serving shard set.
+type ShardsResponse struct {
+	Version uint64      `json:"version"`
+	Shards  []ShardJSON `json:"shards"`
+}
+
+// StatsResponse is the daemon's introspection surface: corpus shape,
+// summary size, and per-endpoint serving metrics.
+type StatsResponse struct {
+	UptimeSeconds   float64                    `json:"uptime_seconds"`
+	Version         uint64                     `json:"version"`
+	ReadOnly        bool                       `json:"read_only"`
+	Corpus          xmlest.DatabaseStats       `json:"corpus"`
+	SummaryBytes    int                        `json:"summary_bytes"`
+	GridSize        int                        `json:"grid_size"`
+	AutoCompactions uint64                     `json:"auto_compact_rounds"`
+	AutoMerged      uint64                     `json:"auto_compact_merged"`
+	AppendedDocs    uint64                     `json:"appended_docs"`
+	Endpoints       []metrics.EndpointSnapshot `json:"endpoints"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Version uint64 `json:"version"`
+	Shards  int    `json:"shards"`
+}
+
+// ErrorResponse carries a client-readable error.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// decodeJSON strictly decodes one JSON object from the request body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeRequestError maps a body-handling error to its status: 413 for
+// oversized bodies (MaxBytesReader fired), 400 for everything else.
+func writeRequestError(w http.ResponseWriter, prefix string, err error) {
+	var maxErr *http.MaxBytesError
+	if errors.As(err, &maxErr) {
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		return
+	}
+	writeError(w, http.StatusBadRequest, prefix+err.Error())
+}
+
+// handleEstimate serves single and batched estimates from one pinned
+// snapshot. Pattern errors (syntax, unknown predicates) are the
+// client's: 400.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeRequestError(w, "bad estimate request: ", err)
+		return
+	}
+	patterns := req.Patterns
+	if req.Pattern != "" {
+		patterns = append([]string{req.Pattern}, patterns...)
+	}
+	if len(patterns) == 0 {
+		writeError(w, http.StatusBadRequest, "estimate request needs \"pattern\" or \"patterns\"")
+		return
+	}
+	if len(patterns) > s.cfg.MaxBatchPatterns {
+		writeError(w, http.StatusBadRequest,
+			"too many patterns in one batch: "+strconv.Itoa(len(patterns))+" > "+strconv.Itoa(s.cfg.MaxBatchPatterns))
+		return
+	}
+	batch, err := s.est.EstimateBatch(patterns)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := EstimateResponse{Version: batch.Version, Results: make([]EstimateResult, len(patterns))}
+	for i, res := range batch.Results {
+		resp.Results[i] = EstimateResult{
+			Pattern:       patterns[i],
+			Estimate:      res.Estimate,
+			ElapsedNS:     int64(res.Elapsed),
+			UsedNoOverlap: res.UsedNoOverlap,
+		}
+	}
+	if len(resp.Results) == 1 {
+		resp.Estimate = &resp.Results[0].Estimate
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAppend lands one shard per request: a raw XML body is one
+// document, a JSON {"documents": [...]} batch is parsed as one
+// collection. Backpressure: at most MaxInflightAppends run at once;
+// the rest are told to retry. Reads are never blocked either way.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if s.db == nil {
+		writeError(w, http.StatusForbidden, "read-only server (loaded from a summary): no document store to append to")
+		return
+	}
+	select {
+	case s.appendSem <- struct{}{}:
+		defer func() { <-s.appendSem }()
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			"ingest backpressure: "+strconv.Itoa(s.cfg.MaxInflightAppends)+" appends already in flight")
+		return
+	}
+
+	var readers []io.Reader
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req AppendRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeRequestError(w, "bad append request: ", err)
+			return
+		}
+		if len(req.Documents) == 0 {
+			writeError(w, http.StatusBadRequest, "append request needs at least one document")
+			return
+		}
+		for _, doc := range req.Documents {
+			readers = append(readers, strings.NewReader(doc))
+		}
+	} else {
+		readers = append(readers, r.Body)
+	}
+	info, err := s.db.Append(readers...)
+	if err != nil {
+		writeRequestError(w, "append: ", err)
+		return
+	}
+	s.appendsSeen.Add(uint64(info.Docs))
+	// info.Version is the shard's own install version — the exact
+	// visibility watermark — not a re-read of the live version, which a
+	// concurrent append or compaction could already have advanced.
+	writeJSON(w, http.StatusOK, AppendResponse{
+		ShardID: info.ID,
+		Docs:    info.Docs,
+		Nodes:   info.Nodes,
+		Version: info.Version,
+	})
+}
+
+// handleCompact runs one on-demand compaction round.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if s.db == nil {
+		writeError(w, http.StatusForbidden, "read-only server (loaded from a summary): nothing to compact")
+		return
+	}
+	policy := s.cfg.CompactionPolicy
+	var req CompactRequest
+	if err := decodeJSON(r, &req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad compact request: "+err.Error())
+		return
+	}
+	if req.MaxShards > 0 {
+		policy.MaxShards = req.MaxShards
+	}
+	merged, err := s.db.Compact(policy)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "compact: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CompactResponse{
+		Merged:  merged,
+		Shards:  s.db.ShardCount(),
+		Version: s.db.Version(),
+	})
+}
+
+// handleShards lists the serving shard set. The set is pinned once, so
+// the reported version and shard list always belong to the same
+// snapshot — the consistency contract every response carries.
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	snap := s.est.Snapshot()
+	shards := snap.Shards()
+	resp := ShardsResponse{Version: snap.Version(), Shards: make([]ShardJSON, len(shards))}
+	for i, sh := range shards {
+		resp.Shards[i] = ShardJSON{
+			ID: sh.ID, Docs: sh.Docs, Nodes: sh.Nodes,
+			SummaryOnly: sh.SummaryOnly, InstalledAt: sh.Version,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats reports corpus and serving statistics, all derived from
+// one pinned snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.est.Snapshot()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds:   s.reg.Uptime().Seconds(),
+		Version:         snap.Version(),
+		ReadOnly:        s.ReadOnly(),
+		Corpus:          snap.Stats(),
+		SummaryBytes:    snap.StorageBytes(),
+		GridSize:        s.gridSize(),
+		AutoCompactions: s.autoRounds.Load(),
+		AutoMerged:      s.autoMerges.Load(),
+		AppendedDocs:    s.appendsSeen.Load(),
+		Endpoints:       s.reg.Snapshot(),
+	})
+}
+
+// handleHealthz is the liveness probe; it turns 503 once Shutdown
+// begins so load balancers stop routing here while in-flight requests
+// drain.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.est.Snapshot()
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthResponse{
+		Status: status, Version: snap.Version(), Shards: snap.ShardCount(),
+	})
+}
+
+// gridSize reports the effective grid size. Loaded (read-only)
+// estimators carry zero options — their grid lives inside the summary
+// blob — so the default is the best available answer there.
+func (s *Server) gridSize() int {
+	if g := s.est.Options().GridSize; g > 0 {
+		return g
+	}
+	return xmlest.DefaultOptions.GridSize
+}

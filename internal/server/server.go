@@ -1,0 +1,347 @@
+// Package server is the estimation daemon: an HTTP/JSON API over the
+// xmlest Database/Estimator facade that answers answer-size estimates
+// at microsecond latency while ingest mutates the corpus underneath.
+//
+// Endpoints:
+//
+//	POST /estimate  {"pattern": "..."} or {"patterns": ["...", ...]}
+//	POST /append    raw XML body, or {"documents": ["<a/>", ...]} (one shard)
+//	POST /compact   optional {"max_shards": n}
+//	GET  /shards    serving shard set
+//	GET  /stats     corpus stats + per-endpoint QPS and p50/p95/p99
+//	GET  /healthz   liveness (503 while draining)
+//
+// Serving guarantees mirror the shard store's: every /estimate response
+// (batched or not) is computed against one atomically-loaded snapshot
+// and reports that snapshot's version; /append and /compact install new
+// snapshots without ever blocking readers. Ingest is backpressured —
+// at most Config.MaxInflightAppends run at once, the rest get 503 with
+// Retry-After — while the estimate fast path takes no semaphore at
+// all. Shutdown drains in-flight requests and can persist an XQS
+// snapshot for the next boot.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"xmlest"
+	"xmlest/internal/metrics"
+)
+
+// Config tunes the daemon. The zero value serves on DefaultAddr with
+// default options and no auto-compaction.
+type Config struct {
+	// Addr is the listen address ("" means DefaultAddr).
+	Addr string
+
+	// Options configures the served estimator; validated at boot.
+	Options xmlest.Options
+
+	// MaxInflightAppends bounds concurrent /append requests (ingest
+	// backpressure); excess requests receive 503 + Retry-After rather
+	// than queue without bound. 0 means DefaultMaxInflightAppends;
+	// negative is rejected.
+	MaxInflightAppends int
+
+	// MaxBatchPatterns bounds the patterns per /estimate request.
+	// 0 means DefaultMaxBatchPatterns; negative is rejected.
+	MaxBatchPatterns int
+
+	// MaxBodyBytes bounds request bodies. 0 means DefaultMaxBodyBytes;
+	// negative is rejected.
+	MaxBodyBytes int64
+
+	// AutoCompactInterval, when positive, runs a background compaction
+	// round (per CompactionPolicy) that often; compaction rebuilds off
+	// the serving path, so estimates are never blocked by it.
+	AutoCompactInterval time.Duration
+
+	// CompactionPolicy tunes auto and on-demand compaction; the zero
+	// policy uses shard defaults.
+	CompactionPolicy xmlest.CompactionPolicy
+
+	// SnapshotPath, when set, persists the estimator's summary (XQS1/2)
+	// there during Shutdown.
+	SnapshotPath string
+
+	// DrainDelay is how long Shutdown keeps the listener accepting
+	// after /healthz flips to 503, so load-balancer probes can observe
+	// the drain before connections start being refused. 0 (the
+	// default) closes immediately — right for tests and single-node
+	// use; set it to at least one probe interval behind a balancer.
+	DrainDelay time.Duration
+
+	// Log receives serving events; nil means the standard logger.
+	Log *log.Logger
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultAddr               = "127.0.0.1:8080"
+	DefaultMaxInflightAppends = 4
+	DefaultMaxBatchPatterns   = 256
+	DefaultMaxBodyBytes       = 32 << 20
+)
+
+// withDefaults validates and fills in the zero fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Addr == "" {
+		c.Addr = DefaultAddr
+	}
+	if c.MaxInflightAppends == 0 {
+		c.MaxInflightAppends = DefaultMaxInflightAppends
+	}
+	if c.MaxBatchPatterns == 0 {
+		c.MaxBatchPatterns = DefaultMaxBatchPatterns
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxInflightAppends < 0 || c.MaxBatchPatterns < 0 || c.MaxBodyBytes < 0 {
+		return c, fmt.Errorf("server: negative limit in config (appends %d, batch %d, body %d)",
+			c.MaxInflightAppends, c.MaxBatchPatterns, c.MaxBodyBytes)
+	}
+	if c.AutoCompactInterval < 0 {
+		return c, fmt.Errorf("server: negative auto-compact interval %s", c.AutoCompactInterval)
+	}
+	if c.DrainDelay < 0 {
+		return c, fmt.Errorf("server: negative drain delay %s", c.DrainDelay)
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c, nil
+}
+
+// Server serves estimates over HTTP. Create with New (read-write over a
+// Database) or NewFromEstimator (read-only over a loaded summary), then
+// either mount Handler on your own listener or call Start/Shutdown.
+type Server struct {
+	cfg Config
+	db  *xmlest.Database // nil in read-only mode
+	est *xmlest.Estimator
+	reg *metrics.Registry
+
+	appendSem chan struct{}
+	mux       *http.ServeMux
+
+	httpSrv  *http.Server
+	listener net.Listener
+
+	draining    atomic.Bool
+	loopCancel  context.CancelFunc
+	loopDone    chan struct{}
+	autoMerges  atomic.Uint64 // shards merged away by the auto-compaction loop
+	autoRounds  atomic.Uint64 // auto-compaction rounds run
+	appendsSeen atomic.Uint64 // documents accepted via /append
+}
+
+// New builds a read-write server over a database: /append lands new
+// shards and /compact (plus the optional auto-compaction loop) merges
+// them. Estimator construction validates cfg.Options, so a bad daemon
+// config fails here, at boot.
+func New(db *xmlest.Database, cfg Config) (*Server, error) {
+	est, err := db.NewEstimator(cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return newServer(db, est, cfg)
+}
+
+// NewFromEstimator builds a read-only server over a loaded estimator
+// (for example, from an XQS summary blob): /estimate, /shards, /stats
+// and /healthz serve; /append and /compact return 403.
+func NewFromEstimator(est *xmlest.Estimator, cfg Config) (*Server, error) {
+	if est == nil {
+		return nil, errors.New("server: nil estimator")
+	}
+	return newServer(nil, est, cfg)
+}
+
+func newServer(db *xmlest.Database, est *xmlest.Estimator, cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		db:        db,
+		est:       est,
+		reg:       metrics.NewRegistry(),
+		appendSem: make(chan struct{}, cfg.MaxInflightAppends),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.Handle("/estimate", s.instrument("estimate", http.MethodPost, s.handleEstimate))
+	s.mux.Handle("/append", s.instrument("append", http.MethodPost, s.handleAppend))
+	s.mux.Handle("/compact", s.instrument("compact", http.MethodPost, s.handleCompact))
+	s.mux.Handle("/shards", s.instrument("shards", http.MethodGet, s.handleShards))
+	s.mux.Handle("/stats", s.instrument("stats", http.MethodGet, s.handleStats))
+	s.mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
+	return s, nil
+}
+
+// Handler returns the daemon's routed handler, for mounting on an
+// external listener (tests use httptest.NewServer(s.Handler())). The
+// auto-compaction loop only runs under Start.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the per-endpoint instrumentation registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// ReadOnly reports whether the server has no database to mutate.
+func (s *Server) ReadOnly() bool { return s.db == nil }
+
+// Start listens on cfg.Addr, begins serving in a background goroutine,
+// and starts the auto-compaction loop when configured. It returns the
+// bound address (useful with ":0").
+func (s *Server) Start() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if s.cfg.AutoCompactInterval > 0 && s.db != nil {
+		ctx, cancel := context.WithCancel(context.Background())
+		s.loopCancel = cancel
+		s.loopDone = make(chan struct{})
+		go s.autoCompactLoop(ctx)
+	}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.cfg.Log.Printf("xqestd: serve: %v", err)
+		}
+	}()
+	s.cfg.Log.Printf("xqestd: serving on http://%s (%d shard(s), version %d, read-only=%v)",
+		ln.Addr(), s.est.ShardCount(), s.est.Version(), s.ReadOnly())
+	return ln.Addr(), nil
+}
+
+// Shutdown gracefully stops a Started server: new /healthz probes turn
+// 503 and — after cfg.DrainDelay, giving load-balancer probes a window
+// to observe it while the listener still accepts — the auto-compaction
+// loop stops, every in-flight request completes (bounded by ctx), and
+// the summary is persisted to cfg.SnapshotPath when set.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.cfg.DrainDelay > 0 {
+		select {
+		case <-time.After(s.cfg.DrainDelay):
+		case <-ctx.Done():
+		}
+	}
+	var errs []error
+	if s.loopCancel != nil {
+		s.loopCancel()
+		// A mid-merge compaction round cannot be cancelled; wait for it
+		// only within the drain budget. An abandoned round is harmless —
+		// its install either lands atomically or is thrown away with the
+		// process.
+		select {
+		case <-s.loopDone:
+		case <-ctx.Done():
+			errs = append(errs, fmt.Errorf("server: auto-compact round still running at drain deadline: %w", ctx.Err()))
+		}
+	}
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("server: drain: %w", err))
+		}
+	}
+	if s.cfg.SnapshotPath != "" {
+		blob, err := s.est.MarshalBinary()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("server: snapshot: %w", err))
+		} else if err := os.WriteFile(s.cfg.SnapshotPath, blob, 0o644); err != nil {
+			errs = append(errs, fmt.Errorf("server: snapshot: %w", err))
+		} else {
+			s.cfg.Log.Printf("xqestd: persisted %d-byte summary snapshot to %s (version %d)",
+				len(blob), s.cfg.SnapshotPath, s.est.Version())
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// autoCompactLoop runs one compaction round per interval until
+// cancelled. Rounds rebuild entirely off the serving path; a round that
+// finds nothing to merge is free.
+func (s *Server) autoCompactLoop(ctx context.Context) {
+	defer close(s.loopDone)
+	t := time.NewTicker(s.cfg.AutoCompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.compactOnce()
+		}
+	}
+}
+
+// compactOnce runs one instrumented auto-compaction round.
+func (s *Server) compactOnce() {
+	done := s.reg.Endpoint("autocompact").BeginRequest()
+	merged, err := s.db.Compact(s.cfg.CompactionPolicy)
+	done(metrics.OutcomeOf(err != nil))
+	s.autoRounds.Add(1)
+	if err != nil {
+		s.cfg.Log.Printf("xqestd: auto-compact: %v", err)
+		return
+	}
+	if merged > 0 {
+		s.autoMerges.Add(uint64(merged))
+		s.cfg.Log.Printf("xqestd: auto-compact merged %d shard(s); %d remain (version %d)",
+			merged, s.est.ShardCount(), s.est.Version())
+	}
+}
+
+// statusRecorder captures the response status for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument enforces the HTTP method, bounds the request body, and
+// records latency, request, error and rejection counts per endpoint.
+// Deliberate 503s — append backpressure, healthz while draining — are
+// rejections, not errors: a saturated-but-healthy daemon must not read
+// as error-ridden in /stats.
+func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handler {
+	ep := s.reg.Endpoint(name)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		done := ep.BeginRequest()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		if r.Method != method {
+			rec.Header().Set("Allow", method)
+			writeError(rec, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed")
+		} else {
+			r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+			h(rec, r)
+		}
+		switch {
+		case rec.status == http.StatusServiceUnavailable:
+			done(metrics.Rejected)
+		case rec.status >= 400:
+			done(metrics.Error)
+		default:
+			done(metrics.OK)
+		}
+	})
+}

@@ -44,6 +44,10 @@ type Shard struct {
 	cat   *predicate.Catalog // nil for summary-only shards
 	docs  int
 	nodes int
+	// installedAt is the version of the first serving set containing
+	// this shard, recorded under the store's write lock just before the
+	// install — the visibility watermark appenders hand to clients.
+	installedAt uint64
 
 	mu       sync.Mutex
 	sums     map[core.Options]*core.Estimator // built summaries, keyed by options
@@ -52,6 +56,10 @@ type Shard struct {
 
 // ID returns the shard's store-unique id.
 func (s *Shard) ID() uint64 { return s.id }
+
+// InstalledAt returns the version of the first serving snapshot that
+// contained this shard (0 for shards of a loaded, store-less set).
+func (s *Shard) InstalledAt() uint64 { return s.installedAt }
 
 // Docs returns the number of documents the shard holds (0 when
 // unknown, e.g. a summary-only shard loaded without metadata).
@@ -75,10 +83,12 @@ func (s *Shard) SummaryOnly() bool { return s.tree == nil }
 
 // summaryKey normalizes options into a summary cache key: fields that
 // cannot change the built summary (BuildWorkers — the parallel build is
-// deterministic) are zeroed, so semantically identical estimators share
-// one build per shard.
+// deterministic — and QueryCacheSize, a facade-side cache bound) are
+// zeroed, so semantically identical estimators share one build per
+// shard.
 func summaryKey(opts core.Options) core.Options {
 	opts.BuildWorkers = 0
+	opts.QueryCacheSize = 0
 	return opts
 }
 

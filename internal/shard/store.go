@@ -140,6 +140,7 @@ func (st *Store) appendShard(tree *xmltree.Tree, cat *predicate.Catalog) (*Shard
 	next := make([]*Shard, 0, len(prev.shards)+1)
 	next = append(next, prev.shards...)
 	next = append(next, sh)
+	sh.installedAt = prev.version + 1
 	st.install(next, prev)
 	return sh, nil
 }
@@ -159,6 +160,7 @@ func (st *Store) AppendSummary(est *core.Estimator, docs, nodes int) (*Shard, er
 	next := make([]*Shard, 0, len(prev.shards)+1)
 	next = append(next, prev.shards...)
 	next = append(next, sh)
+	sh.installedAt = prev.version + 1
 	st.install(next, prev)
 	return sh, nil
 }

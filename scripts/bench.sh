@@ -1,44 +1,73 @@
 #!/usr/bin/env bash
-# Runs the tracked performance benchmarks and records ns/op into
-# BENCH_PR2.json: the PR 1 series (histogram engine, compiled queries)
-# plus the PR 2 shard-lifecycle series (append-to-visible vs monolithic
-# rebuild, sharded estimates, compaction).
+# Runs the tracked performance benchmarks and records them into
+# BENCH_PR3.json: the PR 1/2 microbenchmark series (ns/op) plus the
+# PR 3 serving series — xqbench driving a live xqestd daemon and
+# reporting sustained estimate QPS, p50/p95/p99 latency and
+# append-to-visible staleness under concurrent ingest.
 #
 # Usage: scripts/bench.sh [output.json]
-#   BENCHTIME=2s scripts/bench.sh   # override -benchtime
+#   BENCHTIME=2s scripts/bench.sh      # override -benchtime
+#   SERVE_SECONDS=10 scripts/bench.sh  # longer serving run
+#   SKIP_SERVING=1 scripts/bench.sh    # microbenchmarks only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 benchtime="${BENCHTIME:-1s}"
+serve_seconds="${SERVE_SECONDS:-5}"
+addr="127.0.0.1:${BENCH_PORT:-18791}"
 pattern='^(BenchmarkEstimatorBuild|BenchmarkPHJoin|BenchmarkTwigEstimate|BenchmarkFacadeEstimate|BenchmarkCompiledEstimate|BenchmarkAppendToVisible|BenchmarkAppendRebuildMonolithic|BenchmarkShardedEstimate|BenchmarkCompact)(/.+)?$'
 
-tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+workdir="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [[ -n "$daemon_pid" ]] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
 
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$tmp"
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$workdir/micro.txt"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-  /^goos:/   { goos = $2 }
-  /^goarch:/ { goarch = $2 }
-  /^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
-  /^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
-    ns[++count] = sprintf("    \"%s\": %s", name, $3)
-  }
-  END {
-    printf "{\n"
-    printf "  \"date\": \"%s\",\n", date
-    printf "  \"goos\": \"%s\",\n", goos
-    printf "  \"goarch\": \"%s\",\n", goarch
-    printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"ns_per_op\": {\n"
-    for (i = 1; i <= count; i++)
-      printf "%s%s\n", ns[i], (i < count ? "," : "")
-    printf "  }\n"
-    printf "}\n"
-  }
-' "$tmp" > "$out"
+if [[ -z "${SKIP_SERVING:-}" ]]; then
+  echo "== serving benchmark: xqbench against xqestd on $addr =="
+  go build -o "$workdir/xqestd" ./cmd/xqestd
+  go build -o "$workdir/xqbench" ./cmd/xqbench
+  "$workdir/xqestd" -dataset dblp -scale 0.05 -addr "$addr" -autocompact 1s \
+    >"$workdir/xqestd.log" 2>&1 &
+  daemon_pid=$!
+  "$workdir/xqbench" -addr "http://$addr" -duration "${serve_seconds}s" \
+    -estimators 8 -appenders 2 -o "$workdir/serving.json"
+  kill -INT "$daemon_pid" && wait "$daemon_pid" 2>/dev/null || true
+  daemon_pid=""
+else
+  printf 'null\n' > "$workdir/serving.json"
+fi
+
+{
+  awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+    /^goos:/   { goos = $2 }
+    /^goarch:/ { goarch = $2 }
+    /^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+    /^Benchmark/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+      ns[++count] = sprintf("    \"%s\": %s", name, $3)
+    }
+    END {
+      printf "{\n"
+      printf "  \"date\": \"%s\",\n", date
+      printf "  \"goos\": \"%s\",\n", goos
+      printf "  \"goarch\": \"%s\",\n", goarch
+      printf "  \"cpu\": \"%s\",\n", cpu
+      printf "  \"ns_per_op\": {\n"
+      for (i = 1; i <= count; i++)
+        printf "%s%s\n", ns[i], (i < count ? "," : "")
+      printf "  },\n"
+      printf "  \"serving\": "
+    }
+  ' "$workdir/micro.txt"
+  cat "$workdir/serving.json"
+  printf "}\n"
+} > "$out"
 
 echo "wrote $out"

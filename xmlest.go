@@ -77,6 +77,9 @@ type (
 // Options configures estimator construction. See core.Options.
 type Options = core.Options
 
+// DefaultOptions mirror the paper's experimental setup (grid size 10).
+var DefaultOptions = core.DefaultOptions
+
 // Result is one estimation outcome.
 type Result = core.Result
 
@@ -94,6 +97,11 @@ type ShardInfo struct {
 	// SummaryOnly marks shards that carry only a prebuilt summary (for
 	// example, loaded or streamed): they estimate but hold no documents.
 	SummaryOnly bool
+	// Version is the first serving snapshot that contained the shard —
+	// the visibility watermark: any estimate served at Version or later
+	// reflects the shard's documents. Zero for shards of a loaded,
+	// store-less set.
+	Version uint64
 }
 
 // Database is an XML document collection prepared for estimation: a
@@ -219,6 +227,47 @@ func (db *Database) Shards() []ShardInfo {
 // ShardCount returns the number of live shards.
 func (db *Database) ShardCount() int { return db.store.Current().Len() }
 
+// DatabaseStats describes the serving corpus at one snapshot — the
+// cheap introspection the daemon's /stats endpoint reports. It is
+// computed from shard metadata only: no merged view is materialized.
+type DatabaseStats struct {
+	// Version is the snapshot's version (see Database.Version).
+	Version uint64 `json:"version"`
+	// Shards counts live shards; SummaryOnlyShards of them carry only
+	// prebuilt summaries.
+	Shards            int `json:"shards"`
+	SummaryOnlyShards int `json:"summary_only_shards"`
+	// Docs and Nodes sum the per-shard document and node counts.
+	Docs  int `json:"docs"`
+	Nodes int `json:"nodes"`
+	// Predicates is the registered vocabulary size (first tree-backed
+	// shard's catalog; 0 when every shard is summary-only).
+	Predicates int `json:"predicates"`
+}
+
+// Stats returns corpus statistics from one consistent snapshot.
+func (db *Database) Stats() DatabaseStats { return statsOf(db.store.Current()) }
+
+// statsOf aggregates one shard set's statistics — the single source
+// both Database.Stats and Estimator.Stats (and through it the daemon's
+// /stats endpoint) report from.
+func statsOf(set *shard.Set) DatabaseStats {
+	s := DatabaseStats{
+		Version: set.Version(),
+		Shards:  set.Len(),
+		Docs:    set.TotalDocs(),
+		Nodes:   set.TotalNodes(),
+	}
+	for _, sh := range set.Shards() {
+		if sh.SummaryOnly() {
+			s.SummaryOnlyShards++
+		} else if s.Predicates == 0 {
+			s.Predicates = sh.Catalog().Len()
+		}
+	}
+	return s
+}
+
 // Version returns the serving snapshot's version; it increases with
 // every Append, DropShard and Compact.
 func (db *Database) Version() uint64 { return db.store.Version() }
@@ -228,7 +277,13 @@ func (db *Database) Version() uint64 { return db.store.Version() }
 func (db *Database) Store() *shard.Store { return db.store }
 
 func shardInfo(sh *shard.Shard) ShardInfo {
-	return ShardInfo{ID: sh.ID(), Docs: sh.Docs(), Nodes: sh.Nodes(), SummaryOnly: sh.SummaryOnly()}
+	return ShardInfo{
+		ID:          sh.ID(),
+		Docs:        sh.Docs(),
+		Nodes:       sh.Nodes(),
+		SummaryOnly: sh.SummaryOnly(),
+		Version:     sh.InstalledAt(),
+	}
 }
 
 // Tree exposes the underlying numbered tree: the single shard's tree,
@@ -421,10 +476,15 @@ type Estimator struct {
 	coreEst *core.Estimator
 }
 
-// compiledQueries returns the lazily-initialized compiled-query cache.
+// compiledQueries returns the lazily-initialized compiled-query cache,
+// sized by Options.QueryCacheSize (0 means compiledCacheSize).
 func (e *Estimator) compiledQueries() *cache.LRU[string, *PreparedQuery] {
 	e.compileOnce.Do(func() {
-		e.compiled = cache.New[string, *PreparedQuery](compiledCacheSize)
+		size := e.opts.QueryCacheSize
+		if size <= 0 {
+			size = compiledCacheSize
+		}
+		e.compiled = cache.New[string, *PreparedQuery](size)
 	})
 	return e.compiled
 }
@@ -436,8 +496,16 @@ const compiledCacheSize = 256
 // for no-overlap predicates) for every registered predicate on every
 // shard, and registers the options with the store so future appends
 // summarize new shards eagerly (off the estimation path).
+//
+// Options are validated first (see core.Options.Validate): a negative
+// GridSize, BuildWorkers or QueryCacheSize is a configuration error,
+// so a daemon booted with bad flags fails here rather than misbehaving
+// under load. Zero values select defaults.
 func (db *Database) NewEstimator(opts Options) (*Estimator, error) {
-	if opts.GridSize <= 0 {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.GridSize == 0 {
 		opts.GridSize = core.DefaultOptions.GridSize
 	}
 	if _, err := db.store.EnsureSummaries(opts); err != nil {
@@ -460,6 +528,11 @@ func (e *Estimator) set() *shard.Set {
 func (e *Estimator) Snapshot() *Estimator {
 	return &Estimator{db: e.db, store: e.store, opts: e.opts, pinned: e.set()}
 }
+
+// Options returns the estimator's effective options (defaults
+// applied). Estimators loaded from a summary blob report the zero
+// options: their grid lives inside the blob.
+func (e *Estimator) Options() Options { return e.opts }
 
 // ShardCount returns the number of shards in the serving (or pinned)
 // set.
@@ -490,6 +563,64 @@ func (e *Estimator) Estimate(patternSrc string) (Result, error) {
 	}
 	e.compiledQueries().Put(patternSrc, pq)
 	return pq.Estimate()
+}
+
+// BatchResult couples estimates with the single snapshot version they
+// were all served from.
+type BatchResult struct {
+	// Version identifies the shard-set snapshot every result reflects.
+	Version uint64
+	// Results holds one Result per input pattern, in input order.
+	Results []Result
+}
+
+// EstimateBatch estimates every pattern against one consistent
+// snapshot: the shard set is pinned once, so results are mutually
+// consistent even while appends, drops or compactions land
+// concurrently — the serving guarantee the daemon's batched /estimate
+// endpoint exposes. Patterns share the estimator's compiled-query
+// cache. Any invalid pattern fails the whole batch.
+func (e *Estimator) EstimateBatch(patterns []string) (BatchResult, error) {
+	set := e.set()
+	out := BatchResult{Version: set.Version(), Results: make([]Result, len(patterns))}
+	cq := e.compiledQueries()
+	for i, src := range patterns {
+		pq, cached := cq.Get(src)
+		if !cached {
+			p, err := pattern.Parse(src)
+			if err != nil {
+				return BatchResult{}, err
+			}
+			pq = &PreparedQuery{est: e, p: p, src: src}
+		}
+		b, err := pq.bindingFor(set)
+		if err != nil {
+			return BatchResult{}, err
+		}
+		res, err := b.Estimate()
+		if err != nil {
+			return BatchResult{}, err
+		}
+		out.Results[i] = res
+		if !cached {
+			cq.Put(src, pq)
+		}
+	}
+	return out, nil
+}
+
+// Stats returns corpus statistics for the estimator's serving (or
+// pinned) set.
+func (e *Estimator) Stats() DatabaseStats { return statsOf(e.set()) }
+
+// Shards lists the shards of the serving (or pinned) set.
+func (e *Estimator) Shards() []ShardInfo {
+	shs := e.set().Shards()
+	out := make([]ShardInfo, len(shs))
+	for i, sh := range shs {
+		out[i] = shardInfo(sh)
+	}
+	return out
 }
 
 // Compile parses and prepares a twig pattern once: predicate references
