@@ -68,7 +68,9 @@ func BenchmarkAppendToVisible(b *testing.B) {
 					b.Fatal("append not visible")
 				}
 				b.StopTimer()
-				db.DropShard(info.ID)
+				if _, err := db.DropShard(info.ID); err != nil {
+					b.Fatal(err)
+				}
 				b.StartTimer()
 			}
 		})

@@ -6,6 +6,11 @@
 // response's snapshot version proves the new documents are being
 // served.
 //
+// Against a durable daemon (xqestd -data-dir) it also records
+// ack-to-durable: the time from issuing an append until its WAL record
+// is known fsynced — the ack itself under -fsync always, a poll of
+// /stats durability.durable_seq under interval/off.
+//
 //	xqestd -dataset dblp -scale 0.1 -addr 127.0.0.1:8080 &
 //	xqbench -addr http://127.0.0.1:8080 -duration 10s \
 //	        -estimators 8 -appenders 2 -o serving.json
@@ -64,6 +69,8 @@ func main() {
 		est:     metrics.NewLatencyHistogram(),
 		app:     metrics.NewLatencyHistogram(),
 		visible: metrics.NewLatencyHistogram(),
+		durable: metrics.NewLatencyHistogram(),
+		durSem:  make(chan struct{}, *appenders+1),
 	}
 
 	if err := b.waitHealthy(*wait); err != nil {
@@ -113,7 +120,14 @@ type bench struct {
 	est     *metrics.LatencyHistogram // estimate request latency
 	app     *metrics.LatencyHistogram // append request latency
 	visible *metrics.LatencyHistogram // append-to-visible staleness
+	durable *metrics.LatencyHistogram // ack-to-durable (durable daemons)
 	errs    atomic.Uint64
+
+	// durSem bounds concurrent durability polls: ack-to-durable is
+	// sampled (one outstanding poll per append worker) rather than
+	// awaited inline, so an interval/off fsync cadence does not
+	// throttle the closed append loop itself.
+	durSem chan struct{}
 }
 
 // errBackpressured marks a 503 from /append: expected under load, not
@@ -127,6 +141,15 @@ type estimateResponse struct {
 
 type appendResponse struct {
 	Version uint64 `json:"version"`
+	WALSeq  uint64 `json:"wal_seq"`
+	Durable *bool  `json:"durable"`
+}
+
+// statsDurability is the /stats slice the durability poll reads.
+type statsDurability struct {
+	Durability *struct {
+		DurableSeq uint64 `json:"durable_seq"`
+	} `json:"durability"`
 }
 
 // waitHealthy polls /healthz until it answers 200. The whole wait —
@@ -182,7 +205,8 @@ func (b *bench) appendLoop(ctx context.Context, id int) {
 	for seq := 0; ctx.Err() == nil; seq++ {
 		doc := syntheticDoc(rng, id, seq)
 		start := time.Now()
-		ver, err := b.postAppend(ctx, doc)
+		ar, err := b.postAppend(ctx, doc)
+		ver := ar.Version
 		if err != nil {
 			if ctx.Err() != nil {
 				return
@@ -193,6 +217,26 @@ func (b *bench) appendLoop(ctx context.Context, id int) {
 			continue
 		}
 		b.app.Observe(time.Since(start))
+		// Ack-to-durable: the daemon reports durability only with a
+		// data directory. Under -fsync always the ack is the proof;
+		// otherwise sample the durable watermark in the background so
+		// the fsync cadence never throttles the append loop.
+		if ar.Durable != nil {
+			if *ar.Durable {
+				b.durable.Observe(time.Since(start))
+			} else {
+				select {
+				case b.durSem <- struct{}{}:
+					go func(seq uint64, start time.Time) {
+						defer func() { <-b.durSem }()
+						if b.pollDurable(ctx, seq) {
+							b.durable.Observe(time.Since(start))
+						}
+					}(ar.WALSeq, start)
+				default: // a poll is already sampling; skip this append
+				}
+			}
+		}
 		for ctx.Err() == nil {
 			served, err := b.postEstimate(ctx, b.probe)
 			if err != nil {
@@ -237,17 +281,17 @@ func (b *bench) postEstimate(ctx context.Context, pattern string) (uint64, error
 	return er.Version, nil
 }
 
-// postAppend lands one raw-XML document and returns the first snapshot
-// version serving it.
-func (b *bench) postAppend(ctx context.Context, doc string) (uint64, error) {
+// postAppend lands one raw-XML document and returns the append
+// response (install version, and WAL watermarks on durable daemons).
+func (b *bench) postAppend(ctx context.Context, doc string) (appendResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+"/append", strings.NewReader(doc))
 	if err != nil {
-		return 0, err
+		return appendResponse{}, err
 	}
 	req.Header.Set("Content-Type", "application/xml")
 	resp, err := b.client.Do(req)
 	if err != nil {
-		return 0, err
+		return appendResponse{}, err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
@@ -257,16 +301,51 @@ func (b *bench) postAppend(ctx context.Context, doc string) (uint64, error) {
 		// Backpressure is the daemon working as designed; retry after a
 		// beat rather than counting an error.
 		time.Sleep(50 * time.Millisecond)
-		return 0, errBackpressured
+		return appendResponse{}, errBackpressured
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("append: HTTP %d", resp.StatusCode)
+		return appendResponse{}, fmt.Errorf("append: HTTP %d", resp.StatusCode)
 	}
 	var ar appendResponse
 	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
-		return 0, err
+		return appendResponse{}, err
 	}
-	return ar.Version, nil
+	return ar, nil
+}
+
+// pollDurable waits until the daemon's durable watermark reaches seq
+// (fsync interval/off policies), reporting success.
+func (b *bench) pollDurable(ctx context.Context, seq uint64) bool {
+	for ctx.Err() == nil {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+"/stats", nil)
+		if err != nil {
+			return false
+		}
+		resp, err := b.client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return false
+			}
+			b.errs.Add(1)
+			return false
+		}
+		var sd statsDurability
+		derr := json.NewDecoder(resp.Body).Decode(&sd)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if derr != nil || sd.Durability == nil {
+			return false
+		}
+		if sd.Durability.DurableSeq >= seq {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return false
 }
 
 // syntheticDoc renders a small dblp-flavoured document whose tags are
@@ -318,6 +397,7 @@ type reportJSON struct {
 	Estimate        histJSON        `json:"estimate"`
 	Append          histJSON        `json:"append"`
 	AppendToVisible histJSON        `json:"append_to_visible"`
+	AckToDurable    *histJSON       `json:"ack_to_durable,omitempty"`
 	ServerStats     json.RawMessage `json:"server_stats,omitempty"`
 }
 
@@ -331,6 +411,9 @@ func (b *bench) report(elapsed time.Duration, estimators, appenders int) reportJ
 		Estimate:        digest(b.est, elapsed),
 		Append:          digest(b.app, elapsed),
 		AppendToVisible: digest(b.visible, elapsed),
+	}
+	if d := digest(b.durable, elapsed); d.Requests > 0 {
+		r.AckToDurable = &d
 	}
 	// Fold in the daemon's own view (server-side latency excludes the
 	// network) when it answers promptly; a daemon wedged after the run

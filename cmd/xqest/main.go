@@ -29,6 +29,13 @@
 // The -dataset flag substitutes a built-in synthetic dataset for -data:
 // dblp, hier, xmark or shakespeare.
 //
+// Durability: `wal` and `manifest` inspect a durable daemon's data
+// directory (see xqestd -data-dir) — WAL segments and records, and the
+// checkpoint manifest:
+//
+//	xqest -data-dir /var/lib/xqest wal records
+//	xqest -data-dir /var/lib/xqest manifest
+//
 // Serving: `serve` runs the HTTP estimation daemon (internal/server,
 // same as the xqestd command) over the loaded database.
 //
@@ -64,6 +71,7 @@ func main() {
 	maxShards := flag.Int("max-shards", 0, "compact: target shard count (0 = policy default)")
 	addr := flag.String("addr", server.DefaultAddr, "serve: listen address")
 	autocompact := flag.Duration("autocompact", 0, "serve: background compaction interval (0 disables)")
+	dataDir := flag.String("data-dir", "", "wal/manifest: durable data directory to inspect")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -72,6 +80,24 @@ func main() {
 	cmd := flag.Arg(0)
 	if *load != "" {
 		*summary = *load
+	}
+
+	// The durability inspectors read the data directory only; no
+	// corpus, summary or estimator involved.
+	if cmd == "wal" || cmd == "manifest" {
+		if *dataDir == "" {
+			fatal(fmt.Errorf("xqest: %s requires -data-dir", cmd))
+		}
+		var err error
+		if cmd == "wal" {
+			err = cliutil.InspectWAL(os.Stdout, *dataDir, flag.Arg(1) == "records")
+		} else {
+			err = cliutil.InspectManifest(os.Stdout, *dataDir)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// Serving from a saved summary needs no data: the daemon runs
@@ -171,7 +197,11 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("xqest: bad shard id %q", flag.Arg(1)))
 		}
-		if !db.DropShard(id) {
+		found, err := db.DropShard(id)
+		if err != nil {
+			fatal(err)
+		}
+		if !found {
 			fatal(fmt.Errorf("xqest: no shard %d", id))
 		}
 		fmt.Printf("dropped shard %d; %d remain\n", id, db.ShardCount())
@@ -308,6 +338,10 @@ commands:
   serve                 run the HTTP estimation daemon on -addr (see xqestd;
                         -autocompact 30s enables background compaction,
                         -save persists the summary on shutdown,
-                        -load file serves a saved summary read-only)`)
+                        -load file serves a saved summary read-only)
+  wal [records]         inspect a durable data directory's write-ahead log
+                        (-data-dir dir; "records" lists every logged batch)
+  manifest              inspect a durable data directory's checkpoint manifest
+                        (-data-dir dir)`)
 	os.Exit(2)
 }

@@ -7,10 +7,20 @@
 //	xqestd -data a.xml,b.xml -autocompact 30s -save snapshot.xqs
 //	xqestd -load snapshot.xqs -addr :8080          # read-only serving
 //
+// Durable serving: with -data-dir the daemon becomes a database —
+// every /append is written to a write-ahead log (fsynced per -fsync)
+// before it is acknowledged, checkpoints persist shard summaries and
+// truncate the log, and a restart (even after kill -9) recovers every
+// acknowledged batch with bit-identical estimates:
+//
+//	xqestd -dataset dblp -data-dir /var/lib/xqest -fsync always -checkpoint 1m
+//	xqestd -data-dir /var/lib/xqest                # recover and keep serving
+//
 // Endpoints: POST /estimate /append /compact, GET /shards /stats
 // /healthz — see internal/server. SIGINT/SIGTERM shut down
 // gracefully: in-flight requests drain and, with -save, the summary is
-// persisted for the next boot.
+// persisted for the next boot; with -data-dir, shutdown is a final
+// checkpoint.
 package main
 
 import (
@@ -38,6 +48,10 @@ func main() {
 	maxShards := flag.Int("max-shards", 0, "compaction policy shard-count target (0 = default)")
 	maxAppends := flag.Int("max-inflight-appends", 0, "ingest backpressure bound (0 = default)")
 	drain := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain budget")
+	dataDir := flag.String("data-dir", "", "durable data directory: WAL + checkpoints; appends survive crashes")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval or off")
+	fsyncInterval := flag.Duration("fsync-interval", 0, "fsync cadence for -fsync interval (default 100ms)")
+	checkpoint := flag.Duration("checkpoint", 0, "background checkpoint interval with -data-dir (0 = shutdown only)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -45,13 +59,18 @@ func main() {
 		Options:             xmlest.Options{GridSize: *grid, BuildWorkers: *workers},
 		MaxInflightAppends:  *maxAppends,
 		AutoCompactInterval: *autocompact,
+		CheckpointInterval:  *checkpoint,
 		CompactionPolicy:    xmlest.CompactionPolicy{MaxShards: *maxShards},
 		SnapshotPath:        *save,
 	}
 
 	var srv *server.Server
 	var err error
-	if *load != "" {
+	switch {
+	case *load != "":
+		if *dataDir != "" {
+			fatal(fmt.Errorf("xqestd: -load serves read-only; it cannot be combined with -data-dir"))
+		}
 		var blob []byte
 		blob, err = os.ReadFile(*load)
 		if err != nil {
@@ -63,7 +82,21 @@ func main() {
 			fatal(err)
 		}
 		srv, err = server.NewFromEstimator(est, cfg)
-	} else {
+	case *dataDir != "":
+		var db *xmlest.Database
+		db, err = cliutil.OpenDurableDatabase(*dataDir, cfg.Options, *fsync, *fsyncInterval,
+			*data, *dataset, *scale, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("xqestd: %w", err))
+		}
+		if rec, ok := db.Recovery(); ok {
+			fmt.Fprintf(os.Stderr,
+				"xqestd: recovered %s: %d checkpointed shard(s) at version %d, %d WAL record(s) replayed (%d doc(s), %d skipped)\n",
+				*dataDir, rec.CheckpointShards, rec.CheckpointVersion,
+				rec.ReplayedRecords, rec.ReplayedDocs, rec.SkippedRecords)
+		}
+		srv, err = server.New(db, cfg)
+	default:
 		var db *xmlest.Database
 		db, err = cliutil.OpenDatabase(*data, *dataset, *scale, *seed)
 		if err != nil {

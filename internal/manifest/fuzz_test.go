@@ -1,0 +1,54 @@
+package manifest
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzManifestDecode feeds arbitrary bytes to the manifest decoder: it
+// must never panic or over-allocate, and any accepted image must
+// re-encode and re-decode to an identical manifest, so a valid
+// manifest survives checkpoint/recover cycles bit-for-bit.
+func FuzzManifestDecode(f *testing.F) {
+	m := &Manifest{
+		FormatVersion: Format,
+		Version:       7,
+		WALSeq:        3,
+		GridSize:      10,
+		Shards: []Shard{
+			{ID: 1, File: "shards/cp-7-1.xqs", Docs: 2, Nodes: 50, WALSeq: 3, Bytes: 100, CRC32: 9},
+		},
+	}
+	seed, err := m.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	empty, err := (&Manifest{FormatVersion: Format}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"format_version": 1, "shards": [{"file": "/abs"}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // invalid input is fine; panics are not
+		}
+		enc, err := m.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of accepted manifest failed: %v", err)
+		}
+		m2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip changed manifest:\n%+v\n%+v", m, m2)
+		}
+	})
+}

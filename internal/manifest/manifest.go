@@ -1,0 +1,182 @@
+// Package manifest is the durable catalog of a data directory: an
+// atomically-renamed JSON file recording the live checkpointed shards
+// (their XQS summary files, sizes and checksums), the serving-set
+// version the checkpoint pinned, and the write-ahead-log truncation
+// point — every WAL record with sequence <= WALSeq is fully contained
+// in the checkpointed shards and never needs replay.
+//
+// Atomicity: Write lands the manifest as a whole or not at all (write
+// to a temp file, fsync, rename over the previous manifest, fsync the
+// directory), so a crash mid-checkpoint leaves the previous manifest
+// — and the WAL records it still needs — intact. The recovery
+// invariant is exactly that pairing: MANIFEST + WAL tail after WALSeq
+// reconstruct every acknowledged batch.
+package manifest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileName is the manifest's name inside a data directory.
+const FileName = "MANIFEST.json"
+
+// Format is the manifest format version this package reads and writes.
+const Format = 1
+
+// maxDecodeBytes bounds the manifest size the decoder accepts, so a
+// corrupt or hostile file cannot force an unbounded allocation.
+const maxDecodeBytes = 64 << 20
+
+// Shard describes one checkpointed shard.
+type Shard struct {
+	// ID is the shard's id in the store that checkpointed it
+	// (informational; recovery assigns fresh ids).
+	ID uint64 `json:"id"`
+	// File is the shard's XQS1 summary file, relative to the data
+	// directory.
+	File string `json:"file"`
+	// Docs and Nodes are the shard's document and node counts.
+	Docs  int `json:"docs"`
+	Nodes int `json:"nodes"`
+	// WALSeq is the highest WAL sequence whose documents the shard
+	// covers (0 for bootstrap shards that never went through the WAL).
+	WALSeq uint64 `json:"wal_seq"`
+	// Bytes and CRC32 fingerprint the summary file (CRC32-C); load
+	// verifies both before trusting the blob.
+	Bytes int64  `json:"bytes"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// Manifest is one checkpoint's durable description.
+type Manifest struct {
+	// FormatVersion is Format.
+	FormatVersion int `json:"format_version"`
+	// Version is the serving-set version the checkpoint pinned; after
+	// recovery the store serves at a version >= it.
+	Version uint64 `json:"version"`
+	// WALSeq is the truncation point: records with sequence <= WALSeq
+	// are fully represented by Shards and are not replayed.
+	WALSeq uint64 `json:"wal_seq"`
+	// GridSize is the histogram grid the shard summaries were built
+	// with. Reopening a data directory with different options is an
+	// error — the checkpointed summaries cannot be rebuilt.
+	GridSize int `json:"grid_size"`
+	// Shards lists the live shards in serving order.
+	Shards []Shard `json:"shards"`
+}
+
+// Decode parses and validates a manifest image. It never panics on
+// arbitrary input and rejects oversized input before allocating.
+func Decode(data []byte) (*Manifest, error) {
+	if len(data) > maxDecodeBytes {
+		return nil, fmt.Errorf("manifest: %d bytes exceeds the %d-byte limit", len(data), maxDecodeBytes)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (m *Manifest) validate() error {
+	if m.FormatVersion != Format {
+		return fmt.Errorf("manifest: unsupported format version %d (want %d)", m.FormatVersion, Format)
+	}
+	if m.GridSize < 0 {
+		return fmt.Errorf("manifest: negative grid size %d", m.GridSize)
+	}
+	seen := make(map[string]bool, len(m.Shards))
+	for i, sh := range m.Shards {
+		if sh.File == "" || !filepath.IsLocal(sh.File) {
+			// Paths must stay inside the data directory: no "..", no
+			// absolute paths — a tampered manifest must not read
+			// arbitrary files.
+			return fmt.Errorf("manifest: shard %d: non-local file %q", i, sh.File)
+		}
+		if seen[sh.File] {
+			return fmt.Errorf("manifest: duplicate shard file %q", sh.File)
+		}
+		seen[sh.File] = true
+		if sh.Docs < 0 || sh.Nodes < 0 || sh.Bytes < 0 {
+			return fmt.Errorf("manifest: shard %d: negative size metadata", i)
+		}
+		if sh.WALSeq > m.WALSeq {
+			return fmt.Errorf("manifest: shard %d covers WAL seq %d beyond the truncation point %d",
+				i, sh.WALSeq, m.WALSeq)
+		}
+	}
+	return nil
+}
+
+// Encode serializes the manifest (indented, for human inspection).
+func (m *Manifest) Encode() ([]byte, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Load reads the data directory's manifest. ok is false (with a nil
+// error) when no manifest exists — a fresh directory.
+func Load(dir string) (m *Manifest, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, FileName))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("manifest: %w", err)
+	}
+	m, err = Decode(data)
+	if err != nil {
+		return nil, false, err
+	}
+	return m, true, nil
+}
+
+// Write lands the manifest atomically: temp file, fsync, rename over
+// FileName, fsync the directory. A crash at any point leaves either
+// the previous manifest or the new one — never a torn mix.
+func (m *Manifest) Write(dir string) error {
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, FileName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("manifest: fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, FileName)); err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("manifest: fsync %s: %w", dir, err)
+	}
+	return nil
+}

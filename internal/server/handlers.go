@@ -43,12 +43,18 @@ type EstimateResponse struct {
 }
 
 // AppendResponse describes the landed shard and the first snapshot
-// version that serves it.
+// version that serves it. On a durable daemon it also reports the
+// batch's write-ahead-log sequence and whether that record is already
+// fsynced — the ack-to-durable contract xqbench measures: under
+// -fsync always Durable is true in the ack itself; under interval/off
+// clients can poll /stats until durability.durable_seq reaches WALSeq.
 type AppendResponse struct {
 	ShardID uint64 `json:"shard_id"`
 	Docs    int    `json:"docs"`
 	Nodes   int    `json:"nodes"`
 	Version uint64 `json:"version"`
+	WALSeq  uint64 `json:"wal_seq,omitempty"`
+	Durable *bool  `json:"durable,omitempty"`
 }
 
 // AppendRequest is the JSON ingest form: each document is one XML
@@ -70,13 +76,15 @@ type CompactResponse struct {
 }
 
 // ShardJSON describes one live shard. InstalledAt is the first
-// snapshot version that served it (0 for loaded, store-less sets).
+// snapshot version that served it (0 for loaded, store-less sets);
+// WALSeq is the shard's write-ahead-log watermark on a durable daemon.
 type ShardJSON struct {
 	ID          uint64 `json:"id"`
 	Docs        int    `json:"docs"`
 	Nodes       int    `json:"nodes"`
 	SummaryOnly bool   `json:"summary_only"`
 	InstalledAt uint64 `json:"installed_at"`
+	WALSeq      uint64 `json:"wal_seq,omitempty"`
 }
 
 // ShardsResponse lists the serving shard set.
@@ -98,6 +106,10 @@ type StatsResponse struct {
 	AutoMerged      uint64                     `json:"auto_compact_merged"`
 	AppendedDocs    uint64                     `json:"appended_docs"`
 	Endpoints       []metrics.EndpointSnapshot `json:"endpoints"`
+	// Durability reports the data directory's state (WAL size, fsync
+	// watermarks, checkpoints, boot recovery) on a durable daemon;
+	// absent otherwise.
+	Durability *xmlest.DurabilityStats `json:"durability,omitempty"`
 }
 
 // HealthResponse is the /healthz body.
@@ -232,12 +244,21 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	// info.Version is the shard's own install version — the exact
 	// visibility watermark — not a re-read of the live version, which a
 	// concurrent append or compaction could already have advanced.
-	writeJSON(w, http.StatusOK, AppendResponse{
+	resp := AppendResponse{
 		ShardID: info.ID,
 		Docs:    info.Docs,
 		Nodes:   info.Nodes,
 		Version: info.Version,
-	})
+	}
+	if s.db.Durable() {
+		// DurableSeq is a lock-free atomic read; the full stats snapshot
+		// would take the WAL mutex — which ModeAlways holds across each
+		// fsync — on every ack.
+		resp.WALSeq = info.WALSeq
+		durable := s.db.DurableSeq() >= info.WALSeq
+		resp.Durable = &durable
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleCompact runs one on-demand compaction round.
@@ -278,6 +299,7 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 		resp.Shards[i] = ShardJSON{
 			ID: sh.ID, Docs: sh.Docs, Nodes: sh.Nodes,
 			SummaryOnly: sh.SummaryOnly, InstalledAt: sh.Version,
+			WALSeq: sh.WALSeq,
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -287,6 +309,12 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 // one pinned snapshot.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.est.Snapshot()
+	var durability *xmlest.DurabilityStats
+	if s.db != nil {
+		if ds, ok := s.db.DurabilityStats(); ok {
+			durability = &ds
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds:   s.reg.Uptime().Seconds(),
 		Version:         snap.Version(),
@@ -298,6 +326,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AutoMerged:      s.autoMerges.Load(),
 		AppendedDocs:    s.appendsSeen.Load(),
 		Endpoints:       s.reg.Snapshot(),
+		Durability:      durability,
 	})
 }
 

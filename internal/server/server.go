@@ -29,6 +29,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -72,6 +73,14 @@ type Config struct {
 	// there during Shutdown.
 	SnapshotPath string
 
+	// CheckpointInterval, when positive and the database is durable
+	// (xmlest.OpenDurable), runs a background checkpoint that often:
+	// shard summaries are persisted and the covered WAL prefix is
+	// truncated, bounding both recovery time and log size. 0 disables
+	// the loop; graceful shutdown still checkpoints. Ignored for
+	// non-durable databases.
+	CheckpointInterval time.Duration
+
 	// DrainDelay is how long Shutdown keeps the listener accepting
 	// after /healthz flips to 503, so load-balancer probes can observe
 	// the drain before connections start being refused. 0 (the
@@ -112,6 +121,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.AutoCompactInterval < 0 {
 		return c, fmt.Errorf("server: negative auto-compact interval %s", c.AutoCompactInterval)
 	}
+	if c.CheckpointInterval < 0 {
+		return c, fmt.Errorf("server: negative checkpoint interval %s", c.CheckpointInterval)
+	}
 	if c.DrainDelay < 0 {
 		return c, fmt.Errorf("server: negative drain delay %s", c.DrainDelay)
 	}
@@ -141,6 +153,7 @@ type Server struct {
 	loopDone    chan struct{}
 	autoMerges  atomic.Uint64 // shards merged away by the auto-compaction loop
 	autoRounds  atomic.Uint64 // auto-compaction rounds run
+	cpRounds    atomic.Uint64 // background checkpoint rounds run
 	appendsSeen atomic.Uint64 // documents accepted via /append
 }
 
@@ -212,11 +225,25 @@ func (s *Server) Start() (net.Addr, error) {
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if s.cfg.AutoCompactInterval > 0 && s.db != nil {
+	needCompact := s.cfg.AutoCompactInterval > 0 && s.db != nil
+	needCheckpoint := s.cfg.CheckpointInterval > 0 && s.db != nil && s.db.Durable()
+	if needCompact || needCheckpoint {
 		ctx, cancel := context.WithCancel(context.Background())
 		s.loopCancel = cancel
 		s.loopDone = make(chan struct{})
-		go s.autoCompactLoop(ctx)
+		go func() {
+			defer close(s.loopDone)
+			var wg sync.WaitGroup
+			if needCompact {
+				wg.Add(1)
+				go func() { defer wg.Done(); s.autoCompactLoop(ctx) }()
+			}
+			if needCheckpoint {
+				wg.Add(1)
+				go func() { defer wg.Done(); s.checkpointLoop(ctx) }()
+			}
+			wg.Wait()
+		}()
 	}
 	go func() {
 		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -270,6 +297,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				len(blob), s.cfg.SnapshotPath, s.est.Version())
 		}
 	}
+	if s.db != nil && s.db.Durable() {
+		// Graceful shutdown of a durable daemon is a checkpoint, not a
+		// one-shot snapshot: the data directory ends fully checkpointed
+		// with an empty WAL, and the next boot replays nothing.
+		if err := s.db.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("server: final checkpoint: %w", err))
+		} else if ds, ok := s.db.DurabilityStats(); ok {
+			s.cfg.Log.Printf("xqestd: checkpointed %s at version %d (wal seq %d)",
+				ds.Dir, ds.CheckpointVersion, ds.CheckpointWALSeq)
+		}
+	}
 	return errors.Join(errs...)
 }
 
@@ -277,7 +315,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // cancelled. Rounds rebuild entirely off the serving path; a round that
 // finds nothing to merge is free.
 func (s *Server) autoCompactLoop(ctx context.Context) {
-	defer close(s.loopDone)
 	t := time.NewTicker(s.cfg.AutoCompactInterval)
 	defer t.Stop()
 	for {
@@ -287,6 +324,34 @@ func (s *Server) autoCompactLoop(ctx context.Context) {
 		case <-t.C:
 			s.compactOnce()
 		}
+	}
+}
+
+// checkpointLoop persists the serving set per interval until
+// cancelled, so the WAL stays short and recovery fast. Checkpoints
+// run concurrently with appends and estimates; a batch landing
+// mid-round simply stays in the WAL for the next one.
+func (s *Server) checkpointLoop(ctx context.Context) {
+	t := time.NewTicker(s.cfg.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.checkpointOnce()
+		}
+	}
+}
+
+// checkpointOnce runs one instrumented checkpoint round.
+func (s *Server) checkpointOnce() {
+	done := s.reg.Endpoint("checkpoint").BeginRequest()
+	_, err := s.db.Checkpoint()
+	done(metrics.OutcomeOf(err != nil))
+	s.cpRounds.Add(1)
+	if err != nil {
+		s.cfg.Log.Printf("xqestd: checkpoint: %v", err)
 	}
 }
 

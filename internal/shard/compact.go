@@ -124,6 +124,13 @@ func (st *Store) Compact(policy CompactionPolicy) (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("shard: compaction rebuild: %w", err)
 		}
+		// The merged shard covers every WAL record its group covered, so
+		// a checkpoint containing it can truncate through all of them.
+		for _, sh := range group {
+			if sh.walSeq > merged.walSeq {
+				merged.walSeq = sh.walSeq
+			}
+		}
 
 		inGroup := make(map[uint64]bool, len(group))
 		for _, sh := range group {

@@ -1,0 +1,516 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"xmlest/internal/core"
+	"xmlest/internal/manifest"
+	"xmlest/internal/predicate"
+	"xmlest/internal/wal"
+	"xmlest/internal/xmltree"
+)
+
+// Data-directory layout:
+//
+//	<dir>/MANIFEST.json   the checkpoint catalog (internal/manifest)
+//	<dir>/shards/*.xqs    checkpointed XQS1 shard summaries
+//	<dir>/wal/*.wal       write-ahead-log segments (internal/wal)
+const (
+	// WALDir is the write-ahead-log subdirectory of a data directory.
+	WALDir = "wal"
+	// ShardDir is the checkpointed-summaries subdirectory.
+	ShardDir = "shards"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// DurableConfig tunes a durable store.
+type DurableConfig struct {
+	// Options shape the summaries checkpoints persist. GridSize is
+	// pinned in the manifest: reopening a data directory with a
+	// different grid is an error, because checkpointed summaries are
+	// served as-is and cannot be rebuilt from documents they no longer
+	// have.
+	Options core.Options
+
+	// WAL tunes the write-ahead log: fsync policy and segment size.
+	WAL wal.Options
+}
+
+// RecoveryInfo describes one boot-time recovery.
+type RecoveryInfo struct {
+	// CheckpointShards counts shards loaded from the manifest;
+	// CheckpointVersion is the manifest's pinned version.
+	CheckpointShards  int    `json:"checkpoint_shards"`
+	CheckpointVersion uint64 `json:"checkpoint_version"`
+	// ReplayedRecords and ReplayedDocs count the WAL tail replayed on
+	// top of the checkpoint.
+	ReplayedRecords int `json:"replayed_records"`
+	ReplayedDocs    int `json:"replayed_docs"`
+	// SkippedRecords counts CRC-valid records whose documents failed to
+	// parse — batches the original process rejected before
+	// acknowledging, skipped identically here.
+	SkippedRecords int `json:"skipped_records"`
+}
+
+// DurabilityStats is the durable layer's introspection surface (the
+// daemon's /stats "durability" section).
+type DurabilityStats struct {
+	Dir   string `json:"dir"`
+	Fsync string `json:"fsync"`
+	// WALSegments/WALBytes size the live log; LastSeq is the newest
+	// appended record and DurableSeq the newest known fsynced.
+	WALSegments int    `json:"wal_segments"`
+	WALBytes    int64  `json:"wal_bytes"`
+	LastSeq     uint64 `json:"last_seq"`
+	DurableSeq  uint64 `json:"durable_seq"`
+	// CheckpointVersion/CheckpointWALSeq describe the newest manifest;
+	// Checkpoints counts checkpoints taken by this process.
+	CheckpointVersion uint64 `json:"checkpoint_version"`
+	CheckpointWALSeq  uint64 `json:"checkpoint_wal_seq"`
+	Checkpoints       uint64 `json:"checkpoints"`
+	// Recovery echoes the boot-time replay.
+	Recovery RecoveryInfo `json:"recovery"`
+}
+
+// DurableStore wraps a Store with LSM-style durability: every append
+// is written (and fsynced, per policy) to a write-ahead log at the
+// exact version it installs at, checkpoints persist the serving set's
+// summaries behind an atomically-renamed manifest and truncate the
+// covered log prefix, and OpenDurable replays manifest + WAL tail so
+// a restart serves every acknowledged batch at a version no lower
+// than the client observed.
+type DurableStore struct {
+	store   *Store
+	log     *wal.Log
+	dir     string
+	opts    core.Options
+	walMode wal.Mode
+
+	// cpMu serializes checkpoints (and the drop+checkpoint pair). The
+	// files map — shard id to its persisted checkpoint entry, so
+	// unchanged shards are never rewritten — is populated at boot and
+	// then only touched under cpMu.
+	cpMu  sync.Mutex
+	files map[uint64]manifest.Shard
+
+	recovery    RecoveryInfo
+	checkpoints atomic.Uint64
+	cpVersion   atomic.Uint64
+	cpSeq       atomic.Uint64
+}
+
+// OpenDurable opens a data directory, recovering whatever it holds:
+// the manifest's checkpointed shards are loaded summary-only, the WAL
+// tail past the manifest's truncation point is replayed as tree-backed
+// shards at the versions their appends acknowledged, and the log is
+// positioned for new appends.
+//
+// bootstrap supplies the initial store — predicate vocabulary plus
+// seed corpus. It runs on every boot: a fresh directory adopts the
+// bootstrapped store outright (its shards become the corpus the first
+// checkpoint persists), while a directory with a checkpoint keeps only
+// the bootstrapped predicate Spec, since its shards already live in
+// the checkpoint. A nil bootstrap starts empty with the all-tags
+// vocabulary — the pure-ingest daemon.
+func OpenDurable(dir string, bootstrap func() (*Store, error), cfg DurableConfig) (*DurableStore, error) {
+	opts := cfg.Options
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.GridSize == 0 {
+		opts.GridSize = core.DefaultOptions.GridSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: data dir: %w", err)
+	}
+	man, haveMan, err := manifest.Load(dir)
+	if err != nil {
+		// A corrupt manifest is not silently discarded: that would boot
+		// an empty database over a directory full of data.
+		return nil, err
+	}
+	if haveMan && man.GridSize != opts.GridSize {
+		return nil, fmt.Errorf(
+			"shard: data dir %s was checkpointed with grid size %d, reopened with %d; use the original options",
+			dir, man.GridSize, opts.GridSize)
+	}
+
+	var st *Store
+	if bootstrap != nil {
+		bs, err := bootstrap()
+		if err != nil {
+			return nil, fmt.Errorf("shard: bootstrap: %w", err)
+		}
+		if haveMan {
+			// The bootstrap corpus already lives in the checkpoint; keep
+			// only its predicate recipe so replayed shards speak the same
+			// vocabulary.
+			st = NewStore(bs.Spec())
+		} else {
+			st = bs
+		}
+	} else {
+		st = NewStore(predicate.Spec{AllTags: true})
+	}
+
+	d := &DurableStore{
+		store:   st,
+		dir:     dir,
+		opts:    opts,
+		walMode: cfg.WAL.Mode,
+		files:   make(map[uint64]manifest.Shard),
+	}
+	if haveMan {
+		for _, entry := range man.Shards {
+			est, err := loadShardEntry(dir, entry)
+			if err != nil {
+				return nil, err
+			}
+			sh := &Shard{
+				id:       st.nextID.Add(1),
+				docs:     entry.Docs,
+				nodes:    entry.Nodes,
+				prebuilt: est,
+				walSeq:   entry.WALSeq,
+			}
+			d.installRecovered(sh)
+			entry.ID = sh.id
+			d.files[sh.id] = entry
+		}
+		st.setMinVersion(man.Version)
+		d.recovery.CheckpointShards = len(man.Shards)
+		d.recovery.CheckpointVersion = man.Version
+		d.cpVersion.Store(man.Version)
+		d.cpSeq.Store(man.WALSeq)
+	}
+
+	log, err := wal.Open(filepath.Join(dir, WALDir), cfg.WAL)
+	if err != nil {
+		return nil, err
+	}
+	d.log = log
+	var after uint64
+	if haveMan {
+		after = man.WALSeq
+		// The manifest's truncation point floors the sequence space: if
+		// the log directory lost its post-truncation segment (ModeOff
+		// skips the dir fsync; a restored backup may omit wal/ entirely),
+		// numbering must still resume above every checkpointed record.
+		log.SetMinSeq(man.WALSeq)
+	}
+	if err := log.Replay(after, d.replayRecord); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("shard: wal replay: %w", err)
+	}
+	return d, nil
+}
+
+// replayRecord rebuilds one logged batch during recovery, landing it
+// at the version its append acknowledged.
+func (d *DurableStore) replayRecord(rec wal.Record) error {
+	readers := make([]io.Reader, len(rec.Docs))
+	for i, doc := range rec.Docs {
+		readers[i] = bytes.NewReader(doc)
+	}
+	tree, err := xmltree.ParseCollection(readers, xmltree.DefaultParseOptions)
+	if err != nil || tree.NumNodes() == 0 {
+		// The record is CRC-valid, so these are the exact bytes the
+		// original process saw — and parsing is deterministic, so it
+		// rejected (and never acknowledged) this batch too. Skip it the
+		// same way.
+		d.recovery.SkippedRecords++
+		return nil
+	}
+	cat := d.store.Spec().Build(tree)
+	sh, err := d.store.newShard(tree, cat)
+	if err != nil {
+		return err
+	}
+	sh.walSeq = rec.Seq
+	if rec.Version > 1 {
+		d.store.setMinVersion(rec.Version - 1)
+	}
+	d.installRecovered(sh)
+	d.recovery.ReplayedRecords++
+	d.recovery.ReplayedDocs += len(rec.Docs)
+	return nil
+}
+
+// installRecovered appends a recovered shard to the serving set
+// (recovery is single-threaded; the lock is for form).
+func (d *DurableStore) installRecovered(sh *Shard) {
+	d.store.writeMu.Lock()
+	defer d.store.writeMu.Unlock()
+	d.store.appendLocked(sh)
+}
+
+// loadShardEntry reads and verifies one checkpointed summary.
+func loadShardEntry(dir string, entry manifest.Shard) (*core.Estimator, error) {
+	data, err := os.ReadFile(filepath.Join(dir, entry.File))
+	if err != nil {
+		return nil, fmt.Errorf("shard: checkpoint %s: %w", entry.File, err)
+	}
+	if int64(len(data)) != entry.Bytes {
+		return nil, fmt.Errorf("shard: checkpoint %s: %d bytes, manifest says %d (corrupt data directory)",
+			entry.File, len(data), entry.Bytes)
+	}
+	if crc32.Checksum(data, crcTable) != entry.CRC32 {
+		return nil, fmt.Errorf("shard: checkpoint %s: checksum mismatch (corrupt data directory)", entry.File)
+	}
+	est, err := core.UnmarshalEstimator(data)
+	if err != nil {
+		return nil, fmt.Errorf("shard: checkpoint %s: %w", entry.File, err)
+	}
+	return est, nil
+}
+
+// Store returns the wrapped serving store. Reads (Current, estimation)
+// go straight to it; mutations that must be durable go through the
+// DurableStore.
+func (d *DurableStore) Store() *Store { return d.store }
+
+// Recovery reports what boot-time recovery rebuilt.
+func (d *DurableStore) Recovery() RecoveryInfo { return d.recovery }
+
+// DurableSeq returns the newest WAL sequence known fsynced.
+func (d *DurableStore) DurableSeq() uint64 { return d.log.DurableSeq() }
+
+// AppendDocs durably lands one batch of raw XML documents as a new
+// shard: the batch is parsed and summarized off the serving path,
+// logged to the WAL at the exact version the shard installs at
+// (fsynced before return under the always policy), and only then
+// installed. An error means nothing was acknowledged or installed.
+//
+// The WAL write and the install share the store's write lock, so the
+// logged ack version is exact even while compactions install
+// concurrently — the recovery invariant depends on it.
+func (d *DurableStore) AppendDocs(docs [][]byte) (*Shard, uint64, error) {
+	if len(docs) == 0 {
+		return nil, 0, fmt.Errorf("shard: refusing to append an empty batch")
+	}
+	readers := make([]io.Reader, len(docs))
+	for i, doc := range docs {
+		readers[i] = bytes.NewReader(doc)
+	}
+	tree, err := xmltree.ParseCollection(readers, xmltree.DefaultParseOptions)
+	if err != nil {
+		return nil, 0, err
+	}
+	if tree.NumNodes() == 0 {
+		return nil, 0, fmt.Errorf("shard: refusing to append an empty tree")
+	}
+	cat := d.store.Spec().Build(tree)
+	sh, err := d.store.newShard(tree, cat)
+	if err != nil {
+		return nil, 0, err
+	}
+	st := d.store
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	seq, err := d.log.Append(st.Current().version+1, docs)
+	if err != nil {
+		return nil, 0, err
+	}
+	sh.walSeq = seq
+	st.appendLocked(sh)
+	return sh, seq, nil
+}
+
+// Checkpoint persists the serving set without the WAL: every live
+// shard's summary lands as an XQS1 file (shards already persisted by
+// an earlier checkpoint keep their files untouched), the manifest
+// swaps in atomically, orphaned shard files are collected, and WAL
+// segments wholly covered by the checkpoint are deleted. It returns
+// the pinned version. Appends and estimates proceed concurrently; a
+// batch landing mid-checkpoint simply stays in the WAL for the next
+// one.
+func (d *DurableStore) Checkpoint() (uint64, error) {
+	d.cpMu.Lock()
+	defer d.cpMu.Unlock()
+	return d.checkpointLocked()
+}
+
+func (d *DurableStore) checkpointLocked() (uint64, error) {
+	st := d.store
+	// Pin the set and the log watermark together under the write lock:
+	// appends log and install atomically under it, so every record with
+	// seq <= lastSeq has its shard in set (or merged into one, or
+	// dropped) — the truncation-safety invariant.
+	st.writeMu.Lock()
+	set := st.Current()
+	lastSeq := d.log.LastSeq()
+	st.writeMu.Unlock()
+
+	shardDir := filepath.Join(d.dir, ShardDir)
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		return 0, fmt.Errorf("shard: checkpoint: %w", err)
+	}
+	entries := make([]manifest.Shard, 0, set.Len())
+	written := make(map[uint64]manifest.Shard)
+	for _, sh := range set.Shards() {
+		entry, ok := d.files[sh.id]
+		if !ok {
+			est, err := sh.Summary(d.opts)
+			if err != nil {
+				return 0, fmt.Errorf("shard: checkpoint: %w", err)
+			}
+			blob, err := est.MarshalBinary()
+			if err != nil {
+				return 0, fmt.Errorf("shard: checkpoint: %w", err)
+			}
+			rel := filepath.Join(ShardDir, fmt.Sprintf("cp-%d-%d.xqs", set.Version(), sh.id))
+			if err := writeFileSync(filepath.Join(d.dir, rel), blob); err != nil {
+				return 0, err
+			}
+			entry = manifest.Shard{
+				ID:     sh.id,
+				File:   rel,
+				Docs:   sh.docs,
+				Nodes:  sh.nodes,
+				WALSeq: sh.walSeq,
+				Bytes:  int64(len(blob)),
+				CRC32:  crc32.Checksum(blob, crcTable),
+			}
+			written[sh.id] = entry
+		}
+		entries = append(entries, entry)
+	}
+	if len(written) > 0 {
+		// New shard files must be durable before the manifest points at
+		// them.
+		if err := wal.SyncDir(shardDir); err != nil {
+			return 0, err
+		}
+	}
+	man := &manifest.Manifest{
+		FormatVersion: manifest.Format,
+		Version:       set.Version(),
+		WALSeq:        lastSeq,
+		GridSize:      d.opts.GridSize,
+		Shards:        entries,
+	}
+	if err := man.Write(d.dir); err != nil {
+		return 0, err
+	}
+	// Only now are the new files reusable: recording them earlier would
+	// let a retry after a failed round skip the directory fsync (or
+	// reference files no durable manifest ever committed).
+	for id, entry := range written {
+		d.files[id] = entry
+	}
+	d.cpVersion.Store(set.Version())
+	d.cpSeq.Store(lastSeq)
+	d.checkpoints.Add(1)
+
+	// The old manifest is gone; files it referenced that the new one
+	// does not (compacted-away or dropped shards) are orphans now, as
+	// are cache entries for shards no longer alive.
+	d.gcShardFiles(shardDir, entries)
+
+	if err := d.log.Truncate(lastSeq); err != nil {
+		return 0, err
+	}
+	return set.Version(), nil
+}
+
+// gcShardFiles removes checkpoint files and cache entries no longer
+// referenced. GC failures are cosmetic (stray files, never data loss)
+// and deliberately unreported.
+func (d *DurableStore) gcShardFiles(shardDir string, live []manifest.Shard) {
+	liveFile := make(map[string]bool, len(live))
+	liveID := make(map[uint64]bool, len(live))
+	for _, e := range live {
+		liveFile[filepath.Base(e.File)] = true
+		liveID[e.ID] = true
+	}
+	for id := range d.files {
+		if !liveID[id] {
+			delete(d.files, id)
+		}
+	}
+	dirents, err := os.ReadDir(shardDir)
+	if err != nil {
+		return
+	}
+	for _, e := range dirents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xqs") || liveFile[e.Name()] {
+			continue
+		}
+		_ = os.Remove(filepath.Join(shardDir, e.Name()))
+	}
+}
+
+// Drop durably removes a shard: the serving set drops it and a
+// checkpoint immediately persists the new set — without one, the next
+// recovery would resurrect the shard from its WAL record.
+func (d *DurableStore) Drop(id uint64) (bool, error) {
+	d.cpMu.Lock()
+	defer d.cpMu.Unlock()
+	if !d.store.Drop(id) {
+		return false, nil
+	}
+	_, err := d.checkpointLocked()
+	return true, err
+}
+
+// Close checkpoints the serving set and closes the WAL. The directory
+// can be reopened with OpenDurable; a process that dies without Close
+// recovers the same state from manifest + WAL instead.
+func (d *DurableStore) Close() error {
+	_, err := d.Checkpoint()
+	if cerr := d.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats snapshots the durable layer.
+func (d *DurableStore) Stats() DurabilityStats {
+	segs := d.log.Segments()
+	var bytes int64
+	for _, s := range segs {
+		bytes += s.Bytes
+	}
+	return DurabilityStats{
+		Dir:               d.dir,
+		Fsync:             d.walMode.String(),
+		WALSegments:       len(segs),
+		WALBytes:          bytes,
+		LastSeq:           d.log.LastSeq(),
+		DurableSeq:        d.log.DurableSeq(),
+		CheckpointVersion: d.cpVersion.Load(),
+		CheckpointWALSeq:  d.cpSeq.Load(),
+		Checkpoints:       d.checkpoints.Load(),
+		Recovery:          d.recovery,
+	}
+}
+
+// writeFileSync writes data and fsyncs before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("shard: checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("shard: checkpoint: %w", err)
+	}
+	return nil
+}
+

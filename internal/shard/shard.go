@@ -48,6 +48,13 @@ type Shard struct {
 	// this shard, recorded under the store's write lock just before the
 	// install — the visibility watermark appenders hand to clients.
 	installedAt uint64
+	// walSeq is the highest write-ahead-log sequence whose documents
+	// the shard covers: its own record for an appended shard, the
+	// maximum across the merge group for a compacted shard, and 0 for
+	// shards that never went through a WAL (bootstrap corpus, streamed
+	// summaries). A checkpoint containing the shard makes every record
+	// up to walSeq replayable-free.
+	walSeq uint64
 
 	mu       sync.Mutex
 	sums     map[core.Options]*core.Estimator // built summaries, keyed by options
@@ -60,6 +67,10 @@ func (s *Shard) ID() uint64 { return s.id }
 // InstalledAt returns the version of the first serving snapshot that
 // contained this shard (0 for shards of a loaded, store-less set).
 func (s *Shard) InstalledAt() uint64 { return s.installedAt }
+
+// WALSeq returns the highest write-ahead-log sequence the shard
+// covers (0 for shards that never went through a WAL).
+func (s *Shard) WALSeq() uint64 { return s.walSeq }
 
 // Docs returns the number of documents the shard holds (0 when
 // unknown, e.g. a summary-only shard loaded without metadata).

@@ -109,6 +109,33 @@ func (st *Store) install(next []*Shard, prev *Set) {
 	st.cur.Store(&Set{version: prev.version + 1, shards: next})
 }
 
+// appendLocked installs sh at the end of the serving set, stamping its
+// visibility watermark. The caller must hold writeMu — the one install
+// body shared by plain appends, durable appends (which interleave the
+// WAL write before it) and recovery.
+func (st *Store) appendLocked(sh *Shard) {
+	prev := st.Current()
+	next := make([]*Shard, 0, len(prev.shards)+1)
+	next = append(next, prev.shards...)
+	next = append(next, sh)
+	sh.installedAt = prev.version + 1
+	st.install(next, prev)
+}
+
+// setMinVersion raises the serving set's version to at least v without
+// changing membership. The durable layer uses it during recovery so
+// the version watermark clients observed before a crash never
+// regresses: checkpoint loading jumps to the manifest's pinned version
+// and each replayed batch re-installs at its original ack version.
+func (st *Store) setMinVersion(v uint64) {
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	cur := st.Current()
+	if cur.version < v {
+		st.cur.Store(&Set{version: v, shards: cur.shards})
+	}
+}
+
 // AppendTree lands an already-parsed tree as a new shard: its catalog
 // is materialized from the store's spec and its summaries built for
 // every active option, then the shard joins the serving set in one
@@ -136,12 +163,7 @@ func (st *Store) appendShard(tree *xmltree.Tree, cat *predicate.Catalog) (*Shard
 	}
 	st.writeMu.Lock()
 	defer st.writeMu.Unlock()
-	prev := st.Current()
-	next := make([]*Shard, 0, len(prev.shards)+1)
-	next = append(next, prev.shards...)
-	next = append(next, sh)
-	sh.installedAt = prev.version + 1
-	st.install(next, prev)
+	st.appendLocked(sh)
 	return sh, nil
 }
 
@@ -156,12 +178,7 @@ func (st *Store) AppendSummary(est *core.Estimator, docs, nodes int) (*Shard, er
 	sh := &Shard{id: st.nextID.Add(1), docs: docs, nodes: nodes, prebuilt: est}
 	st.writeMu.Lock()
 	defer st.writeMu.Unlock()
-	prev := st.Current()
-	next := make([]*Shard, 0, len(prev.shards)+1)
-	next = append(next, prev.shards...)
-	next = append(next, sh)
-	sh.installedAt = prev.version + 1
-	st.install(next, prev)
+	st.appendLocked(sh)
 	return sh, nil
 }
 

@@ -1,18 +1,19 @@
 #!/usr/bin/env bash
 # Runs the tracked performance benchmarks and records them into
-# BENCH_PR3.json: the PR 1/2 microbenchmark series (ns/op) plus the
-# PR 3 serving series — xqbench driving a live xqestd daemon and
-# reporting sustained estimate QPS, p50/p95/p99 latency and
-# append-to-visible staleness under concurrent ingest.
+# BENCH_PR4.json: the PR 1/2 microbenchmark series (ns/op), the PR 3
+# serving series (xqbench driving an in-memory xqestd daemon), and the
+# PR 4 durable serving series — the same load against a daemon with a
+# data directory at each WAL fsync policy (always / interval / off),
+# reporting ack-to-durable latency alongside append-to-visible.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh      # override -benchtime
-#   SERVE_SECONDS=10 scripts/bench.sh  # longer serving run
+#   SERVE_SECONDS=10 scripts/bench.sh  # longer serving runs
 #   SKIP_SERVING=1 scripts/bench.sh    # microbenchmarks only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 benchtime="${BENCHTIME:-1s}"
 serve_seconds="${SERVE_SECONDS:-5}"
 addr="127.0.0.1:${BENCH_PORT:-18791}"
@@ -28,19 +29,35 @@ trap cleanup EXIT
 
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$workdir/micro.txt"
 
+# serve_run <report.json> [extra xqestd flags...] — boots a daemon,
+# drives it with xqbench, shuts it down.
+serve_run() {
+  local report="$1"; shift
+  "$workdir/xqestd" -dataset dblp -scale 0.05 -addr "$addr" -autocompact 1s "$@" \
+    >"$workdir/xqestd.log" 2>&1 &
+  daemon_pid=$!
+  "$workdir/xqbench" -addr "http://$addr" -duration "${serve_seconds}s" \
+    -estimators 8 -appenders 2 -o "$report"
+  kill -INT "$daemon_pid" && wait "$daemon_pid" 2>/dev/null || true
+  daemon_pid=""
+}
+
 if [[ -z "${SKIP_SERVING:-}" ]]; then
   echo "== serving benchmark: xqbench against xqestd on $addr =="
   go build -o "$workdir/xqestd" ./cmd/xqestd
   go build -o "$workdir/xqbench" ./cmd/xqbench
-  "$workdir/xqestd" -dataset dblp -scale 0.05 -addr "$addr" -autocompact 1s \
-    >"$workdir/xqestd.log" 2>&1 &
-  daemon_pid=$!
-  "$workdir/xqbench" -addr "http://$addr" -duration "${serve_seconds}s" \
-    -estimators 8 -appenders 2 -o "$workdir/serving.json"
-  kill -INT "$daemon_pid" && wait "$daemon_pid" 2>/dev/null || true
-  daemon_pid=""
+  serve_run "$workdir/serving.json"
+  for fsync in always interval off; do
+    echo "== durable serving benchmark: -fsync $fsync =="
+    rm -rf "$workdir/data-$fsync"
+    serve_run "$workdir/durable-$fsync.json" \
+      -data-dir "$workdir/data-$fsync" -fsync "$fsync" -checkpoint 2s
+  done
 else
   printf 'null\n' > "$workdir/serving.json"
+  for fsync in always interval off; do
+    printf 'null\n' > "$workdir/durable-$fsync.json"
+  done
 fi
 
 {
@@ -67,6 +84,14 @@ fi
     }
   ' "$workdir/micro.txt"
   cat "$workdir/serving.json"
+  printf ",\n  \"durable_serving\": {\n"
+  printf "    \"always\": "
+  cat "$workdir/durable-always.json"
+  printf ",\n    \"interval\": "
+  cat "$workdir/durable-interval.json"
+  printf ",\n    \"off\": "
+  cat "$workdir/durable-off.json"
+  printf "  }\n"
   printf "}\n"
 } > "$out"
 

@@ -102,6 +102,11 @@ type ShardInfo struct {
 	// reflects the shard's documents. Zero for shards of a loaded,
 	// store-less set.
 	Version uint64
+	// WALSeq is the shard's write-ahead-log watermark on a durable
+	// database: the highest logged batch it covers (its own record for
+	// an appended shard, the group maximum for a compacted one). Zero
+	// on non-durable databases and for bootstrap shards.
+	WALSeq uint64
 }
 
 // Database is an XML document collection prepared for estimation: a
@@ -115,6 +120,11 @@ type ShardInfo struct {
 // when the database holds more than one shard.
 type Database struct {
 	store *shard.Store
+
+	// durable, when non-nil, is the write-ahead-log + checkpoint layer
+	// behind the store (see OpenDurable): mutations route through it so
+	// acknowledged appends survive crashes.
+	durable *shard.DurableStore
 
 	// Lazily merged mega-tree view, cached per store version. The
 	// single-shard case bypasses the cache and serves the shard's own
@@ -184,6 +194,15 @@ func FromCatalog(cat *predicate.Catalog) *Database {
 // Append is safe to call concurrently with estimation; concurrent
 // Appends serialize.
 func (db *Database) Append(readers ...io.Reader) (ShardInfo, error) {
+	if db.durable != nil {
+		// The durable path needs the raw bytes: they are what the WAL
+		// logs and what recovery replays.
+		docs, err := slurp(readers)
+		if err != nil {
+			return ShardInfo{}, err
+		}
+		return db.appendDurable(docs)
+	}
 	tree, err := xmltree.ParseCollection(readers, xmltree.DefaultParseOptions)
 	if err != nil {
 		return ShardInfo{}, err
@@ -192,7 +211,17 @@ func (db *Database) Append(readers ...io.Reader) (ShardInfo, error) {
 }
 
 // AppendTree lands an already-built tree as a new shard (see Append).
+// On a durable database the tree's documents are re-serialized as XML
+// for the write-ahead log; trees from Parse or the generators round-
+// trip exactly (parsing trims inter-element whitespace).
 func (db *Database) AppendTree(tree *xmltree.Tree) (ShardInfo, error) {
+	if db.durable != nil {
+		docs, err := serializeDocs(tree)
+		if err != nil {
+			return ShardInfo{}, err
+		}
+		return db.appendDurable(docs)
+	}
 	sh, err := db.store.AppendTree(tree)
 	if err != nil {
 		return ShardInfo{}, err
@@ -202,8 +231,16 @@ func (db *Database) AppendTree(tree *xmltree.Tree) (ShardInfo, error) {
 
 // DropShard removes a shard from the serving set, reporting whether it
 // was present. Estimates stop reflecting its documents immediately;
-// earlier snapshots still see them.
-func (db *Database) DropShard(id uint64) bool { return db.store.Drop(id) }
+// earlier snapshots still see them. On a durable database the drop is
+// sealed by an immediate checkpoint (otherwise recovery would replay
+// the shard's WAL record and resurrect it); the error reports a failed
+// checkpoint.
+func (db *Database) DropShard(id uint64) (bool, error) {
+	if db.durable != nil {
+		return db.durable.Drop(id)
+	}
+	return db.store.Drop(id), nil
+}
 
 // Compact runs one round of size-tiered compaction: small shards are
 // rebuilt into one merged shard entirely off the serving path, then
@@ -283,6 +320,7 @@ func shardInfo(sh *shard.Shard) ShardInfo {
 		Nodes:       sh.Nodes(),
 		SummaryOnly: sh.SummaryOnly(),
 		Version:     sh.InstalledAt(),
+		WALSeq:      sh.WALSeq(),
 	}
 }
 

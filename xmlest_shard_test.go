@@ -134,8 +134,8 @@ func TestDropAndCompactFacade(t *testing.T) {
 	}
 	before, _ := est.Estimate("//faculty//TA")
 
-	if !db.DropShard(shards[3].ID) {
-		t.Fatal("DropShard: not found")
+	if found, err := db.DropShard(shards[3].ID); err != nil || !found {
+		t.Fatalf("DropShard: found=%v err=%v", found, err)
 	}
 	afterDrop, _ := est.Estimate("//faculty//TA")
 	if afterDrop.Estimate >= before.Estimate {
