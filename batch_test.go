@@ -133,3 +133,53 @@ func TestNewEstimatorValidatesOptions(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEstimateBatchIntoReusesDst pins the pooled batch path: reusing
+// one result slice across calls (as the daemon's request scratch does)
+// returns bit-identical estimates to fresh calls, and the reused slice
+// does not reallocate once warm.
+func TestEstimateBatchIntoReusesDst(t *testing.T) {
+	db := openDepts(t)
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := []string{"//faculty//TA", "//department//faculty"}
+	fresh, err := est.EstimateBatch(patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst []xmlest.Result
+	for round := 0; round < 3; round++ {
+		version, results, err := est.EstimateBatchInto(patterns, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if version != fresh.Version {
+			t.Fatalf("round %d: version %d != %d", round, version, fresh.Version)
+		}
+		if len(results) != len(patterns) {
+			t.Fatalf("round %d: %d results", round, len(results))
+		}
+		for i := range results {
+			if results[i].Estimate != fresh.Results[i].Estimate {
+				t.Fatalf("round %d pattern %d: pooled %v != fresh %v",
+					round, i, results[i].Estimate, fresh.Results[i].Estimate)
+			}
+		}
+		if round > 0 && len(dst) > 0 && &results[0] != &dst[0] {
+			t.Fatalf("round %d: dst not reused", round)
+		}
+		dst = results
+	}
+	// Singles agree with the pooled batch bit-for-bit.
+	for i, p := range patterns {
+		single, err := est.Estimate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single.Estimate != fresh.Results[i].Estimate {
+			t.Fatalf("single %s %v != batch %v", p, single.Estimate, fresh.Results[i].Estimate)
+		}
+	}
+}

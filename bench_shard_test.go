@@ -14,6 +14,7 @@ import (
 	"xmlest/internal/core"
 	"xmlest/internal/datagen"
 	"xmlest/internal/predicate"
+	"xmlest/internal/shard"
 	"xmlest/internal/xmltree"
 )
 
@@ -46,8 +47,10 @@ func benchCorpus(b *testing.B, n int) (*xmlest.Database, *xmlest.Estimator) {
 // corpora of 1, 10 and 40 shards. The acceptance claim is that the
 // numbers stay flat as the corpus grows.
 func BenchmarkAppendToVisible(b *testing.B) {
+	b.ReportAllocs()
 	for _, shards := range []int{1, 10, 40} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			db, est := benchCorpus(b, shards)
 			doc := benchDoc(999)
 			before, err := est.Estimate("//article//author")
@@ -82,8 +85,10 @@ func BenchmarkAppendToVisible(b *testing.B) {
 // (merge, re-materialize the catalog, rebuild every histogram). Grows
 // linearly with the corpus.
 func BenchmarkAppendRebuildMonolithic(b *testing.B) {
+	b.ReportAllocs()
 	for _, shards := range []int{1, 10, 40} {
 		b.Run(fmt.Sprintf("docs=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			corpus := make([]*xmltree.Tree, shards)
 			for i := range corpus {
 				corpus[i] = benchDoc(int64(i + 1))
@@ -102,24 +107,58 @@ func BenchmarkAppendRebuildMonolithic(b *testing.B) {
 	}
 }
 
-// BenchmarkShardedEstimate times a hot estimate against a 10-shard
-// corpus — the serving-path cost of the decomposition (one compiled
-// per-shard query each, summed).
+// BenchmarkShardedEstimate times a hot estimate against sharded
+// corpora of growing width, on both serving paths: the default
+// merged-summary path (the store's background fold answers in O(1)
+// shards — the serving set is folded synchronously before timing) and
+// the pure per-shard fan-out (one compiled query per shard, summed) it
+// falls back to for fresh unmerged tails.
 func BenchmarkShardedEstimate(b *testing.B) {
-	_, est := benchCorpus(b, 10)
-	if _, err := est.Estimate("//article//author"); err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := est.Estimate("//article//author"); err != nil {
-			b.Fatal(err)
+	b.ReportAllocs()
+	for _, shards := range []int{10, 40} {
+		for _, mode := range []string{"merged", "fanout"} {
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				// The serving default caps folds at narrow (post-compaction)
+				// sets; this benchmark deliberately folds a wide one to
+				// isolate hot-estimate cost at scale.
+				defer shard.SetMergedMaxGridSize(shard.SetMergedMaxGridSize(1024))
+				db := xmlest.FromTree(benchDoc(1))
+				for i := 1; i < shards; i++ {
+					if _, err := db.AppendTree(benchDoc(int64(i + 1))); err != nil {
+						b.Fatal(err)
+					}
+				}
+				db.AddAllTagPredicates()
+				opts := xmlest.Options{GridSize: 10, DisableMergedServing: mode == "fanout"}
+				est, err := db.NewEstimator(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				db.MergeSummaries()
+				if mode == "merged" {
+					if info, ok := est.MergedInfo(); !ok || !info.Fresh {
+						b.Fatalf("merged view not fresh: %+v", info)
+					}
+				}
+				if _, err := est.Estimate("//article//author"); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := est.Estimate("//article//author"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }
 
 // BenchmarkSnapshot times taking a pinned snapshot (a pointer copy).
 func BenchmarkSnapshot(b *testing.B) {
+	b.ReportAllocs()
 	_, est := benchCorpus(b, 10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -132,6 +171,7 @@ func BenchmarkSnapshot(b *testing.B) {
 // BenchmarkCompact times one full compaction round merging ten ~3k-node
 // shards into one.
 func BenchmarkCompact(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		db, _ := benchCorpus(b, 10)

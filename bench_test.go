@@ -30,6 +30,7 @@ import (
 // BenchmarkRunningExample times the faculty//TA walk-through (Fig 1,
 // 2×2 grids): both estimation algorithms on the toy document.
 func BenchmarkRunningExample(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunExample(); err != nil {
 			b.Fatal(err)
@@ -40,6 +41,7 @@ func BenchmarkRunningExample(b *testing.B) {
 // BenchmarkTable1CatalogBuild times building the full DBLP predicate
 // catalog (the per-predicate node lists Table 1 reports on).
 func BenchmarkTable1CatalogBuild(b *testing.B) {
+	b.ReportAllocs()
 	tree := experiments.DBLP().Tree
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -53,6 +55,7 @@ func BenchmarkTable1CatalogBuild(b *testing.B) {
 // BenchmarkTable2 times each Table 2 query's estimation (primitive and
 // no-overlap variants), on the paper's 10×10 grids.
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.DBLP()
 	queries := []struct{ anc, desc string }{
 		{"tag=article", "tag=author"},
@@ -62,6 +65,7 @@ func BenchmarkTable2(b *testing.B) {
 	}
 	for _, q := range queries {
 		b.Run(fmt.Sprintf("%s_%s/overlap", q.anc[4:], q.desc[4:]), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Estimator.EstimatePairPrimitive(q.anc, q.desc); err != nil {
 					b.Fatal(err)
@@ -69,6 +73,7 @@ func BenchmarkTable2(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("%s_%s/nooverlap", q.anc[4:], q.desc[4:]), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Estimator.EstimatePair(q.anc, q.desc); err != nil {
 					b.Fatal(err)
@@ -81,6 +86,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkTable4 times each Table 4 query's estimation on the
 // synthetic manager/department/employee dataset.
 func BenchmarkTable4(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.Hier()
 	queries := []struct{ anc, desc string }{
 		{"tag=manager", "tag=department"},
@@ -93,6 +99,7 @@ func BenchmarkTable4(b *testing.B) {
 	}
 	for _, q := range queries {
 		b.Run(q.anc[4:]+"_"+q.desc[4:], func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.Estimator.EstimatePair(q.anc, q.desc); err != nil {
 					b.Fatal(err)
@@ -106,6 +113,7 @@ func BenchmarkTable4(b *testing.B) {
 // size, histogram construction plus the department//email primitive
 // estimate.
 func BenchmarkFig11GridSweep(b *testing.B) {
+	b.ReportAllocs()
 	experiments.Hier() // build outside the timer
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -119,6 +127,7 @@ func BenchmarkFig11GridSweep(b *testing.B) {
 // coverage histogram construction plus the article//cdrom no-overlap
 // estimate per grid size.
 func BenchmarkFig12GridSweep(b *testing.B) {
+	b.ReportAllocs()
 	experiments.DBLP()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -130,6 +139,7 @@ func BenchmarkFig12GridSweep(b *testing.B) {
 
 // BenchmarkTheorem1Sweep times the non-zero-cell scaling measurement.
 func BenchmarkTheorem1Sweep(b *testing.B) {
+	b.ReportAllocs()
 	experiments.DBLP()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -141,6 +151,7 @@ func BenchmarkTheorem1Sweep(b *testing.B) {
 
 // BenchmarkTheorem2Sweep times the partial-coverage scaling measurement.
 func BenchmarkTheorem2Sweep(b *testing.B) {
+	b.ReportAllocs()
 	experiments.DBLP()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -153,6 +164,7 @@ func BenchmarkTheorem2Sweep(b *testing.B) {
 // BenchmarkPHJoin isolates the three-pass pH-Join (Fig 9) across grid
 // sizes: the paper's O(g) estimation-time claim.
 func BenchmarkPHJoin(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.DBLP()
 	anc := s.Catalog.MustGet("tag=article").Nodes
 	desc := s.Catalog.MustGet("tag=author").Nodes
@@ -161,6 +173,7 @@ func BenchmarkPHJoin(b *testing.B) {
 		ha := histogram.BuildPosition(s.Tree, anc, grid)
 		hb := histogram.BuildPosition(s.Tree, desc, grid)
 		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.PHJoin(ha, hb); err != nil {
 					b.Fatal(err)
@@ -173,6 +186,7 @@ func BenchmarkPHJoin(b *testing.B) {
 // BenchmarkHistogramBuild times constructing the position histogram of
 // the largest DBLP predicate (author, 41,501 nodes) at 10×10.
 func BenchmarkHistogramBuild(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.DBLP()
 	nodes := s.Catalog.MustGet("tag=author").Nodes
 	grid := histogram.MustUniformGrid(10, s.Tree.MaxPos)
@@ -188,6 +202,7 @@ func BenchmarkHistogramBuild(b *testing.B) {
 // BenchmarkCoverageBuild times constructing the coverage histogram for
 // the article predicate (a full sweep over all ~150k tree nodes).
 func BenchmarkCoverageBuild(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.DBLP()
 	nodes := s.Catalog.MustGet("tag=article").Nodes
 	grid := histogram.MustUniformGrid(10, s.Tree.MaxPos)
@@ -203,6 +218,7 @@ func BenchmarkCoverageBuild(b *testing.B) {
 // BenchmarkExactCount times the ground-truth structural join the
 // estimates are validated against — the cost an estimator avoids.
 func BenchmarkExactCount(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.DBLP()
 	anc := s.Catalog.MustGet("tag=article").Nodes
 	desc := s.Catalog.MustGet("tag=author").Nodes
@@ -217,6 +233,7 @@ func BenchmarkExactCount(b *testing.B) {
 // BenchmarkTwigEstimate times a 4-node twig estimate (the Fig 2 shape)
 // on the synthetic dataset.
 func BenchmarkTwigEstimate(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.Hier()
 	p := pattern.MustParse("//manager//department[.//employee]//email")
 	b.ResetTimer()
@@ -230,6 +247,7 @@ func BenchmarkTwigEstimate(b *testing.B) {
 // BenchmarkPlanEnumeration times join-order enumeration with
 // intermediate estimates for a 4-node twig (the optimizer use case).
 func BenchmarkPlanEnumeration(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.Hier()
 	p := pattern.MustParse("//manager//department[.//employee]//email")
 	b.ResetTimer()
@@ -243,6 +261,7 @@ func BenchmarkPlanEnumeration(b *testing.B) {
 // BenchmarkParseAndNumber times XML parsing plus interval numbering on
 // a mid-sized generated document — the ingest path.
 func BenchmarkParseAndNumber(b *testing.B) {
+	b.ReportAllocs()
 	tree := datagen.GenerateDBLP(datagen.DBLPConfig{Seed: 1, Scale: 0.02})
 	var buf []byte
 	{
@@ -274,6 +293,7 @@ func (w *writerBuffer) Write(p []byte) (int, error) {
 // histograms and coverages) for the DBLP catalog at 10×10 — the
 // build-time cost the paper amortizes across queries.
 func BenchmarkEstimatorBuild(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.DBLP()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -287,8 +307,10 @@ func BenchmarkEstimatorBuild(b *testing.B) {
 // algorithm against the primitive pH-Join on the same query — the
 // space-time price of the better estimate.
 func BenchmarkAblationCoverage(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.DBLP()
 	b.Run("primitive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := s.Estimator.EstimatePairPrimitive("tag=article", "tag=cdrom"); err != nil {
 				b.Fatal(err)
@@ -296,6 +318,7 @@ func BenchmarkAblationCoverage(b *testing.B) {
 		}
 	})
 	b.Run("coverage", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := s.Estimator.EstimatePair("tag=article", "tag=cdrom"); err != nil {
 				b.Fatal(err)
@@ -308,11 +331,13 @@ func BenchmarkAblationCoverage(b *testing.B) {
 // pH-Join against reusing pre-computed per-cell coefficients — the
 // space-time trade-off the paper describes after Fig 9.
 func BenchmarkAblationPrecomputedCoefficients(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.DBLP()
 	grid := histogram.MustUniformGrid(50, s.Tree.MaxPos)
 	ha := histogram.BuildPosition(s.Tree, s.Catalog.MustGet("tag=article").Nodes, grid)
 	hb := histogram.BuildPosition(s.Tree, s.Catalog.MustGet("tag=author").Nodes, grid)
 	b.Run("three-pass", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.PHJoin(ha, hb); err != nil {
 				b.Fatal(err)
@@ -321,6 +346,7 @@ func BenchmarkAblationPrecomputedCoefficients(b *testing.B) {
 	})
 	coef := core.AncestorCoefficients(hb)
 	b.Run("precomputed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			var total float64
 			ha.EachNonZero(func(x, y int, c float64) {
@@ -336,12 +362,14 @@ func BenchmarkAblationPrecomputedCoefficients(b *testing.B) {
 // BenchmarkAblationGridShape compares estimator construction with
 // uniform and equi-depth bucket boundaries.
 func BenchmarkAblationGridShape(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.Hier()
 	for name, opts := range map[string]core.Options{
 		"uniform":   {GridSize: 10},
 		"equidepth": {GridSize: 10, EquiDepth: true},
 	} {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.NewEstimator(s.Catalog, opts); err != nil {
 					b.Fatal(err)
@@ -354,6 +382,7 @@ func BenchmarkAblationGridShape(b *testing.B) {
 // BenchmarkParentChildEstimate times the level-histogram parent-child
 // estimation extension.
 func BenchmarkParentChildEstimate(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.Hier()
 	est, err := core.NewEstimator(s.Catalog, core.Options{GridSize: 10, LevelHistograms: true})
 	if err != nil {
@@ -372,10 +401,12 @@ func BenchmarkParentChildEstimate(b *testing.B) {
 // parent-child pair counter on the same predicate lists (its sorted
 // binary-search lookup replaced a per-call hash map).
 func BenchmarkStructuralJoin(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.DBLP()
 	anc := s.Catalog.MustGet("tag=article").Nodes
 	desc := s.Catalog.MustGet("tag=cdrom").Nodes
 	b.Run("pairs", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if pairs := match.StructuralJoin(s.Tree, anc, desc); len(pairs) == 0 {
 				b.Fatal("no pairs")
@@ -383,6 +414,7 @@ func BenchmarkStructuralJoin(b *testing.B) {
 		}
 	})
 	b.Run("countchild", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if n := match.CountChildPairs(s.Tree, anc, desc); n == 0 {
 				b.Fatal("no child pairs")
@@ -394,6 +426,7 @@ func BenchmarkStructuralJoin(b *testing.B) {
 // BenchmarkFindTwigMatches times bounded twig enumeration (first page
 // of results), the workload of the online-feedback scenario.
 func BenchmarkFindTwigMatches(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.DBLP()
 	resolve := func(name string) ([]xmltree.NodeID, error) {
 		e, err := s.Catalog.Get(name)
@@ -417,12 +450,14 @@ func BenchmarkFindTwigMatches(b *testing.B) {
 
 // BenchmarkSummaryPersistence times summary serialization and loading.
 func BenchmarkSummaryPersistence(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.DBLP()
 	blob, err := s.Estimator.MarshalBinary()
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.Run("marshal", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := s.Estimator.MarshalBinary(); err != nil {
 				b.Fatal(err)
@@ -430,6 +465,7 @@ func BenchmarkSummaryPersistence(b *testing.B) {
 		}
 	})
 	b.Run("unmarshal", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.UnmarshalEstimator(blob); err != nil {
 				b.Fatal(err)
@@ -442,6 +478,7 @@ func BenchmarkSummaryPersistence(b *testing.B) {
 // 3-node twig on the synthetic dataset — the work the estimator's plan
 // choice governs.
 func BenchmarkExecutePlan(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.Hier()
 	p := pattern.MustParse("//manager//department//employee")
 	plans, err := planner.Enumerate(s.Estimator, p)
@@ -456,6 +493,7 @@ func BenchmarkExecutePlan(b *testing.B) {
 		return e.Nodes, nil
 	}
 	b.Run("best", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := exec.Execute(s.Tree, p, plans[0], resolve); err != nil {
 				b.Fatal(err)
@@ -463,6 +501,7 @@ func BenchmarkExecutePlan(b *testing.B) {
 		}
 	})
 	b.Run("worst", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := exec.Execute(s.Tree, p, plans[len(plans)-1], resolve); err != nil {
 				b.Fatal(err)
@@ -474,6 +513,7 @@ func BenchmarkExecutePlan(b *testing.B) {
 // BenchmarkErrorProfileWorkload times evaluating the all-pairs workload
 // (estimation only) on the synthetic dataset.
 func BenchmarkErrorProfileWorkload(b *testing.B) {
+	b.ReportAllocs()
 	s := experiments.Hier()
 	w := accuracy.PairWorkload(s.Catalog)
 	b.ResetTimer()
@@ -490,6 +530,7 @@ func BenchmarkErrorProfileWorkload(b *testing.B) {
 // BenchmarkStreamIngest times the two-pass streaming histogram build on
 // serialized XML — the bounded-memory ingest path.
 func BenchmarkStreamIngest(b *testing.B) {
+	b.ReportAllocs()
 	tree := datagen.GenerateDBLP(datagen.DBLPConfig{Seed: 1, Scale: 0.02})
 	var buf bytesBuffer
 	if err := xmltree.WriteXML(&buf, tree, tree.Root()); err != nil {
@@ -523,6 +564,7 @@ func (w *bytesBuffer) Write(p []byte) (int, error) {
 // hot query (the compiled-query cache absorbs the parse and the joins
 // after the first call).
 func BenchmarkFacadeEstimate(b *testing.B) {
+	b.ReportAllocs()
 	db := xmlest.FromCatalog(experiments.DBLP().Catalog)
 	est, err := db.NewEstimator(xmlest.Options{GridSize: 10})
 	if err != nil {
@@ -539,6 +581,7 @@ func BenchmarkFacadeEstimate(b *testing.B) {
 // BenchmarkCompiledEstimate times a PreparedQuery on a hot path — the
 // explicit Compile API the facade's cache is built from.
 func BenchmarkCompiledEstimate(b *testing.B) {
+	b.ReportAllocs()
 	db := xmlest.FromCatalog(experiments.DBLP().Catalog)
 	est, err := db.NewEstimator(xmlest.Options{GridSize: 10})
 	if err != nil {

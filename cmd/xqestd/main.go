@@ -26,6 +26,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -36,12 +39,15 @@ import (
 
 func main() {
 	addr := flag.String("addr", server.DefaultAddr, "listen address")
+	pprofAddr := flag.String("pprof-addr", "", "opt-in net/http/pprof debug listener (e.g. 127.0.0.1:6060); keep it off public interfaces")
 	data := flag.String("data", "", "comma-separated XML files (one shard)")
 	dataset := flag.String("dataset", "", "built-in dataset: dblp, hier, xmark, shakespeare")
 	scale := flag.Float64("scale", 0.1, "built-in dataset scale")
 	seed := flag.Int64("seed", 2002, "built-in dataset seed")
 	grid := flag.Int("grid", 10, "histogram grid size g (gxg buckets)")
 	workers := flag.Int("build-workers", 0, "summary build workers (0 = GOMAXPROCS)")
+	estWorkers := flag.Int("estimate-workers", 0, "per-shard estimate fan-out workers for unmerged sets (0 = GOMAXPROCS)")
+	noMerged := flag.Bool("no-merged", false, "disable merged-summary serving; always fan out across shards (benchmark/debug knob)")
 	load := flag.String("load", "", "serve read-only from a saved summary (XQS1/XQS2) instead of data")
 	save := flag.String("save", "", "persist the summary snapshot here on shutdown")
 	autocompact := flag.Duration("autocompact", 0, "background compaction interval (0 disables)")
@@ -55,8 +61,13 @@ func main() {
 	flag.Parse()
 
 	cfg := server.Config{
-		Addr:                *addr,
-		Options:             xmlest.Options{GridSize: *grid, BuildWorkers: *workers},
+		Addr: *addr,
+		Options: xmlest.Options{
+			GridSize:             *grid,
+			BuildWorkers:         *workers,
+			EstimateWorkers:      *estWorkers,
+			DisableMergedServing: *noMerged,
+		},
 		MaxInflightAppends:  *maxAppends,
 		AutoCompactInterval: *autocompact,
 		CheckpointInterval:  *checkpoint,
@@ -106,6 +117,24 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		// Opt-in profiling listener, deliberately separate from the
+		// serving mux so profiles are never exposed on the service
+		// address. See README, "Profiling the daemon".
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("xqestd: pprof debug listener on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("xqestd: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	if err := cliutil.RunUntilSignal(srv, *drain); err != nil {

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"xmlest/internal/histogram"
+)
+
+// Summary folding: MergeSummaries turns a list of per-shard summaries
+// into one monolithic estimator over the concatenated grid — the
+// document-aligned grid whose buckets are the shard grids' buckets laid
+// side by side, so no bucket spans a shard boundary. Under that grid
+// the sharded decomposition is exact (see DESIGN.md, "Shard
+// lifecycle"): every estimation formula is per-cell local and
+// index-translation invariant, and cross-shard cell pairs contribute
+// zero, so the folded estimator reproduces the per-shard fan-out sum
+// to float-accumulation order. Unlike a compaction rebuild, the fold
+// touches only the summaries — O(total non-zero cells), no documents —
+// which is what lets the shard store refresh its merged serving view
+// after every mutation.
+
+// MergedPredicateMixed marks predicate names whose per-shard summaries
+// disagree on the no-overlap property or on coverage availability.
+// Per-shard fan-out runs a different estimation algorithm per shard for
+// such a predicate (Fig 10 where coverage exists, the primitive Fig 6
+// elsewhere), which a single folded estimator cannot reproduce; the
+// folded estimator carries the predicate conservatively (overlap, no
+// coverage) and callers needing fan-out equivalence must route queries
+// touching it to the fan-out path.
+type MergedPredicateMixed = map[string]bool
+
+// MergeSummaries folds per-shard summaries into one estimator on the
+// concatenated grid. Parts must be non-nil; summaries with level
+// histograms cannot be folded (the parent-child refinement is not
+// carried by NewEstimatorFromHistograms-style estimators) and return an
+// error. The second result reports predicates with mixed per-shard
+// no-overlap/coverage state (see MergedPredicateMixed).
+func MergeSummaries(parts []*Estimator) (*Estimator, MergedPredicateMixed, error) {
+	if len(parts) == 0 {
+		return nil, nil, fmt.Errorf("core: MergeSummaries with no summaries")
+	}
+	mergedSize := 0
+	for i, p := range parts {
+		if p == nil {
+			return nil, nil, fmt.Errorf("core: nil summary at index %d", i)
+		}
+		if p.levels != nil {
+			return nil, nil, fmt.Errorf("core: cannot fold summaries with level histograms")
+		}
+		mergedSize += p.grid.Size()
+	}
+	if mergedSize > histogram.MaxGridSize {
+		return nil, nil, fmt.Errorf("core: concatenated grid size %d exceeds the supported maximum %d",
+			mergedSize, histogram.MaxGridSize)
+	}
+
+	// Concatenated grid: each part contributes its bucket widths as one
+	// contiguous block; block s starts at bucket offset Σ_{t<s} g_t.
+	bounds := make([]int, 1, mergedSize+1)
+	offsets := make([]int, len(parts))
+	base := 0
+	for s, p := range parts {
+		offsets[s] = len(bounds) - 1
+		pb := p.grid.Bounds()
+		for i := 1; i < len(pb); i++ {
+			bounds = append(bounds, base+pb[i])
+		}
+		base += p.grid.MaxPos()
+	}
+	grid, err := histogram.NewGrid(bounds)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: concatenated grid: %w", err)
+	}
+
+	e := &Estimator{
+		grid:     grid,
+		trueHist: histogram.NewPosition(grid),
+		hists:    make(map[string]*histogram.Position),
+		covs:     make(map[string]*histogram.Coverage),
+		overlap:  make(map[string]bool),
+	}
+	translate := func(dst *histogram.Position, src *histogram.Position, off int) {
+		for _, c := range src.NonZeroCells() {
+			dst.Add(off+c.I, off+c.J, c.Count)
+		}
+	}
+	for s, p := range parts {
+		translate(e.trueHist, p.trueHist, offsets[s])
+	}
+
+	// Per predicate: union the position histograms block-diagonally and
+	// fold coverage when every holding part agrees the predicate is
+	// no-overlap with coverage available.
+	mixed := make(MergedPredicateMixed)
+	type predState struct {
+		overlap     bool
+		hasCoverage bool
+	}
+	states := make(map[string]*predState)
+	for _, p := range parts {
+		for _, name := range p.Names() {
+			st := states[name]
+			overlap := p.overlap[name]
+			hasCov := p.covs[name] != nil
+			if st == nil {
+				states[name] = &predState{overlap: overlap, hasCoverage: hasCov}
+				continue
+			}
+			if st.overlap != overlap || st.hasCoverage != hasCov {
+				mixed[name] = true
+				st.overlap = true
+				st.hasCoverage = false
+			}
+		}
+	}
+	names := make([]string, 0, len(states))
+	for name := range states {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := states[name]
+		h := histogram.NewPosition(grid)
+		var cov *histogram.Coverage
+		if st.hasCoverage {
+			cov = histogram.NewCoverage(grid)
+		}
+		for s, p := range parts {
+			ph, ok := p.hists[name]
+			if !ok {
+				continue
+			}
+			off := offsets[s]
+			translate(h, ph, off)
+			if cov != nil {
+				p.covs[name].EachFrac(func(i, j, m, n int, f float64) {
+					cov.SetFrac(off+i, off+j, off+m, off+n, f)
+				})
+			}
+		}
+		e.hists[name] = h
+		e.overlap[name] = st.overlap
+		if cov != nil {
+			e.covs[name] = cov
+		}
+		e.names = append(e.names, name)
+	}
+	return e, mixed, nil
+}

@@ -96,6 +96,48 @@ func (e *Estimator) Prepare(p *pattern.Pattern) (*PreparedQuery, error) {
 	return &PreparedQuery{e: e, p: p}, nil
 }
 
+// PrepareShared is Prepare memoized by pattern identity: repeated
+// calls with the same *pattern.Pattern return one shared compiled
+// query (and therefore one cached fold). Sharded serving rebinds every
+// compiled query whenever the shard set changes — under ingest that is
+// hundreds of rebinds per second across hundreds of per-shard
+// summaries, and this cache turns each per-shard rebind into a single
+// lock-free map load instead of re-resolving predicates and re-probing
+// the sub-twig join cache. Entries live for the estimator's lifetime;
+// callers (the facade's bounded compiled-query cache) bound the
+// distinct pattern objects in play.
+func (e *Estimator) PrepareShared(p *pattern.Pattern) (*PreparedQuery, error) {
+	if q, ok := e.prepared.Load(p); ok {
+		return q.(*PreparedQuery), nil
+	}
+	q, err := e.Prepare(p)
+	if err != nil {
+		return nil, err
+	}
+	if actual, loaded := e.prepared.LoadOrStore(p, q); loaded {
+		return actual.(*PreparedQuery), nil
+	}
+	// Crude size bound: a client cycling unboundedly many distinct
+	// pattern objects must not grow a long-lived shard summary without
+	// limit, so past the cap the cache resets wholesale (folds rebuild
+	// from the join cache, so a reset costs latency, not correctness).
+	// The count is approximate under races; that only varies the reset
+	// point by a few entries.
+	if e.preparedN.Add(1) > preparedCacheLimit {
+		e.prepared.Range(func(k, _ any) bool {
+			e.prepared.Delete(k)
+			return true
+		})
+		e.preparedN.Store(1)
+		e.prepared.Store(p, q)
+	}
+	return q, nil
+}
+
+// preparedCacheLimit bounds the per-estimator shared compiled-query
+// cache (see PrepareShared).
+const preparedCacheLimit = 1024
+
 // Pattern returns the compiled pattern.
 func (pq *PreparedQuery) Pattern() *pattern.Pattern { return pq.p }
 
@@ -104,6 +146,23 @@ func (pq *PreparedQuery) Pattern() *pattern.Pattern { return pq.p }
 // cache); later calls reuse the folded result.
 func (pq *PreparedQuery) Estimate() (Result, error) {
 	start := time.Now()
+	est, noOv, err := pq.Value()
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Estimate:      est,
+		Elapsed:       time.Since(start),
+		UsedNoOverlap: noOv,
+	}, nil
+}
+
+// Value is the zero-overhead form of Estimate: the estimate and
+// no-overlap flag without a Result or clock reads. Sharded serving sums
+// one Value per shard on every request, so the per-shard cost here is
+// the fan-out hot path; after the first call it is a pair of atomic
+// loads and a float read.
+func (pq *PreparedQuery) Value() (est float64, usedNoOverlap bool, err error) {
 	pq.once.Do(func() {
 		sp, noOv, err := pq.e.buildSubPattern(pq.p.Root)
 		if err == nil {
@@ -112,13 +171,9 @@ func (pq *PreparedQuery) Estimate() (Result, error) {
 		pq.res, pq.err = cachedJoin{sp: sp, noOv: noOv}, err
 	})
 	if pq.err != nil {
-		return Result{}, pq.err
+		return 0, false, pq.err
 	}
-	return Result{
-		Estimate:      pq.res.sp.Total(),
-		Elapsed:       time.Since(start),
-		UsedNoOverlap: pq.res.noOv,
-	}, nil
+	return pq.res.sp.Total(), pq.res.noOv, nil
 }
 
 // EstimateSubPattern returns the folded root sub-pattern (estimate,

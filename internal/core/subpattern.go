@@ -118,14 +118,24 @@ func joinAncestorNoOverlap(anc, desc SubPattern) (SubPattern, error) {
 	// Est[i][j] = JnFct_anc[i][j] ×
 	//   Σ_{(m,n)} Cvg_anc[m][n][i][j] × Hist_desc[m][n] × JnFct_desc[m][n].
 	// The inner product Hist×JnFct is the descendant's estimate mass.
-	// Iterating stored coverage entries covers exactly the non-zero
-	// range m=i..j, n=m..j of the paper's summation.
+	// Iterating the flattened coverage slices covers exactly the
+	// non-zero range m=i..j, n=m..j of the paper's summation, in the
+	// same sorted order as the historical map walk — the CSR rows group
+	// entries by covered (descendant) cell, so the descendant mass is
+	// read once per row instead of once per entry.
 	covMass := histogram.NewPosition(grid) // per ancestor cell: Σ Cvg × desc.Est
-	anc.Cvg.EachFrac(func(m, n, i, j int, f float64) {
-		if e := desc.estWeighted(m, n); e != 0 {
-			covMass.Add(i, j, f*e)
+	vCell, rowStart, aCell, frac := anc.Cvg.Flatten().Entries()
+	for r := range vCell {
+		m, n := histogram.SplitCell(vCell[r])
+		e := desc.estWeighted(m, n)
+		if e == 0 {
+			continue
 		}
-	})
+		for k := rowStart[r]; k < rowStart[r+1]; k++ {
+			i, j := histogram.SplitCell(aCell[k])
+			covMass.Add(i, j, frac[k]*e)
+		}
+	}
 	est := histogram.NewPosition(grid)
 	covMass.EachNonZero(func(i, j int, mass float64) {
 		if v := anc.jnFct(i, j) * mass; v != 0 {
@@ -186,12 +196,25 @@ func JoinDescendant(anc, desc SubPattern) (SubPattern, error) {
 	if anc.NoOverlap && anc.Cvg != nil {
 		// Est[i][j] = Hist_desc[i][j] × JnFct_desc[i][j] ×
 		//   Σ_{m<=i, n>=j} Cvg_anc[i][j][m][n] × JnFct_anc[m][n].
+		// Both coverage-weighted planes iterate the flattened CSR slices
+		// (sorted order, bit-identical accumulation to the map walk).
 		covFct := histogram.NewPosition(grid)
-		anc.Cvg.EachFrac(func(vi, vj, m, n int, f float64) {
-			if jf := anc.jnFct(m, n); jf != 0 {
-				covFct.Add(vi, vj, f*jf)
+		covPart := histogram.NewPosition(grid)
+		vCell, rowStart, aCell, frac := anc.Cvg.Flatten().Entries()
+		for r := range vCell {
+			vi, vj := histogram.SplitCell(vCell[r])
+			for k := rowStart[r]; k < rowStart[r+1]; k++ {
+				m, n := histogram.SplitCell(aCell[k])
+				if jf := anc.jnFct(m, n); jf != 0 {
+					covFct.Add(vi, vj, frac[k]*jf)
+				}
+				// Participation input (Fig 10, case 3): the fraction of
+				// the descendant cell covered by non-empty ancestor cells.
+				if anc.Hist.Count(m, n) > 0 {
+					covPart.Add(vi, vj, frac[k])
+				}
 			}
-		})
+		}
 		for _, c := range desc.Est.NonZeroCells() {
 			if v := c.Count * covFct.Count(c.I, c.J); v != 0 {
 				est.Set(c.I, c.J, v)
@@ -200,12 +223,6 @@ func JoinDescendant(anc, desc SubPattern) (SubPattern, error) {
 		// Participation (Fig 10, case 3): the descendant participates in
 		// proportion to its covered fraction by non-empty ancestor cells.
 		hist := histogram.NewPosition(grid)
-		covPart := histogram.NewPosition(grid)
-		anc.Cvg.EachFrac(func(vi, vj, m, n int, f float64) {
-			if anc.Hist.Count(m, n) > 0 {
-				covPart.Add(vi, vj, f)
-			}
-		})
 		for _, c := range desc.Hist.NonZeroCells() {
 			if v := c.Count * covPart.Count(c.I, c.J); v != 0 {
 				hist.Set(c.I, c.J, v)

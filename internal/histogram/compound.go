@@ -55,14 +55,7 @@ func Sum(parts ...*Position) (*Position, error) {
 		if err := validateJoinOperands(out, p); err != nil {
 			return nil, err
 		}
-		g := p.grid.Size()
-		for i := 0; i < g; i++ {
-			for j := i; j < g; j++ {
-				if c := p.Count(i, j); c != 0 {
-					out.Add(i, j, c)
-				}
-			}
-		}
+		p.EachNonZero(func(i, j int, c float64) { out.Add(i, j, c) })
 	}
 	return out, nil
 }
@@ -76,28 +69,31 @@ func synthesize(trueHist *Position, parts []*Position, combine func([]float64) f
 			return nil, err
 		}
 	}
-	g := trueHist.grid.Size()
 	out := NewPosition(trueHist.grid)
 	ps := make([]float64, len(parts))
-	for i := 0; i < g; i++ {
-		for j := i; j < g; j++ {
-			pop := trueHist.Count(i, j)
-			if pop <= 0 {
-				continue
+	// Only the TRUE histogram's non-zero cells can contribute (the cell
+	// population is the denominator), so iterate the cached sparse cell
+	// list instead of the dense g×g plane — O(nnz) instead of O(g²),
+	// which matters on the wide concatenated grids of merged shard
+	// summaries. The iteration order matches the dense scan, so results
+	// are bit-identical.
+	for _, tc := range trueHist.NonZeroCells() {
+		pop := tc.Count
+		if pop <= 0 {
+			continue
+		}
+		for k, part := range parts {
+			p := part.Count(tc.I, tc.J) / pop
+			if p < 0 {
+				p = 0
 			}
-			for k, part := range parts {
-				p := part.Count(i, j) / pop
-				if p < 0 {
-					p = 0
-				}
-				if p > 1 {
-					p = 1
-				}
-				ps[k] = p
+			if p > 1 {
+				p = 1
 			}
-			if c := combine(ps) * pop; c != 0 {
-				out.Set(i, j, c)
-			}
+			ps[k] = p
+		}
+		if c := combine(ps) * pop; c != 0 {
+			out.Set(tc.I, tc.J, c)
 		}
 	}
 	return out, nil

@@ -2,7 +2,6 @@ package histogram
 
 import (
 	"fmt"
-	"sort"
 	"sync/atomic"
 
 	"xmlest/internal/xmltree"
@@ -33,21 +32,17 @@ func (k cellKey) split() (int, int) { return int(k >> 16), int(k & 0xffff) }
 type Coverage struct {
 	grid Grid
 	// frac[v][a] = fraction of TRUE-nodes in cell v covered by P-nodes
-	// in cell a. Zero-fraction entries are not stored.
+	// in cell a. Zero-fraction entries are not stored. The nested maps
+	// are the mutable build-time representation only; every read on the
+	// estimation path goes through the flattened CSR form below.
 	frac map[cellKey]map[cellKey]float64
 
-	// entries caches the stored entries sorted by (v, a), built lazily
-	// and invalidated by SetFrac. Iterating the sorted slice makes
-	// EachFrac deterministic (map order is not) and cheaper in the join
-	// inner loops.
-	entries atomic.Pointer[[]covEntry]
-}
-
-// covEntry is one stored coverage fraction in the flattened, sorted
-// iteration cache.
-type covEntry struct {
-	v, a cellKey
-	f    float64
+	// flat caches the CSR-flattened form (see Flatten), built lazily on
+	// the immutable histogram and invalidated by SetFrac. Iterating the
+	// sorted slices makes EachFrac deterministic (map order is not) and
+	// keeps the join inner loops on contiguous memory; the cache also
+	// means MarshalBinary/StorageBytes never re-sort on repeated calls.
+	flat atomic.Pointer[FlatCoverage]
 }
 
 // BuildCoverage constructs the exact coverage histogram for the
@@ -167,7 +162,7 @@ func NewCoverage(grid Grid) *Coverage {
 
 // SetFrac sets Cvg[i][j][m][n]. Setting zero removes the entry.
 func (c *Coverage) SetFrac(i, j, m, n int, f float64) {
-	c.entries.Store(nil)
+	c.flat.Store(nil)
 	v := key(i, j)
 	if f == 0 {
 		if byA, ok := c.frac[v]; ok {
@@ -213,48 +208,21 @@ func (c *Coverage) Frac(i, j, m, n int) float64 {
 }
 
 // CoveredFrac returns the total fraction of nodes in cell (i, j) that
-// are covered by any P node (the sum over all ancestor cells).
+// are covered by any P node (the sum over all ancestor cells). It reads
+// the flattened form's precomputed row sum, so repeated calls on a
+// built histogram never re-walk a map; the summation order inside each
+// row is the sorted ancestor order, matching EachFrac.
 func (c *Coverage) CoveredFrac(i, j int) float64 {
-	var s float64
-	for _, f := range c.frac[key(i, j)] {
-		s += f
-	}
-	return s
+	return c.Flatten().CoveredFrac(i, j)
 }
 
 // EachFrac calls fn for every stored (non-zero) coverage entry, in
 // ascending (i, j, m, n) order. The sorted order makes estimation
 // arithmetic deterministic (floating-point accumulation is order-
 // sensitive, and map iteration order is not stable); the flattened
-// entry list is cached until the next SetFrac.
+// CSR form is cached until the next SetFrac (see Flatten).
 func (c *Coverage) EachFrac(fn func(i, j, m, n int, f float64)) {
-	for _, e := range c.sortedEntries() {
-		i, j := e.v.split()
-		m, n := e.a.split()
-		fn(i, j, m, n, e.f)
-	}
-}
-
-// sortedEntries returns the cached flattened entry list, building it on
-// first use after a mutation.
-func (c *Coverage) sortedEntries() []covEntry {
-	if p := c.entries.Load(); p != nil {
-		return *p
-	}
-	out := make([]covEntry, 0, c.Entries())
-	for v, byA := range c.frac {
-		for a, f := range byA {
-			out = append(out, covEntry{v: v, a: a, f: f})
-		}
-	}
-	sort.Slice(out, func(x, y int) bool {
-		if out[x].v != out[y].v {
-			return out[x].v < out[y].v
-		}
-		return out[x].a < out[y].a
-	})
-	c.entries.Store(&out)
-	return out
+	c.Flatten().Each(fn)
 }
 
 // PartialCells returns the number of stored cell pairs whose coverage is

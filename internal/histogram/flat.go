@@ -1,0 +1,163 @@
+package histogram
+
+import "sort"
+
+// FlatCoverage is the immutable CSR-style flattened form of a Coverage
+// histogram: the stored (covered cell, ancestor cell, fraction) entries
+// in sorted parallel slices, grouped by covered cell. It is the
+// representation the estimation inner loops iterate — contiguous
+// slices instead of nested maps — so a join walks coverage entries with
+// zero pointer chasing and zero map-iteration overhead, and point
+// lookups are binary searches instead of two map probes.
+//
+// Layout (classic compressed-sparse-row):
+//
+//	vCell[r]                 the r-th covered cell, ascending
+//	rowStart[r]..rowStart[r+1]   the r-th row's slice of aCell/frac
+//	aCell[k], frac[k]        ancestor cell and fraction, aCell ascending
+//	                         within each row
+//	rowSum[r]                Σ frac over the row — CoveredFrac(vCell[r])
+//
+// Cell keys pack (i, j) as i<<16|j (see cellKey), so ascending key
+// order is ascending (i, j) order and the flattened iteration matches
+// the historical EachFrac order exactly — estimates are bit-identical
+// to the map-backed path.
+type FlatCoverage struct {
+	grid     Grid
+	vCell    []uint32
+	rowStart []int32
+	aCell    []uint32
+	frac     []float64
+	rowSum   []float64
+}
+
+// Flatten returns the coverage histogram's flattened CSR form, built on
+// first use and cached on the (immutable once built) histogram; any
+// SetFrac invalidates the cache. Callers must not modify the returned
+// structure.
+func (c *Coverage) Flatten() *FlatCoverage {
+	if f := c.flat.Load(); f != nil {
+		return f
+	}
+	n := c.Entries()
+	f := &FlatCoverage{
+		grid:  c.grid,
+		aCell: make([]uint32, 0, n),
+		frac:  make([]float64, 0, n),
+	}
+	// Collect and sort the covered cells, then each row's ancestors.
+	vs := make([]cellKey, 0, len(c.frac))
+	for v := range c.frac {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(x, y int) bool { return vs[x] < vs[y] })
+	f.vCell = make([]uint32, len(vs))
+	f.rowStart = make([]int32, len(vs)+1)
+	f.rowSum = make([]float64, len(vs))
+	var row []uint32
+	for r, v := range vs {
+		f.vCell[r] = uint32(v)
+		byA := c.frac[v]
+		row = row[:0]
+		for a := range byA {
+			row = append(row, uint32(a))
+		}
+		sort.Slice(row, func(x, y int) bool { return row[x] < row[y] })
+		var sum float64
+		for _, a := range row {
+			fr := byA[cellKey(a)]
+			f.aCell = append(f.aCell, a)
+			f.frac = append(f.frac, fr)
+			sum += fr
+		}
+		f.rowSum[r] = sum
+		f.rowStart[r+1] = int32(len(f.aCell))
+	}
+	c.flat.Store(f)
+	return f
+}
+
+// Grid returns the flattened histogram's grid.
+func (f *FlatCoverage) Grid() Grid { return f.grid }
+
+// Len returns the number of stored entries.
+func (f *FlatCoverage) Len() int { return len(f.aCell) }
+
+// Rows returns the number of distinct covered cells.
+func (f *FlatCoverage) Rows() int { return len(f.vCell) }
+
+// searchRow finds the row index of covered cell v, or -1.
+func (f *FlatCoverage) searchRow(v uint32) int {
+	lo, hi := 0, len(f.vCell)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.vCell[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(f.vCell) && f.vCell[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// Frac returns Cvg[i][j][m][n] by binary search: first the covered
+// cell's row, then the ancestor cell within the row.
+func (f *FlatCoverage) Frac(i, j, m, n int) float64 {
+	r := f.searchRow(uint32(key(i, j)))
+	if r < 0 {
+		return 0
+	}
+	lo, hi := int(f.rowStart[r]), int(f.rowStart[r+1])
+	a := uint32(key(m, n))
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if f.aCell[mid] < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(f.rowStart[r+1]) && f.aCell[lo] == a {
+		return f.frac[lo]
+	}
+	return 0
+}
+
+// CoveredFrac returns the total fraction of cell (i, j) covered by any
+// ancestor cell — the precomputed row sum, O(log rows).
+func (f *FlatCoverage) CoveredFrac(i, j int) float64 {
+	r := f.searchRow(uint32(key(i, j)))
+	if r < 0 {
+		return 0
+	}
+	return f.rowSum[r]
+}
+
+// Each calls fn for every stored entry in ascending (i, j, m, n)
+// order — the deterministic iteration the estimation formulas rely on.
+// Inner loops that need peak throughput should iterate the Entries
+// accessors directly instead of paying a callback per entry.
+func (f *FlatCoverage) Each(fn func(i, j, m, n int, fr float64)) {
+	for r := range f.vCell {
+		i, j := cellKey(f.vCell[r]).split()
+		for k := f.rowStart[r]; k < f.rowStart[r+1]; k++ {
+			m, n := cellKey(f.aCell[k]).split()
+			fn(i, j, m, n, f.frac[k])
+		}
+	}
+}
+
+// Entries exposes the raw parallel slices for zero-overhead iteration:
+// for each row r, vCell[r] is the covered cell and the half-open range
+// rowStart[r]..rowStart[r+1] indexes aCell/frac. Callers must treat
+// every slice as read-only.
+func (f *FlatCoverage) Entries() (vCell []uint32, rowStart []int32, aCell []uint32, frac []float64) {
+	return f.vCell, f.rowStart, f.aCell, f.frac
+}
+
+// SplitCell unpacks a packed cell key from the Entries slices into its
+// (i, j) grid coordinates.
+func SplitCell(k uint32) (int, int) { return cellKey(k).split() }

@@ -1,0 +1,131 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCoverage builds a coverage histogram with n random entries on a
+// g×g grid (deterministic per seed).
+func randomCoverage(g, n int, seed int64) *Coverage {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewCoverage(MustUniformGrid(g, 4*g))
+	for k := 0; k < n; k++ {
+		i := rng.Intn(g)
+		j := i + rng.Intn(g-i)
+		m := rng.Intn(i + 1)
+		n2 := j + rng.Intn(g-j)
+		c.SetFrac(i, j, m, n2, rng.Float64())
+	}
+	return c
+}
+
+// TestFlattenMatchesMaps pins the CSR form against the map-backed
+// build representation: every lookup agrees bit-for-bit and the
+// iteration is exhaustive and sorted.
+func TestFlattenMatchesMaps(t *testing.T) {
+	c := randomCoverage(12, 200, 1)
+	f := c.Flatten()
+	if f.Len() != c.Entries() {
+		t.Fatalf("flat len %d != entries %d", f.Len(), c.Entries())
+	}
+	// Every flattened entry must equal the map lookup; iteration must
+	// be strictly ascending in (i, j, m, n).
+	prevV, prevA := -1, -1
+	seen := 0
+	f.Each(func(i, j, m, n int, fr float64) {
+		seen++
+		v := i<<16 | j
+		a := m<<16 | n
+		if v < prevV || (v == prevV && a <= prevA) {
+			t.Fatalf("iteration not strictly ascending at (%d,%d,%d,%d)", i, j, m, n)
+		}
+		prevV, prevA = v, a
+		if got := c.Frac(i, j, m, n); got != fr {
+			t.Fatalf("map Frac(%d,%d,%d,%d)=%v, flat %v", i, j, m, n, got, fr)
+		}
+		if got := f.Frac(i, j, m, n); got != fr {
+			t.Fatalf("flat binary-search Frac(%d,%d,%d,%d)=%v, want %v", i, j, m, n, got, fr)
+		}
+	})
+	if seen != c.Entries() {
+		t.Fatalf("Each visited %d of %d entries", seen, c.Entries())
+	}
+	// CoveredFrac must equal the sorted-order row sum of the map.
+	g := c.Grid().Size()
+	for i := 0; i < g; i++ {
+		for j := i; j < g; j++ {
+			var want float64
+			f.Each(func(vi, vj, _, _ int, fr float64) {
+				if vi == i && vj == j {
+					want += fr
+				}
+			})
+			if got := c.CoveredFrac(i, j); got != want {
+				t.Fatalf("CoveredFrac(%d,%d)=%v, want %v", i, j, got, want)
+			}
+		}
+	}
+	// Misses return zero through both lookups.
+	if f.Frac(g-1, g-1, 0, 0) != c.Frac(g-1, g-1, 0, 0) {
+		t.Fatal("miss lookups disagree")
+	}
+}
+
+// TestFlattenInvalidation: SetFrac drops the cached CSR and the next
+// Flatten reflects the mutation; an unchanged histogram reuses the
+// exact cached object (the satellite fix: no recomputation on repeated
+// marshal/iterate calls).
+func TestFlattenInvalidation(t *testing.T) {
+	c := randomCoverage(8, 40, 2)
+	f1 := c.Flatten()
+	if f2 := c.Flatten(); f2 != f1 {
+		t.Fatal("Flatten recomputed on an unmutated histogram")
+	}
+	if _, err := c.MarshalBinary(); err != nil {
+		t.Fatal(err)
+	}
+	if f3 := c.Flatten(); f3 != f1 {
+		t.Fatal("MarshalBinary invalidated the cached flat form")
+	}
+	c.SetFrac(0, 1, 0, 2, 0.5)
+	f4 := c.Flatten()
+	if f4 == f1 {
+		t.Fatal("Flatten not invalidated by SetFrac")
+	}
+	if got := f4.Frac(0, 1, 0, 2); got != 0.5 {
+		t.Fatalf("mutated entry = %v, want 0.5", got)
+	}
+	// Deleting via zero removes from the flat form too.
+	c.SetFrac(0, 1, 0, 2, 0)
+	if got := c.Flatten().Frac(0, 1, 0, 2); got != 0 {
+		t.Fatalf("deleted entry still present: %v", got)
+	}
+}
+
+// TestPositionSparseConsistency: the cached sparse cell list backing
+// NonZero/EachNonZero/MarshalBinary tracks mutations.
+func TestPositionSparseConsistency(t *testing.T) {
+	h := NewPosition(MustUniformGrid(6, 24))
+	h.Set(0, 3, 2)
+	h.Set(2, 4, 1.5)
+	if h.NonZero() != 2 {
+		t.Fatalf("NonZero = %d, want 2", h.NonZero())
+	}
+	h.Set(2, 4, 0)
+	h.Add(5, 5, 7)
+	if h.NonZero() != 2 {
+		t.Fatalf("NonZero after mutation = %d, want 2", h.NonZero())
+	}
+	blob, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPosition(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count(0, 3) != 2 || back.Count(5, 5) != 7 || back.Count(2, 4) != 0 {
+		t.Fatalf("roundtrip mismatch: %v %v %v", back.Count(0, 3), back.Count(5, 5), back.Count(2, 4))
+	}
+}

@@ -122,15 +122,10 @@ func (h *Position) invalidate() {
 func (h *Position) Total() float64 { return h.total }
 
 // NonZero returns the number of cells with a non-zero count (the
-// quantity Theorem 1 bounds by O(g)).
+// quantity Theorem 1 bounds by O(g)). It reads the cached sparse cell
+// list, so repeated calls on a built histogram skip the dense scan.
 func (h *Position) NonZero() int {
-	n := 0
-	for _, c := range h.cells {
-		if c != 0 {
-			n++
-		}
-	}
-	return n
+	return len(h.NonZeroCells())
 }
 
 // Clone returns a deep copy.
@@ -185,15 +180,12 @@ func (h *Position) Sums() *Sums {
 	return s
 }
 
-// EachNonZero calls fn for every non-zero cell in (i, j) order.
+// EachNonZero calls fn for every non-zero cell in (i, j) order. It
+// iterates the cached sparse cell list (see NonZeroCells); callers must
+// not mutate the histogram from inside fn.
 func (h *Position) EachNonZero(fn func(i, j int, count float64)) {
-	g := h.grid.Size()
-	for i := 0; i < g; i++ {
-		for j := i; j < g; j++ {
-			if c := h.cells[i*g+j]; c != 0 {
-				fn(i, j, c)
-			}
-		}
+	for _, c := range h.NonZeroCells() {
+		fn(c.I, c.J, c.Count)
 	}
 }
 

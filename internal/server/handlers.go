@@ -1,12 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 
 	"xmlest"
 	"xmlest/internal/metrics"
@@ -96,16 +98,21 @@ type ShardsResponse struct {
 // StatsResponse is the daemon's introspection surface: corpus shape,
 // summary size, and per-endpoint serving metrics.
 type StatsResponse struct {
-	UptimeSeconds   float64                    `json:"uptime_seconds"`
-	Version         uint64                     `json:"version"`
-	ReadOnly        bool                       `json:"read_only"`
-	Corpus          xmlest.DatabaseStats       `json:"corpus"`
-	SummaryBytes    int                        `json:"summary_bytes"`
-	GridSize        int                        `json:"grid_size"`
-	AutoCompactions uint64                     `json:"auto_compact_rounds"`
-	AutoMerged      uint64                     `json:"auto_compact_merged"`
-	AppendedDocs    uint64                     `json:"appended_docs"`
-	Endpoints       []metrics.EndpointSnapshot `json:"endpoints"`
+	UptimeSeconds   float64              `json:"uptime_seconds"`
+	Version         uint64               `json:"version"`
+	ReadOnly        bool                 `json:"read_only"`
+	Corpus          xmlest.DatabaseStats `json:"corpus"`
+	SummaryBytes    int                  `json:"summary_bytes"`
+	GridSize        int                  `json:"grid_size"`
+	AutoCompactions uint64               `json:"auto_compact_rounds"`
+	AutoMerged      uint64               `json:"auto_compact_merged"`
+	AppendedDocs    uint64               `json:"appended_docs"`
+	// Merged reports the merged-summary serving state: when Fresh, hot
+	// estimates are answered by one folded summary instead of an
+	// O(shards) fan-out. Absent for read-only servers loaded from a
+	// summary blob (no store to fold).
+	Merged    *xmlest.MergedInfo         `json:"merged,omitempty"`
+	Endpoints []metrics.EndpointSnapshot `json:"endpoints"`
 	// Durability reports the data directory's state (WAL size, fsync
 	// watermarks, checkpoints, boot recovery) on a durable daemon;
 	// absent otherwise.
@@ -157,19 +164,46 @@ func writeRequestError(w http.ResponseWriter, prefix string, err error) {
 	writeError(w, http.StatusBadRequest, prefix+err.Error())
 }
 
+// estimateScratch is the per-request working set of the hot /estimate
+// path, recycled through a sync.Pool so steady-state serving does no
+// per-request slice or buffer allocation: the decoded request (whose
+// pattern slice json reuses), the assembled pattern list, the facade
+// result slice (EstimateBatchInto appends into it), the wire response
+// and the JSON encode buffer.
+type estimateScratch struct {
+	req      EstimateRequest
+	patterns []string
+	results  []xmlest.Result
+	resp     EstimateResponse
+	buf      bytes.Buffer
+	enc      *json.Encoder
+}
+
+var estimatePool = sync.Pool{New: func() any {
+	sc := &estimateScratch{}
+	sc.enc = json.NewEncoder(&sc.buf)
+	return sc
+}}
+
 // handleEstimate serves single and batched estimates from one pinned
 // snapshot. Pattern errors (syntax, unknown predicates) are the
-// client's: 400.
+// client's: 400. Responses are compact (unindented) JSON encoded into
+// a pooled buffer — this is the endpoint the serving benchmarks hammer.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	var req EstimateRequest
-	if err := decodeJSON(r, &req); err != nil {
+	sc := estimatePool.Get().(*estimateScratch)
+	defer estimatePool.Put(sc)
+	sc.req.Pattern = ""
+	sc.req.Patterns = sc.req.Patterns[:0]
+	if err := decodeJSON(r, &sc.req); err != nil {
 		writeRequestError(w, "bad estimate request: ", err)
 		return
 	}
-	patterns := req.Patterns
-	if req.Pattern != "" {
-		patterns = append([]string{req.Pattern}, patterns...)
+	patterns := sc.patterns[:0]
+	if sc.req.Pattern != "" {
+		patterns = append(patterns, sc.req.Pattern)
 	}
+	patterns = append(patterns, sc.req.Patterns...)
+	sc.patterns = patterns
 	if len(patterns) == 0 {
 		writeError(w, http.StatusBadRequest, "estimate request needs \"pattern\" or \"patterns\"")
 		return
@@ -179,24 +213,34 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			"too many patterns in one batch: "+strconv.Itoa(len(patterns))+" > "+strconv.Itoa(s.cfg.MaxBatchPatterns))
 		return
 	}
-	batch, err := s.est.EstimateBatch(patterns)
+	version, results, err := s.est.EstimateBatchInto(patterns, sc.results[:0])
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	resp := EstimateResponse{Version: batch.Version, Results: make([]EstimateResult, len(patterns))}
-	for i, res := range batch.Results {
-		resp.Results[i] = EstimateResult{
+	sc.results = results
+	out := sc.resp.Results[:0]
+	for i, res := range results {
+		out = append(out, EstimateResult{
 			Pattern:       patterns[i],
 			Estimate:      res.Estimate,
 			ElapsedNS:     int64(res.Elapsed),
 			UsedNoOverlap: res.UsedNoOverlap,
-		}
+		})
 	}
-	if len(resp.Results) == 1 {
-		resp.Estimate = &resp.Results[0].Estimate
+	sc.resp = EstimateResponse{Version: version, Results: out}
+	if len(out) == 1 {
+		sc.resp.Estimate = &out[0].Estimate
 	}
-	writeJSON(w, http.StatusOK, resp)
+	sc.buf.Reset()
+	if err := sc.enc.Encode(&sc.resp); err != nil {
+		writeError(w, http.StatusInternalServerError, "encode: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(sc.buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(sc.buf.Bytes())
 }
 
 // handleAppend lands one shard per request: a raw XML body is one
@@ -315,6 +359,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			durability = &ds
 		}
 	}
+	var merged *xmlest.MergedInfo
+	if mi, ok := snap.MergedInfo(); ok {
+		merged = &mi
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds:   s.reg.Uptime().Seconds(),
 		Version:         snap.Version(),
@@ -325,6 +373,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		AutoCompactions: s.autoRounds.Load(),
 		AutoMerged:      s.autoMerges.Load(),
 		AppendedDocs:    s.appendsSeen.Load(),
+		Merged:          merged,
 		Endpoints:       s.reg.Snapshot(),
 		Durability:      durability,
 	})

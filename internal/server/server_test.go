@@ -500,3 +500,81 @@ func timeoutCtx(t *testing.T) (context.Context, context.CancelFunc) {
 	t.Helper()
 	return context.WithTimeout(context.Background(), 5*time.Second)
 }
+
+// TestEstimatePooledScratchStable hammers the pooled /estimate path
+// with interleaved single and batched requests and checks the recycled
+// request scratch never bleeds state between requests: every response
+// is byte-identical to its first occurrence.
+func TestEstimatePooledScratchStable(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	requests := []any{
+		map[string]any{"pattern": "//faculty//TA"},
+		map[string]any{"patterns": []string{"//department//faculty", "//faculty//TA"}},
+		map[string]any{"pattern": "//department//staff", "patterns": []string{"//faculty//TA"}},
+	}
+	canonical := func(body []byte) string {
+		var er EstimateResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatalf("bad response %s: %v", body, err)
+		}
+		for i := range er.Results {
+			er.Results[i].ElapsedNS = 0 // wall-clock noise, not payload
+		}
+		out, err := json.Marshal(er)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	first := make([]string, len(requests))
+	for round := 0; round < 5; round++ {
+		for i, req := range requests {
+			resp := postJSON(t, ts.URL+"/estimate", req)
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("round %d req %d: status %d: %s", round, i, resp.StatusCode, body)
+			}
+			got := canonical(body)
+			if round == 0 {
+				first[i] = got
+				continue
+			}
+			if got != first[i] {
+				t.Fatalf("round %d req %d: response drifted:\n%s\nvs\n%s", round, i, got, first[i])
+			}
+		}
+	}
+}
+
+// TestStatsReportsMergedServing: a multi-shard daemon reports the
+// merged-summary serving state in /stats, and it turns fresh once the
+// fold covers the appended shard.
+func TestStatsReportsMergedServing(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/append", map[string]any{"documents": []string{dept2}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append status %d", resp.StatusCode)
+	}
+	// Force the fold so the assertion is deterministic.
+	s.db.MergeSummaries()
+	r, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Merged == nil {
+		t.Fatal("no merged section in /stats")
+	}
+	if !stats.Merged.Enabled || !stats.Merged.Fresh || stats.Merged.CoveredShards != 2 {
+		t.Fatalf("merged stats: %+v", *stats.Merged)
+	}
+}

@@ -513,4 +513,3 @@ func writeFileSync(path string, data []byte) error {
 	}
 	return nil
 }
-

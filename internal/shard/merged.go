@@ -1,0 +1,348 @@
+// Merged-summary serving: the store maintains, per active option set, a
+// frozen monolithic summary folded from every live shard's summary on
+// the concatenated document-aligned grid (core.MergeSummaries). A hot
+// estimate against a covered snapshot then costs O(1) shards — one
+// folded query — instead of an O(shards) fan-out, while shards appended
+// after the last fold (the "fresh tail") are served by per-shard
+// fan-out on top of the merged result. Because the fold is exact with
+// respect to the fan-out sum (the PR 2 aligned-grid argument; see
+// DESIGN.md, "Execution engine"), switching between the two paths never
+// changes an estimate beyond float-accumulation order.
+//
+// Folds run on a background worker scheduled after every set install
+// (append, drop, compact) and after predicate registration; they read
+// one immutable snapshot and touch only summaries, never documents, so
+// they cost O(total non-zero cells) and never block readers or
+// writers. Under sustained mutation the worker paces itself
+// (mergeFoldInterval) and skips sets wider than the grid cap
+// (MergedMaxGridSize) — a stale or missing fold only means fan-out
+// serving, never a wrong answer.
+
+package shard
+
+import (
+	"sync/atomic"
+	"time"
+
+	"xmlest/internal/core"
+)
+
+// mergedView is one frozen fold: the monolithic summary over the
+// shards listed in covered, for one normalized option set.
+type mergedView struct {
+	opts    core.Options // summaryKey-normalized
+	version uint64       // version of the set the fold covered
+	covered map[uint64]struct{}
+	est     *core.Estimator
+	// mixed lists predicates whose per-shard summaries disagree on
+	// no-overlap/coverage; queries touching them fan out (the folded
+	// estimator cannot reproduce the per-shard algorithm mix).
+	mixed core.MergedPredicateMixed
+}
+
+// coversAll reports whether every folded shard is still a member of
+// set — the validity condition for serving set through the view (extra
+// set members are the fresh tail and fan out).
+func (v *mergedView) coversAll(set *Set) bool {
+	if len(v.covered) > set.Len() {
+		return false
+	}
+	n := 0
+	for _, sh := range set.shards {
+		if _, ok := v.covered[sh.id]; ok {
+			n++
+		}
+	}
+	return n == len(v.covered)
+}
+
+// mergedBudgetBytes caps the estimated dense-plane footprint of one
+// merged view: a fold producing G concatenated buckets over P
+// predicates allocates roughly G²×8×(P+1) bytes of position planes.
+// Serving sets normally stay far below the cap (compaction bounds the
+// shard count), but an uncompacted store with hundreds of shards must
+// degrade to fan-out rather than balloon. Atomic because background
+// fold workers read it while tests and tuning code write it.
+var mergedBudgetBytes atomic.Int64
+
+// DefaultMergedBudgetBytes is the default fold footprint cap.
+const DefaultMergedBudgetBytes = 256 << 20
+
+func init() {
+	mergedBudgetBytes.Store(DefaultMergedBudgetBytes)
+	mergedMaxGrid.Store(DefaultMergedMaxGridSize)
+}
+
+// MergedBudgetBytes returns the current fold footprint cap.
+func MergedBudgetBytes() int64 { return mergedBudgetBytes.Load() }
+
+// SetMergedBudgetBytes tunes the fold footprint cap (<=0 restores the
+// default) and returns the previous value.
+func SetMergedBudgetBytes(n int64) int64 {
+	if n <= 0 {
+		n = DefaultMergedBudgetBytes
+	}
+	return mergedBudgetBytes.Swap(n)
+}
+
+// MergedInfo describes the merged-serving state for one option set —
+// the introspection the daemon's /stats endpoint reports.
+type MergedInfo struct {
+	// Enabled reports whether the store folds merged views at all
+	// (always true for store-backed estimators; false for loaded,
+	// store-less sets).
+	Enabled bool `json:"enabled"`
+	// Fresh reports whether the latest fold covers the current serving
+	// set exactly — no fan-out tail.
+	Fresh bool `json:"fresh"`
+	// CoveredShards is the number of shards the latest fold covers (0
+	// when no fold has completed or the fold was invalidated).
+	CoveredShards int `json:"covered_shards"`
+	// Version is the serving-set version the latest fold covered.
+	Version uint64 `json:"version"`
+	// Epoch counts completed folds and invalidations; compiled queries
+	// rebind when it moves.
+	Epoch uint64 `json:"epoch"`
+}
+
+// MergeEpoch returns the merged-serving epoch: it advances whenever a
+// fold completes or the views are invalidated, and is the cheap
+// staleness check compiled queries use to adopt a new fold without a
+// set swap.
+func (st *Store) MergeEpoch() uint64 { return st.mergeEpoch.Load() }
+
+// MergedInfo reports the merged-serving state for opts against the
+// given set (nil set means the current serving set).
+func (st *Store) MergedInfo(set *Set, opts core.Options) MergedInfo {
+	if set == nil {
+		set = st.Current()
+	}
+	info := MergedInfo{Enabled: true, Epoch: st.MergeEpoch()}
+	v := st.viewFor(opts)
+	if v == nil {
+		// A single-shard set needs no fold: it already serves in O(1).
+		info.Fresh = set.Len() <= 1
+		return info
+	}
+	info.CoveredShards = len(v.covered)
+	info.Version = v.version
+	info.Fresh = v.coversAll(set) && len(v.covered) == set.Len()
+	return info
+}
+
+// viewFor returns the latest fold for opts, or nil.
+func (st *Store) viewFor(opts core.Options) *mergedView {
+	key := summaryKey(opts)
+	st.mergedMu.Lock()
+	defer st.mergedMu.Unlock()
+	return st.merged[key]
+}
+
+// mergedFor returns the fold applicable to set for opts — the latest
+// fold, provided every folded shard is still in set — or nil.
+func (st *Store) mergedFor(set *Set, opts core.Options) *mergedView {
+	v := st.viewFor(opts)
+	if v == nil || !v.coversAll(set) {
+		return nil
+	}
+	return v
+}
+
+// invalidateMerged drops every fold (after predicate registration
+// rebuilt the shard catalogs underneath them) and bumps the epoch so
+// bound queries fall back to fan-out until the next fold completes.
+func (st *Store) invalidateMerged() {
+	st.mergedMu.Lock()
+	st.merged = nil
+	st.mergedMu.Unlock()
+	st.mergeEpoch.Add(1)
+}
+
+// scheduleMerge requests a background fold of the current serving set.
+// Calls coalesce: at most one worker runs, and a request arriving while
+// it folds makes it run once more against the then-current snapshot. It
+// is safe to call with store locks held — it only flips an atomic and
+// possibly spawns the worker.
+func (st *Store) scheduleMerge() {
+	for {
+		switch st.mergeState.Load() {
+		case mergeIdle:
+			if st.mergeState.CompareAndSwap(mergeIdle, mergeRunning) {
+				go st.mergeWorker()
+				return
+			}
+		case mergeRunning:
+			if st.mergeState.CompareAndSwap(mergeRunning, mergeDirty) {
+				return
+			}
+		default: // mergeDirty: a re-run is already queued
+			return
+		}
+	}
+}
+
+const (
+	mergeIdle int32 = iota
+	mergeRunning
+	mergeDirty
+)
+
+// mergeFoldInterval rate-limits the background worker under sustained
+// mutation: the first scheduled fold runs immediately, but while new
+// requests keep arriving the worker re-folds at most once per
+// interval. Heavy ingest therefore costs at most ~2 folds/s of
+// background work — fresh tail shards are served by fan-out on top of
+// the last fold in the meantime, which is exact, so a stale fold is a
+// performance state, never a correctness one.
+const mergeFoldInterval = 500 * time.Millisecond
+
+// mergeWorker folds until no new mutations arrived while folding,
+// pacing re-folds by mergeFoldInterval.
+func (st *Store) mergeWorker() {
+	for {
+		start := time.Now()
+		st.foldActive()
+		if st.mergeState.CompareAndSwap(mergeRunning, mergeIdle) {
+			return
+		}
+		// State was mergeDirty: collapse it back to running and fold the
+		// newer snapshot after the pacing interval elapses.
+		st.mergeState.Store(mergeRunning)
+		if d := mergeFoldInterval - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// MergeNow folds the current serving set synchronously for every
+// active option set. Tests and benchmarks use it to reach a fresh
+// merged state deterministically; serving relies on the background
+// scheduling instead.
+func (st *Store) MergeNow() { st.foldActive() }
+
+// foldActive folds the current snapshot for every active option set.
+// foldMu serializes passes with each other (a slow scheduled fold
+// cannot overwrite a newer synchronous one — the snapshot is read
+// under the lock) and with setup-time predicate registration.
+func (st *Store) foldActive() {
+	st.foldMu.Lock()
+	defer st.foldMu.Unlock()
+	set := st.Current()
+	for _, opts := range st.activeOptions() {
+		st.foldOne(set, opts)
+	}
+}
+
+// foldOne builds and publishes the fold of set for one option set, or
+// clears a stale unusable fold. Failures (oversized grid, level
+// histograms, budget) simply leave fan-out serving in place.
+func (st *Store) foldOne(set *Set, opts core.Options) {
+	key := summaryKey(opts)
+	if key.LevelHistograms {
+		return // parent-child refinement cannot be folded; always fan out
+	}
+	st.mergedMu.Lock()
+	prev := st.merged[key]
+	st.mergedMu.Unlock()
+	if prev != nil && prev.version == set.version {
+		return // already fresh
+	}
+	if set.Len() <= 1 {
+		// Single-shard (or empty) sets serve in O(1) without a fold;
+		// drop any stale view so it cannot linger.
+		if prev != nil {
+			st.publish(key, nil)
+		}
+		return
+	}
+	sums, err := set.summaries(opts)
+	if err != nil {
+		return
+	}
+	if overMergedBudget(sums) {
+		if prev != nil && !prev.coversAll(set) {
+			st.publish(key, nil)
+		}
+		return
+	}
+	est, mixed, err := core.MergeSummaries(sums)
+	if err != nil {
+		if prev != nil && !prev.coversAll(set) {
+			st.publish(key, nil)
+		}
+		return
+	}
+	covered := make(map[uint64]struct{}, set.Len())
+	for _, sh := range set.shards {
+		covered[sh.id] = struct{}{}
+	}
+	st.publish(key, &mergedView{
+		opts:    key,
+		version: set.version,
+		covered: covered,
+		est:     est,
+		mixed:   mixed,
+	})
+}
+
+// publish installs (or clears) a fold and bumps the epoch.
+func (st *Store) publish(key core.Options, v *mergedView) {
+	st.mergedMu.Lock()
+	if v == nil {
+		delete(st.merged, key)
+	} else {
+		if st.merged == nil {
+			st.merged = make(map[core.Options]*mergedView)
+		}
+		st.merged[key] = v
+	}
+	st.mergedMu.Unlock()
+	st.mergeEpoch.Add(1)
+}
+
+// mergedMaxGrid caps the concatenated grid of a fold. Dense Sums
+// planes are O(G²) and every epoch's fresh merged estimator rebuilds
+// them for each hot predicate, so folding a wide uncompacted burst
+// (hundreds of shards between compaction rounds) costs far more CPU
+// than the O(shards) fan-out it would replace — profiling the serving
+// benchmark put >50% of daemon CPU into plane zeroing before this cap.
+// ~25 shards at the paper's g=10 still fold; wider sets serve the last
+// fold's prefix plus fan-out until compaction shrinks them.
+var mergedMaxGrid atomic.Int64
+
+// DefaultMergedMaxGridSize is the default concatenated-grid cap.
+const DefaultMergedMaxGridSize = 256
+
+// MergedMaxGridSize returns the current concatenated-grid cap.
+func MergedMaxGridSize() int { return int(mergedMaxGrid.Load()) }
+
+// SetMergedMaxGridSize tunes the concatenated-grid cap (<=0 restores
+// the default) and returns the previous value. Benchmarks raise it to
+// fold deliberately wide sets; serving deployments should rely on
+// compaction keeping sets narrow instead.
+func SetMergedMaxGridSize(n int) int {
+	if n <= 0 {
+		n = DefaultMergedMaxGridSize
+	}
+	return int(mergedMaxGrid.Swap(int64(n)))
+}
+
+// overMergedBudget estimates the fold's cost drivers — the
+// concatenated grid size G (CPU: dense O(G²) plane builds per epoch)
+// and the dense-plane footprint G²×8×(preds+1) (memory) — against
+// mergedMaxGridSize and MergedBudgetBytes.
+func overMergedBudget(sums []*core.Estimator) bool {
+	g := 0
+	preds := make(map[string]struct{})
+	for _, est := range sums {
+		g += est.Grid().Size()
+		for _, name := range est.Names() {
+			preds[name] = struct{}{}
+		}
+	}
+	if int64(g) > mergedMaxGrid.Load() {
+		return true
+	}
+	bytes := int64(g) * int64(g) * 8 * int64(len(preds)+1)
+	return bytes > mergedBudgetBytes.Load()
+}

@@ -1,0 +1,419 @@
+package shard
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"xmlest/internal/core"
+	"xmlest/internal/pattern"
+	"xmlest/internal/predicate"
+	"xmlest/internal/xmltree"
+)
+
+// prepared compiles src against the store's current set through the
+// merged-aware path.
+func prepared(t *testing.T, st *Store, src string, opts core.Options) *Prepared {
+	t.Helper()
+	p, err := pattern.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := st.PrepareSet(st.Current(), p, opts)
+	if err != nil {
+		t.Fatalf("PrepareSet(%s): %v", src, err)
+	}
+	return pr
+}
+
+func mustValue(t *testing.T, pr *Prepared) float64 {
+	t.Helper()
+	res, err := pr.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Estimate
+}
+
+// relDiff is the relative difference used by the merged-vs-fan-out
+// equality assertions (float accumulation order differs between the
+// folded and summed evaluations, so exact bit equality is not the
+// contract; 1e-9 relative is).
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}
+
+// mergedStore builds a store with n appended document shards, active
+// summaries for opts and a completed synchronous fold.
+func mergedStore(t *testing.T, n int, opts core.Options) *Store {
+	t.Helper()
+	st := NewStore(allTagsSpec())
+	for i := 0; i < n; i++ {
+		if _, err := st.AppendTree(doc(3+i, 2+i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.EnsureSummaries(opts); err != nil {
+		t.Fatal(err)
+	}
+	st.MergeNow()
+	return st
+}
+
+// TestMergedMatchesFanOut pins the core serving claim: a fresh fold
+// answers every query with the fan-out sum (≤1e-9 relative), through
+// one folded unit instead of O(shards).
+func TestMergedMatchesFanOut(t *testing.T) {
+	queries := []string{
+		"//faculty//TA",
+		"//department//name",
+		"//department//faculty//TA",
+		"//department[.//staff]//TA",
+	}
+	for _, shards := range []int{2, 3, 7} {
+		st := mergedStore(t, shards, defaultOpts)
+		set := st.Current()
+		info := st.MergedInfo(set, defaultOpts)
+		if !info.Fresh || info.CoveredShards != shards {
+			t.Fatalf("shards=%d: fold not fresh: %+v", shards, info)
+		}
+		for _, q := range queries {
+			pr := prepared(t, st, q, defaultOpts)
+			if !pr.Merged() || pr.Units() != 1 {
+				t.Fatalf("shards=%d %s: want one merged unit, got merged=%v units=%d", shards, q, pr.Merged(), pr.Units())
+			}
+			merged := mustValue(t, pr)
+
+			fanout, err := set.Prepare(pattern.MustParse(q), defaultOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := mustValue(t, fanout)
+			if want <= 0 {
+				t.Fatalf("shards=%d %s: degenerate fan-out estimate %v", shards, q, want)
+			}
+			if d := relDiff(merged, want); d > 1e-9 {
+				t.Errorf("shards=%d %s: merged %v vs fan-out %v (rel %v)", shards, q, merged, want, d)
+			}
+		}
+	}
+}
+
+// TestMergedDisabledByOption checks the DisableMergedServing knob
+// routes around a fresh fold.
+func TestMergedDisabledByOption(t *testing.T) {
+	st := mergedStore(t, 3, defaultOpts)
+	opts := defaultOpts
+	opts.DisableMergedServing = true
+	pr := prepared(t, st, "//faculty//TA", opts)
+	if pr.Merged() || pr.Units() != 3 {
+		t.Fatalf("want 3 fan-out units with merged serving disabled, got merged=%v units=%d", pr.Merged(), pr.Units())
+	}
+}
+
+// TestMergedTailFanOut: appends after a fold serve as merged prefix +
+// per-shard tail until the next fold covers them.
+func TestMergedTailFanOut(t *testing.T) {
+	st := mergedStore(t, 3, defaultOpts)
+	if _, err := st.AppendTree(doc(9, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot before the background fold can cover the append (the
+	// synchronous view of this moment): 1 merged + 1 tail unit.
+	set := st.Current()
+	pr, err := st.PrepareSet(set, pattern.MustParse("//faculty//TA"), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Merged() && pr.Units() != 4 {
+		// The background fold may already have caught up, in which case
+		// the binding is a single merged unit; both states are valid,
+		// but a stale fold must never hide the tail.
+		t.Fatalf("unexpected binding: merged=%v units=%d", pr.Merged(), pr.Units())
+	}
+	got := mustValue(t, pr)
+	fanout, err := set.Prepare(pattern.MustParse("//faculty//TA"), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustValue(t, fanout)
+	if d := relDiff(got, want); d > 1e-9 {
+		t.Errorf("prefix+tail %v vs fan-out %v (rel %v)", got, want, d)
+	}
+	// After an explicit fold the same set serves fully merged.
+	st.MergeNow()
+	pr2 := prepared(t, st, "//faculty//TA", defaultOpts)
+	if !pr2.Merged() || pr2.Units() != 1 {
+		t.Fatalf("after MergeNow: merged=%v units=%d", pr2.Merged(), pr2.Units())
+	}
+	if d := relDiff(mustValue(t, pr2), want); d > 1e-9 {
+		t.Errorf("post-fold %v vs fan-out %v", mustValue(t, pr2), want)
+	}
+}
+
+// TestMergedInvalidation: drop and compact must invalidate the fold
+// (dropped/merged-away shards leave the covered set), and the next fold
+// must re-cover.
+func TestMergedInvalidation(t *testing.T) {
+	st := mergedStore(t, 4, defaultOpts)
+	set := st.Current()
+	view := st.mergedFor(set, defaultOpts)
+	if view == nil {
+		t.Fatal("no fold after MergeNow")
+	}
+
+	// Drop one covered shard: the old fold no longer applies.
+	dropID := set.Shards()[1].ID()
+	if !st.Drop(dropID) {
+		t.Fatal("drop failed")
+	}
+	afterDrop := st.Current()
+	if v := st.mergedFor(afterDrop, defaultOpts); v == view {
+		t.Fatal("stale fold still served after Drop")
+	}
+	st.MergeNow()
+	if info := st.MergedInfo(st.Current(), defaultOpts); !info.Fresh || info.CoveredShards != 3 {
+		t.Fatalf("refold after drop: %+v", info)
+	}
+	pr := prepared(t, st, "//faculty//TA", defaultOpts)
+	fanout, err := st.Current().Prepare(pattern.MustParse("//faculty//TA"), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := relDiff(mustValue(t, pr), mustValue(t, fanout)); d > 1e-9 {
+		t.Errorf("post-drop merged %v vs fan-out %v", mustValue(t, pr), mustValue(t, fanout))
+	}
+
+	// Compact the rest: the group leaves the set, invalidating again.
+	preCompact := st.mergedFor(st.Current(), defaultOpts)
+	merged, err := st.Compact(CompactionPolicy{TierRatio: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged == 0 {
+		t.Fatal("compaction merged nothing")
+	}
+	if v := st.mergedFor(st.Current(), defaultOpts); v != nil && v == preCompact {
+		t.Fatal("stale fold still served after Compact")
+	}
+	// A single compacted shard needs no fold; MergedInfo reports fresh.
+	st.MergeNow()
+	if info := st.MergedInfo(st.Current(), defaultOpts); !info.Fresh {
+		t.Fatalf("post-compact info: %+v", info)
+	}
+}
+
+// TestMergedInvalidationOnPredicateRegistration: registering predicates
+// rebuilds catalogs, so folds must drop and epoch must move.
+func TestMergedInvalidationOnPredicateRegistration(t *testing.T) {
+	st := mergedStore(t, 3, defaultOpts)
+	before := st.MergeEpoch()
+	st.AddPredicates(predicate.ContentEquals{Value: "f1"})
+	if st.MergeEpoch() == before {
+		t.Fatal("epoch did not move on predicate registration")
+	}
+	st.MergeNow()
+	pr := prepared(t, st, "//faculty//{text=f1}", defaultOpts)
+	if !pr.Merged() {
+		t.Fatalf("refolded view not serving: units=%d", pr.Units())
+	}
+	fanout, err := st.Current().Prepare(pattern.MustParse("//faculty//{text=f1}"), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := mustValue(t, pr), mustValue(t, fanout)
+	if want <= 0 {
+		t.Fatalf("degenerate fan-out estimate %v", want)
+	}
+	if d := relDiff(got, want); d > 1e-9 {
+		t.Errorf("merged %v vs fan-out %v after registration", got, want)
+	}
+}
+
+// TestMergedMixedPredicateFallsBack: a predicate that overlaps in one
+// shard and not in another cannot be folded faithfully — queries
+// touching it must fan out, and their estimates must equal the pure
+// fan-out sum exactly.
+func TestMergedMixedPredicateFallsBack(t *testing.T) {
+	// Shard 1: TA nodes nested inside TA nodes (overlap). Shard 2:
+	// plain docs where TA has the no-overlap property.
+	b := xmltree.NewBuilder()
+	b.Begin("department")
+	b.Begin("faculty")
+	b.Begin("TA")
+	b.Element("TA", "x")
+	b.End()
+	b.End()
+	b.End()
+	nested := b.Tree()
+
+	st := NewStore(allTagsSpec())
+	if _, err := st.AppendTree(nested); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendTree(doc(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.EnsureSummaries(defaultOpts); err != nil {
+		t.Fatal(err)
+	}
+	st.MergeNow()
+	view := st.mergedFor(st.Current(), defaultOpts)
+	if view == nil {
+		t.Fatal("no fold")
+	}
+	if !view.mixed["tag=TA"] {
+		t.Fatalf("tag=TA not marked mixed: %v", view.mixed)
+	}
+
+	pr := prepared(t, st, "//TA//TA", defaultOpts)
+	if pr.Merged() {
+		t.Fatal("mixed-predicate query served from the fold")
+	}
+	fanout, err := st.Current().Prepare(pattern.MustParse("//TA//TA"), defaultOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustValue(t, pr), mustValue(t, fanout); got != want {
+		t.Errorf("mixed fallback %v != fan-out %v", got, want)
+	}
+	// Queries not touching the mixed predicate still serve merged.
+	pr2 := prepared(t, st, "//department//name", defaultOpts)
+	if !pr2.Merged() {
+		t.Fatal("clean-predicate query not served from the fold")
+	}
+}
+
+// TestEstimateWorkersInvariance: the fan-out estimate is bit-identical
+// for every worker count (the sum is always in shard order).
+func TestEstimateWorkersInvariance(t *testing.T) {
+	st := mergedStore(t, 7, defaultOpts)
+	p := pattern.MustParse("//department//faculty//TA")
+	var base core.Result
+	for i, workers := range []int{1, 2, 5, 16} {
+		opts := defaultOpts
+		opts.EstimateWorkers = workers
+		opts.DisableMergedServing = true
+		res, err := st.Current().EstimateTwig(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := st.PrepareSet(st.Current(), p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := pr.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pres.Estimate != res.Estimate {
+			t.Fatalf("workers=%d: prepared %v != uncompiled %v", workers, pres.Estimate, res.Estimate)
+		}
+		if i == 0 {
+			base = res
+			continue
+		}
+		if res.Estimate != base.Estimate {
+			t.Fatalf("workers=%d: %v != workers=1 %v", workers, res.Estimate, base.Estimate)
+		}
+	}
+}
+
+// TestMergedBudgetFallback: a fold over the byte budget must be
+// skipped, leaving fan-out serving.
+func TestMergedBudgetFallback(t *testing.T) {
+	old := SetMergedBudgetBytes(1)
+	defer SetMergedBudgetBytes(old)
+	st := mergedStore(t, 3, defaultOpts)
+	if v := st.mergedFor(st.Current(), defaultOpts); v != nil {
+		t.Fatal("fold published despite budget")
+	}
+	pr := prepared(t, st, "//faculty//TA", defaultOpts)
+	if pr.Merged() || pr.Units() != 3 {
+		t.Fatalf("want fan-out under budget pressure, got merged=%v units=%d", pr.Merged(), pr.Units())
+	}
+}
+
+// TestMergedStress races estimates against appends, drops, compactions
+// and background folds; run with -race. Every estimate must succeed
+// and stay within the additive envelope of the concurrently mutating
+// corpus.
+func TestMergedStress(t *testing.T) {
+	st := NewStore(allTagsSpec())
+	if _, err := st.AppendTree(doc(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.EnsureSummaries(defaultOpts); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers   = 2
+		readers   = 4
+		perWriter = 15
+	)
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				info, err := st.AppendTree(doc(2+i%4, 1+i%3))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch i % 3 {
+				case 0:
+					if _, err := st.Compact(DefaultCompactionPolicy); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					st.Drop(info.ID())
+				case 2:
+					st.MergeNow()
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			p := pattern.MustParse("//faculty//TA")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				set := st.Current()
+				pr, err := st.PrepareSet(set, p, defaultOpts)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				res, err := pr.Estimate()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Estimate < 0 || math.IsNaN(res.Estimate) {
+					t.Errorf("bad estimate %v", res.Estimate)
+					return
+				}
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+}

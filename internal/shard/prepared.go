@@ -1,6 +1,9 @@
 package shard
 
 import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"xmlest/internal/core"
@@ -8,16 +11,25 @@ import (
 )
 
 // Prepared is a twig pattern compiled against one shard set: one
-// core.PreparedQuery per shard that can resolve every predicate of the
-// pattern. It is immutable and safe for concurrent use; its estimate
-// is the cross-shard sum, like Set.EstimateTwig, but with each shard's
-// parse/resolve/fold work done once.
+// core.PreparedQuery per serving unit. When a merged summary covers the
+// set (see merged.go), the units are the single folded query plus one
+// query per fresh tail shard appended after the fold — O(1) shards on
+// the hot path; otherwise one query per shard that can resolve every
+// predicate of the pattern. It is immutable and safe for concurrent
+// use; its estimate is the unit sum, evaluated in fixed order so the
+// result is bit-identical for every worker count.
 type Prepared struct {
 	set     *Set
+	epoch   uint64
+	merged  bool // queries[0] is a folded merged-summary query
 	queries []*core.PreparedQuery
+	workers int
+
+	warmed atomic.Bool
 }
 
-// Prepare compiles the pattern against every shard summary for opts.
+// Prepare compiles the pattern against every shard summary for opts —
+// the pure fan-out form, used directly for store-less (loaded) sets.
 // Shards lacking one of the pattern's predicates are skipped (they
 // contribute zero); a predicate unknown to every shard is an error.
 func (s *Set) Prepare(p *pattern.Pattern, opts core.Options) (*Prepared, error) {
@@ -29,12 +41,13 @@ func (s *Set) Prepare(p *pattern.Pattern, opts core.Options) (*Prepared, error) 
 	if err := checkResolvable(sums, names); err != nil {
 		return nil, err
 	}
-	pr := &Prepared{set: s}
+	pr := &Prepared{set: s, workers: estimateWorkers(opts)}
+	pr.queries = make([]*core.PreparedQuery, 0, len(sums))
 	for _, est := range sums {
 		if !hasAll(est, names) {
 			continue
 		}
-		q, err := est.Prepare(p)
+		q, err := est.PrepareShared(p)
 		if err != nil {
 			return nil, err
 		}
@@ -43,22 +56,150 @@ func (s *Set) Prepare(p *pattern.Pattern, opts core.Options) (*Prepared, error) 
 	return pr, nil
 }
 
+// PrepareSet compiles the pattern against set, serving the covered
+// prefix from the store's merged summary when one applies: the merged
+// fold is exact with respect to the per-shard sum (block-diagonal
+// histograms on the concatenated grid; see core.MergeSummaries), so the
+// merged and fan-out bindings agree to float-accumulation order.
+// Queries touching a predicate with mixed per-shard no-overlap state,
+// options that disable merged serving, and sets without an applicable
+// fold all fall back to pure fan-out.
+func (st *Store) PrepareSet(set *Set, p *pattern.Pattern, opts core.Options) (*Prepared, error) {
+	// Read the epoch before the view: if a fold completes in between,
+	// the binding self-invalidates on its next use instead of serving a
+	// stale plan forever.
+	epoch := st.MergeEpoch()
+	view := st.mergedFor(set, opts)
+	if view == nil || opts.DisableMergedServing || set.Len() <= 1 {
+		pr, err := set.Prepare(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		pr.epoch = epoch
+		return pr, nil
+	}
+	names := patternNames(p)
+	for _, name := range names {
+		if view.mixed[name] {
+			// The folded estimator cannot reproduce the per-shard
+			// algorithm mix for this predicate; fan out.
+			pr, err := set.Prepare(p, opts)
+			if err != nil {
+				return nil, err
+			}
+			pr.epoch = epoch
+			return pr, nil
+		}
+	}
+
+	// Fresh tail: shards appended after the fold.
+	var tail []*core.Estimator
+	for _, sh := range set.shards {
+		if _, ok := view.covered[sh.id]; ok {
+			continue
+		}
+		est, err := sh.Summary(opts)
+		if err != nil {
+			return nil, err
+		}
+		tail = append(tail, est)
+	}
+	for _, name := range names {
+		if view.est.HasPredicate(name) {
+			continue
+		}
+		found := false
+		for _, est := range tail {
+			if est.HasPredicate(name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("shard: no histogram for predicate %q in any shard", name)
+		}
+	}
+
+	pr := &Prepared{set: set, epoch: epoch, workers: estimateWorkers(opts)}
+	pr.queries = make([]*core.PreparedQuery, 0, len(tail)+1)
+	if hasAll(view.est, names) {
+		// A name absent from every covered shard makes the whole prefix
+		// contribute zero, exactly like fan-out skipping those shards —
+		// in that case the merged query is omitted entirely.
+		q, err := view.est.PrepareShared(p)
+		if err != nil {
+			return nil, err
+		}
+		pr.queries = append(pr.queries, q)
+		pr.merged = true
+	}
+	for _, est := range tail {
+		if !hasAll(est, names) {
+			continue
+		}
+		q, err := est.PrepareShared(p)
+		if err != nil {
+			return nil, err
+		}
+		pr.queries = append(pr.queries, q)
+	}
+	return pr, nil
+}
+
+// estimateWorkers resolves Options.EstimateWorkers (0 = GOMAXPROCS).
+func estimateWorkers(opts core.Options) int {
+	if opts.EstimateWorkers > 0 {
+		return opts.EstimateWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Set returns the shard set the query was prepared against, so callers
 // can detect staleness and rebind.
 func (pr *Prepared) Set() *Set { return pr.set }
 
-// Estimate sums the per-shard estimates of the compiled twig.
+// Epoch returns the merged-serving epoch the binding was built at;
+// callers rebind when the store's epoch moves so a completed background
+// fold is adopted without waiting for a set swap.
+func (pr *Prepared) Epoch() uint64 { return pr.epoch }
+
+// Merged reports whether the binding serves its covered prefix from a
+// folded merged summary.
+func (pr *Prepared) Merged() bool { return pr.merged }
+
+// Units returns the number of compiled per-unit queries the estimate
+// sums (1 for a fully merged binding).
+func (pr *Prepared) Units() int { return len(pr.queries) }
+
+// Estimate sums the per-unit estimates of the compiled twig. The first
+// call on a multi-unit binding folds the units across a bounded worker
+// pool (Options.EstimateWorkers) — the expensive part of a cold bind —
+// then every call sums the cached per-unit values in fixed unit order,
+// so the result is bit-identical for every worker count.
 func (pr *Prepared) Estimate() (core.Result, error) {
 	start := time.Now()
+	if !pr.warmed.Load() {
+		pr.warm()
+	}
 	out := core.Result{}
 	for _, q := range pr.queries {
-		r, err := q.Estimate()
+		est, noOv, err := q.Value()
 		if err != nil {
 			return core.Result{}, err
 		}
-		out.Estimate += r.Estimate
-		out.UsedNoOverlap = out.UsedNoOverlap || r.UsedNoOverlap
+		out.Estimate += est
+		out.UsedNoOverlap = out.UsedNoOverlap || noOv
 	}
 	out.Elapsed = time.Since(start)
 	return out, nil
+}
+
+// warm folds every unit once, in parallel across the worker pool when
+// that can pay for the goroutine overhead. Errors are ignored here and
+// re-surfaced deterministically by the serial Value pass.
+func (pr *Prepared) warm() {
+	forEachParallel(len(pr.queries), pr.workers, func(i int) {
+		_, _, _ = pr.queries[i].Value()
+	})
+	pr.warmed.Store(true)
 }

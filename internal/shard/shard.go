@@ -23,6 +23,7 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xmlest/internal/core"
@@ -94,12 +95,15 @@ func (s *Shard) SummaryOnly() bool { return s.tree == nil }
 
 // summaryKey normalizes options into a summary cache key: fields that
 // cannot change the built summary (BuildWorkers — the parallel build is
-// deterministic — and QueryCacheSize, a facade-side cache bound) are
-// zeroed, so semantically identical estimators share one build per
-// shard.
+// deterministic — QueryCacheSize, a facade-side cache bound,
+// EstimateWorkers — per-shard sums are order-fixed — and
+// DisableMergedServing, a read-path routing knob) are zeroed, so
+// semantically identical estimators share one build per shard.
 func summaryKey(opts core.Options) core.Options {
 	opts.BuildWorkers = 0
 	opts.QueryCacheSize = 0
+	opts.EstimateWorkers = 0
+	opts.DisableMergedServing = false
 	return opts
 }
 
@@ -153,6 +157,15 @@ func (s *Shard) invalidateSummaries() {
 type Set struct {
 	version uint64
 	shards  []*Shard
+
+	// Per-set memo of the materialized summary slice (one entry per
+	// option set in practice): rebinding every compiled query after a
+	// set swap calls summaries once per pattern, and the memo turns all
+	// but the first into a mutex-guarded slice read instead of an
+	// O(shards) walk of per-shard summary locks.
+	sumsMu  sync.Mutex
+	sumsKey core.Options
+	sumsVal []*core.Estimator
 }
 
 // Version returns the snapshot's monotonically increasing version.
@@ -183,8 +196,19 @@ func (s *Set) TotalDocs() int {
 	return n
 }
 
-// summaries materializes every shard's estimator for opts.
+// summaries materializes every shard's estimator for opts, memoized
+// per set (summaries are deterministic per shard and options, so the
+// memo is semantically invisible). Callers must not modify the
+// returned slice.
 func (s *Set) summaries(opts core.Options) ([]*core.Estimator, error) {
+	key := summaryKey(opts)
+	s.sumsMu.Lock()
+	if s.sumsVal != nil && s.sumsKey == key {
+		sums := s.sumsVal
+		s.sumsMu.Unlock()
+		return sums, nil
+	}
+	s.sumsMu.Unlock()
 	sums := make([]*core.Estimator, len(s.shards))
 	for i, sh := range s.shards {
 		est, err := sh.Summary(opts)
@@ -193,13 +217,28 @@ func (s *Set) summaries(opts core.Options) ([]*core.Estimator, error) {
 		}
 		sums[i] = est
 	}
+	s.sumsMu.Lock()
+	s.sumsKey, s.sumsVal = key, sums
+	s.sumsMu.Unlock()
 	return sums, nil
+}
+
+// invalidateSummariesMemo drops the memoized summary slice after
+// setup-time predicate registration rebuilt the shard catalogs (the
+// store clears per-shard caches at the same time).
+func (s *Set) invalidateSummariesMemo() {
+	s.sumsMu.Lock()
+	s.sumsVal = nil
+	s.sumsMu.Unlock()
 }
 
 // EstimateTwig estimates the answer size of a twig pattern as the sum
 // of per-shard estimates — exact composition, since no match spans two
 // documents. A shard lacking one of the pattern's predicates
 // contributes zero; a predicate unknown to every shard is an error.
+// Per-shard estimation fans out across a bounded worker pool
+// (Options.EstimateWorkers) on wide sets; the sum always runs in shard
+// order, so results are bit-identical for every worker count.
 func (s *Set) EstimateTwig(p *pattern.Pattern, opts core.Options) (core.Result, error) {
 	start := time.Now()
 	sums, err := s.summaries(opts)
@@ -210,17 +249,11 @@ func (s *Set) EstimateTwig(p *pattern.Pattern, opts core.Options) (core.Result, 
 	if err := checkResolvable(sums, names); err != nil {
 		return core.Result{}, err
 	}
-	out := core.Result{}
-	for _, est := range sums {
-		if !hasAll(est, names) {
-			continue
-		}
-		r, err := est.EstimateTwig(p)
-		if err != nil {
-			return core.Result{}, err
-		}
-		out.Estimate += r.Estimate
-		out.UsedNoOverlap = out.UsedNoOverlap || r.UsedNoOverlap
+	out, err := sumFanOut(sums, names, estimateWorkers(opts), func(est *core.Estimator) (core.Result, error) {
+		return est.EstimateTwig(p)
+	})
+	if err != nil {
+		return core.Result{}, err
 	}
 	out.Elapsed = time.Since(start)
 	return out, nil
@@ -238,19 +271,75 @@ func (s *Set) EstimatePairPrimitive(ancName, descName string, opts core.Options)
 	if err := checkResolvable(sums, names); err != nil {
 		return core.Result{}, err
 	}
-	out := core.Result{}
-	for _, est := range sums {
-		if !hasAll(est, names) {
-			continue
-		}
-		r, err := est.EstimatePairPrimitive(ancName, descName)
-		if err != nil {
-			return core.Result{}, err
-		}
-		out.Estimate += r.Estimate
+	out, err := sumFanOut(sums, names, estimateWorkers(opts), func(est *core.Estimator) (core.Result, error) {
+		return est.EstimatePairPrimitive(ancName, descName)
+	})
+	if err != nil {
+		return core.Result{}, err
 	}
 	out.Elapsed = time.Since(start)
 	return out, nil
+}
+
+// sumFanOut runs fn over every summary that resolves all names and
+// sums the results in summary order. With workers > 1 and enough
+// participating summaries, evaluation fans out across a bounded pool;
+// the ordered sum keeps the total bit-identical either way.
+func sumFanOut(sums []*core.Estimator, names []string, workers int, fn func(*core.Estimator) (core.Result, error)) (core.Result, error) {
+	able := make([]*core.Estimator, 0, len(sums))
+	for _, est := range sums {
+		if hasAll(est, names) {
+			able = append(able, est)
+		}
+	}
+	results := make([]core.Result, len(able))
+	errs := make([]error, len(able))
+	forEachParallel(len(able), workers, func(i int) {
+		results[i], errs[i] = fn(able[i])
+	})
+	out := core.Result{}
+	for i := range able {
+		if errs[i] != nil {
+			return core.Result{}, errs[i]
+		}
+		out.Estimate += results[i].Estimate
+		out.UsedNoOverlap = out.UsedNoOverlap || results[i].UsedNoOverlap
+	}
+	return out, nil
+}
+
+// forEachParallel runs fn(0..n-1) across a bounded worker pool, or
+// serially when the pool cannot pay for its goroutine overhead (few
+// items or a single worker). Callers own any ordering concerns: fn
+// writes into indexed slots and reductions run afterwards in index
+// order, so results never depend on the worker count.
+func forEachParallel(n, workers int, fn func(i int)) {
+	const minParallel = 4
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minParallel {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Count computes the exact answer size of a twig pattern as the sum of

@@ -32,6 +32,18 @@ type Store struct {
 	writeMu sync.Mutex // serializes set swaps (Append, Drop, Compact)
 	cur     atomic.Pointer[Set]
 	nextID  atomic.Uint64
+
+	// Merged-summary serving state (see merged.go): the latest fold per
+	// normalized option set, the coalescing worker state, and the epoch
+	// compiled queries watch to adopt new folds.
+	mergedMu   sync.Mutex
+	merged     map[core.Options]*mergedView
+	mergeState atomic.Int32
+	mergeEpoch atomic.Uint64
+	// foldMu serializes fold passes with each other and with the
+	// setup-time predicate-registration methods, which rebuild shard
+	// catalogs in place underneath any running fold.
+	foldMu sync.Mutex
 }
 
 // NewStore returns a store with an empty shard set and the given
@@ -72,6 +84,10 @@ func (st *Store) EnsureSummaries(opts core.Options) (*Set, error) {
 	if _, err := set.summaries(opts); err != nil {
 		return nil, err
 	}
+	// Fold a merged view for the newly active options in the
+	// background, so multi-shard stores serve O(1)-shard estimates from
+	// the first possible moment.
+	st.scheduleMerge()
 	return set, nil
 }
 
@@ -104,9 +120,13 @@ func (st *Store) newShard(tree *xmltree.Tree, cat *predicate.Catalog) (*Shard, e
 	return sh, nil
 }
 
-// install publishes next as the serving set.
+// install publishes next as the serving set and schedules a background
+// fold of the merged serving view (see merged.go) — every mutation
+// flows through here, so the merged view chases the serving set with
+// at most one fold of lag.
 func (st *Store) install(next []*Shard, prev *Set) {
 	st.cur.Store(&Set{version: prev.version + 1, shards: next})
+	st.scheduleMerge()
 }
 
 // appendLocked installs sh at the end of the serving set, stamping its
@@ -211,6 +231,10 @@ func (st *Store) Drop(id uint64) bool {
 // tree-backed shard (the facade's historical return value). Setup-time
 // only: must not run concurrently with estimation or store mutations.
 func (st *Store) AddAllTagPredicates() int {
+	// Hold the fold lock across the in-place catalog rebuilds: a
+	// background merged-view fold reads those catalogs.
+	st.foldMu.Lock()
+	defer st.foldMu.Unlock()
 	st.specMu.Lock()
 	st.spec.AllTags = true
 	st.specMu.Unlock()
@@ -226,6 +250,11 @@ func (st *Store) AddAllTagPredicates() int {
 			n, first = added, false
 		}
 	}
+	// The folds and any memoized summary slices were built from the old
+	// catalogs; drop them and refold.
+	st.Current().invalidateSummariesMemo()
+	st.invalidateMerged()
+	st.scheduleMerge()
 	return n
 }
 
@@ -233,6 +262,8 @@ func (st *Store) AddAllTagPredicates() int {
 // shared scan per shard) and records them for future shards.
 // Setup-time only, like AddAllTagPredicates.
 func (st *Store) AddPredicates(preds ...predicate.Predicate) {
+	st.foldMu.Lock()
+	defer st.foldMu.Unlock()
 	st.specMu.Lock()
 	st.spec = st.spec.Add(preds...)
 	st.specMu.Unlock()
@@ -243,4 +274,7 @@ func (st *Store) AddPredicates(preds ...predicate.Predicate) {
 		sh.cat.AddBatch(preds)
 		sh.invalidateSummaries()
 	}
+	st.Current().invalidateSummariesMemo()
+	st.invalidateMerged()
+	st.scheduleMerge()
 }

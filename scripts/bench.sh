@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Runs the tracked performance benchmarks and records them into
-# BENCH_PR4.json: the PR 1/2 microbenchmark series (ns/op), the PR 3
-# serving series (xqbench driving an in-memory xqestd daemon), and the
-# PR 4 durable serving series — the same load against a daemon with a
-# data directory at each WAL fsync policy (always / interval / off),
-# reporting ack-to-durable latency alongside append-to-visible.
+# BENCH_PR5.json: the PR 1/2 microbenchmark series (ns/op, now with
+# allocs/op from -benchmem), the PR 3 serving series (xqbench driving
+# an in-memory xqestd daemon — by default on the PR 5 merged-snapshot
+# path, plus a -no-merged fan-out run for comparison), and the PR 4
+# durable serving series — the same load against a daemon with a data
+# directory at each WAL fsync policy (always / interval / off).
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh      # override -benchtime
@@ -13,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 benchtime="${BENCHTIME:-1s}"
 serve_seconds="${SERVE_SECONDS:-5}"
 addr="127.0.0.1:${BENCH_PORT:-18791}"
@@ -27,7 +28,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$workdir/micro.txt"
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$workdir/micro.txt"
 
 # serve_run <report.json> [extra xqestd flags...] — boots a daemon,
 # drives it with xqbench, shuts it down.
@@ -43,10 +44,12 @@ serve_run() {
 }
 
 if [[ -z "${SKIP_SERVING:-}" ]]; then
-  echo "== serving benchmark: xqbench against xqestd on $addr =="
+  echo "== serving benchmark: xqbench against xqestd on $addr (merged-snapshot path) =="
   go build -o "$workdir/xqestd" ./cmd/xqestd
   go build -o "$workdir/xqbench" ./cmd/xqbench
   serve_run "$workdir/serving.json"
+  echo "== serving benchmark: fan-out path (-no-merged) =="
+  serve_run "$workdir/serving-fanout.json" -no-merged
   for fsync in always interval off; do
     echo "== durable serving benchmark: -fsync $fsync =="
     rm -rf "$workdir/data-$fsync"
@@ -55,6 +58,7 @@ if [[ -z "${SKIP_SERVING:-}" ]]; then
   done
 else
   printf 'null\n' > "$workdir/serving.json"
+  printf 'null\n' > "$workdir/serving-fanout.json"
   for fsync in always interval off; do
     printf 'null\n' > "$workdir/durable-$fsync.json"
   done
@@ -69,6 +73,11 @@ fi
       name = $1
       sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
       ns[++count] = sprintf("    \"%s\": %s", name, $3)
+      # allocs/op is the field preceding the "allocs/op" unit (its
+      # position shifts when MB/s is reported).
+      for (i = 4; i <= NF; i++)
+        if ($i == "allocs/op")
+          al[count] = sprintf("    \"%s\": %s", name, $(i-1))
     }
     END {
       printf "{\n"
@@ -80,10 +89,21 @@ fi
       for (i = 1; i <= count; i++)
         printf "%s%s\n", ns[i], (i < count ? "," : "")
       printf "  },\n"
+      printf "  \"allocs_per_op\": {\n"
+      n = 0
+      for (i = 1; i <= count; i++) if (i in al) n++
+      j = 0
+      for (i = 1; i <= count; i++) if (i in al) {
+        j++
+        printf "%s%s\n", al[i], (j < n ? "," : "")
+      }
+      printf "  },\n"
       printf "  \"serving\": "
     }
   ' "$workdir/micro.txt"
   cat "$workdir/serving.json"
+  printf ",\n  \"serving_fanout\": "
+  cat "$workdir/serving-fanout.json"
   printf ",\n  \"durable_serving\": {\n"
   printf "    \"always\": "
   cat "$workdir/durable-always.json"

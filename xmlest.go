@@ -619,37 +619,76 @@ type BatchResult struct {
 // endpoint exposes. Patterns share the estimator's compiled-query
 // cache. Any invalid pattern fails the whole batch.
 func (e *Estimator) EstimateBatch(patterns []string) (BatchResult, error) {
+	version, results, err := e.EstimateBatchInto(patterns, nil)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	return BatchResult{Version: version, Results: results}, nil
+}
+
+// EstimateBatchInto is EstimateBatch reusing the caller's result slice
+// (appending from dst[:0]; pass nil to allocate), the allocation-free
+// form the daemon's pooled request scratch uses. Every pattern binds to
+// the same pinned snapshot and merged-serving epoch, so the whole batch
+// shares one bound plan per pattern and the results are mutually
+// consistent; repeated batches of hot patterns do no per-call
+// allocation at all.
+func (e *Estimator) EstimateBatchInto(patterns []string, dst []Result) (version uint64, results []Result, err error) {
 	set := e.set()
-	out := BatchResult{Version: set.Version(), Results: make([]Result, len(patterns))}
+	results = dst[:0]
 	cq := e.compiledQueries()
-	for i, src := range patterns {
+	for _, src := range patterns {
 		pq, cached := cq.Get(src)
 		if !cached {
 			p, err := pattern.Parse(src)
 			if err != nil {
-				return BatchResult{}, err
+				return 0, nil, err
 			}
 			pq = &PreparedQuery{est: e, p: p, src: src}
 		}
 		b, err := pq.bindingFor(set)
 		if err != nil {
-			return BatchResult{}, err
+			return 0, nil, err
 		}
 		res, err := b.Estimate()
 		if err != nil {
-			return BatchResult{}, err
+			return 0, nil, err
 		}
-		out.Results[i] = res
+		results = append(results, res)
 		if !cached {
 			cq.Put(src, pq)
 		}
 	}
-	return out, nil
+	return set.Version(), results, nil
 }
 
 // Stats returns corpus statistics for the estimator's serving (or
 // pinned) set.
 func (e *Estimator) Stats() DatabaseStats { return statsOf(e.set()) }
+
+// MergedInfo describes the merged-serving state of a shard store: the
+// store background-folds every live shard summary into one frozen
+// monolithic view (exact with respect to the fan-out sum; see
+// shard.Store and DESIGN.md "Execution engine"), so hot estimates on a
+// fresh fold cost O(1) shards.
+type MergedInfo = shard.MergedInfo
+
+// MergedInfo reports merged-serving state for the estimator's serving
+// (or pinned) set; ok is false for estimators loaded from a summary
+// blob, which have no store to fold.
+func (e *Estimator) MergedInfo() (info MergedInfo, ok bool) {
+	if e.store == nil {
+		return MergedInfo{}, false
+	}
+	return e.store.MergedInfo(e.set(), e.opts), true
+}
+
+// MergeSummaries folds the current shard set into the merged serving
+// view synchronously, for every option set in active use. The fold
+// normally chases mutations in the background; the synchronous form
+// gives tests, benchmarks and batch tools a deterministic way to reach
+// the O(1)-shard serving state.
+func (db *Database) MergeSummaries() { db.store.MergeNow() }
 
 // Shards lists the shards of the serving (or pinned) set.
 func (e *Estimator) Shards() []ShardInfo {
@@ -693,13 +732,22 @@ type PreparedQuery struct {
 // Source returns the pattern source the query was compiled from.
 func (pq *PreparedQuery) Source() string { return pq.src }
 
-// bindingFor returns the per-shard prepared queries for the given set,
-// rebinding if the cached binding belongs to another set.
+// bindingFor returns the prepared per-unit queries for the given set,
+// rebinding if the cached binding belongs to another set or if the
+// store's merged-serving epoch moved (a background fold completed, so
+// a fresher O(1)-shard plan is available without any set swap).
 func (pq *PreparedQuery) bindingFor(set *shard.Set) (*shard.Prepared, error) {
-	if b := pq.binding.Load(); b != nil && b.Set() == set {
+	st := pq.est.store
+	if b := pq.binding.Load(); b != nil && b.Set() == set && (st == nil || b.Epoch() == st.MergeEpoch()) {
 		return b, nil
 	}
-	b, err := set.Prepare(pq.p, pq.est.opts)
+	var b *shard.Prepared
+	var err error
+	if st != nil {
+		b, err = st.PrepareSet(set, pq.p, pq.est.opts)
+	} else {
+		b, err = set.Prepare(pq.p, pq.est.opts)
+	}
 	if err != nil {
 		return nil, err
 	}
