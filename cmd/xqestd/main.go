@@ -58,7 +58,16 @@ func main() {
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval or off")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "fsync cadence for -fsync interval (default 100ms)")
 	checkpoint := flag.Duration("checkpoint", 0, "background checkpoint interval with -data-dir (0 = shutdown only)")
+	readTimeout := flag.Duration("read-timeout", 0, "HTTP read timeout: full request including body (0 = default)")
+	writeTimeout := flag.Duration("write-timeout", 0, "HTTP write timeout: handler + response (0 = default)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "HTTP keep-alive idle connection timeout (0 = default)")
+	maxHeaderBytes := flag.Int("max-header-bytes", 0, "HTTP request header size cap (0 = default)")
+	fault := flag.String("fault", "", "TESTING ONLY: disk-fault schedule for -data-dir, e.g. 'sync-fail-after=3' or 'fail-op=12,torn' (see internal/fsio)")
 	flag.Parse()
+
+	if *fault != "" && *dataDir == "" {
+		fatal(fmt.Errorf("xqestd: -fault injects storage faults and requires -data-dir"))
+	}
 
 	cfg := server.Config{
 		Addr: *addr,
@@ -73,6 +82,10 @@ func main() {
 		CheckpointInterval:  *checkpoint,
 		CompactionPolicy:    xmlest.CompactionPolicy{MaxShards: *maxShards},
 		SnapshotPath:        *save,
+		ReadTimeout:         *readTimeout,
+		WriteTimeout:        *writeTimeout,
+		IdleTimeout:         *idleTimeout,
+		MaxHeaderBytes:      *maxHeaderBytes,
 	}
 
 	var srv *server.Server
@@ -94,9 +107,12 @@ func main() {
 		}
 		srv, err = server.NewFromEstimator(est, cfg)
 	case *dataDir != "":
+		if *fault != "" {
+			log.Printf("xqestd: FAULT INJECTION ACTIVE (-fault %q): storage runs on a fault-injecting filesystem", *fault)
+		}
 		var db *xmlest.Database
 		db, err = cliutil.OpenDurableDatabase(*dataDir, cfg.Options, *fsync, *fsyncInterval,
-			*data, *dataset, *scale, *seed)
+			*data, *dataset, *scale, *seed, *fault)
 		if err != nil {
 			fatal(fmt.Errorf("xqestd: %w", err))
 		}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"xmlest/internal/fsio"
 	"xmlest/internal/shard"
 	"xmlest/internal/wal"
 	"xmlest/internal/xmltree"
@@ -37,7 +38,17 @@ type DurableConfig struct {
 	// only its predicate recipe (the corpus already lives in the
 	// checkpoint). Nil starts empty with the all-tags vocabulary.
 	Bootstrap func() (*Database, error)
+
+	// FS substitutes the filesystem the WAL, manifest and checkpoints
+	// run on; nil means the real one. It exists for fault-injection
+	// testing and operational drills (fsio.NewFaultFS) — production
+	// deployments leave it nil.
+	FS fsio.FS
 }
+
+// DegradedError marks a durable mutation refused or failed because a
+// storage component is in a failed state. See shard.DegradedError.
+type DegradedError = shard.DegradedError
 
 // RecoveryInfo describes one boot-time recovery. See
 // shard.RecoveryInfo.
@@ -85,6 +96,7 @@ func OpenDurable(dir string, cfg DurableConfig) (*Database, error) {
 			Interval:     cfg.FsyncInterval,
 			SegmentBytes: cfg.SegmentBytes,
 		},
+		FS: cfg.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -123,6 +135,18 @@ func (db *Database) DurabilityStats() (DurabilityStats, bool) {
 		return DurabilityStats{}, false
 	}
 	return db.durable.Stats(), true
+}
+
+// Degraded reports the failed storage component of a durable database,
+// if any: "wal" when the log has sealed after an I/O failure (appends
+// refused until restart) or "checkpoint" when the last checkpoint
+// attempt failed (clears on the next success). Reads are never
+// degraded. Always false for non-durable databases.
+func (db *Database) Degraded() (component, reason string, degraded bool) {
+	if db.durable == nil {
+		return "", "", false
+	}
+	return db.durable.Degraded()
 }
 
 // DurableSeq returns the newest WAL sequence known fsynced — a

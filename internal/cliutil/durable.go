@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xmlest"
+	"xmlest/internal/fsio"
 	"xmlest/internal/manifest"
 	"xmlest/internal/shard"
 	"xmlest/internal/wal"
@@ -18,20 +19,32 @@ import (
 // predicate vocabulary on every boot; when both are empty the daemon
 // starts empty with the all-tags vocabulary and grows by ingest alone.
 // opts are the estimator options (-grid/-build-workers); the grid size
-// must match the directory's manifest on recovered boots.
+// must match the directory's manifest on recovered boots. faultSpec, if
+// non-empty, is an fsio.ParseFaults schedule (the -fault testing flag):
+// the store then runs on a fault-injecting filesystem.
 func OpenDurableDatabase(dataDir string, opts xmlest.Options, fsync string,
-	fsyncInterval time.Duration, data, dataset string, scale float64, seed int64) (*xmlest.Database, error) {
+	fsyncInterval time.Duration, data, dataset string, scale float64, seed int64,
+	faultSpec string) (*xmlest.Database, error) {
 	var bootstrap func() (*xmlest.Database, error)
 	if data != "" || dataset != "" {
 		bootstrap = func() (*xmlest.Database, error) {
 			return OpenDatabase(data, dataset, scale, seed)
 		}
 	}
+	var fs fsio.FS
+	if faultSpec != "" {
+		faults, err := fsio.ParseFaults(faultSpec)
+		if err != nil {
+			return nil, fmt.Errorf("-fault: %w", err)
+		}
+		fs = fsio.NewFaultFS(fsio.OS, faults)
+	}
 	return xmlest.OpenDurable(dataDir, xmlest.DurableConfig{
 		Options:       opts,
 		Fsync:         fsync,
 		FsyncInterval: fsyncInterval,
 		Bootstrap:     bootstrap,
+		FS:            fs,
 	})
 }
 

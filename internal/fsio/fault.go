@@ -1,0 +1,612 @@
+package fsio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// OpKind classifies the mutating operations FaultFS counts. Reads
+// (ReadFile, ReadDir, Stat) are never counted or faulted: fault
+// schedules index only the operations that can change what is on disk.
+type OpKind int
+
+const (
+	OpCreate OpKind = iota // OpenFile with os.O_CREATE
+	OpWrite
+	OpSync
+	OpSyncDir
+	OpRename
+	OpRemove
+	OpTruncate
+	OpMkdir
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpSyncDir:
+		return "syncdir"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpMkdir:
+		return "mkdir"
+	}
+	return "unknown"
+}
+
+// Op records one counted mutating operation. Index is 1-based and
+// global across the FaultFS, so a chaos sweep can replay a workload and
+// schedule a fault at every index it observed.
+type Op struct {
+	Index uint64
+	Kind  OpKind
+	Path  string
+}
+
+// Faults is a deterministic fault schedule.
+//
+// The zero value injects nothing. Schedules compose: FailOp, the sync
+// gate and the ENOSPC budget are all checked on every operation.
+type Faults struct {
+	// FailOp fails the counted operation with this 1-based global
+	// index (0 disables). The failed operation does not reach the
+	// underlying filesystem (except for the prefix of a torn write).
+	FailOp uint64
+	// Torn applies to FailOp when that operation is a write: half the
+	// buffer lands on disk before the error, modeling a torn write.
+	Torn bool
+	// Sticky extends FailOp: every counted operation at or after
+	// FailOp fails, modeling a disk that never comes back.
+	Sticky bool
+	// SyncFailAfter, when > 0, makes the Nth sync (file fsync or
+	// directory fsync, shared counter) and every later one fail.
+	// Per the Postgres fsync-gate lesson, a failed file fsync also
+	// permanently marks the file's then-unsynced bytes as lost: the
+	// kernel dropped those dirty pages, so no later "successful" sync
+	// ever makes them durable.
+	SyncFailAfter uint64
+	// ENOSPCAfter, when > 0, is a cumulative byte budget for writes:
+	// once spent, writes land whatever prefix still fits and fail with
+	// ENOSPC, and every later write fails.
+	ENOSPCAfter int64
+	// Err overrides the injected error for FailOp and the sync gate
+	// (default syscall.EIO). ENOSPC failures always use syscall.ENOSPC.
+	Err error
+}
+
+// ErrPowerCut is returned by every operation attempted after PowerCut.
+var ErrPowerCut = fmt.Errorf("fsio: simulated power cut")
+
+// ParseFaults parses a fault-schedule flag value: comma-separated
+// clauses from
+//
+//	fail-op=N          fail the Nth counted op with EIO
+//	torn               the failing op, if a write, lands half first
+//	sticky             every op from fail-op on fails
+//	sync-fail-after=N  the Nth fsync (file or dir) and all later fail
+//	enospc-after=BYTES writes past a cumulative budget fail with ENOSPC
+//
+// e.g. "sync-fail-after=3" or "fail-op=17,torn".
+func ParseFaults(spec string) (Faults, error) {
+	var f Faults
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(clause, "=")
+		switch key {
+		case "torn":
+			f.Torn = true
+		case "sticky":
+			f.Sticky = true
+		case "fail-op", "sync-fail-after", "enospc-after":
+			if !hasVal {
+				return Faults{}, fmt.Errorf("fsio: fault clause %q needs a value", clause)
+			}
+			n, err := strconv.ParseUint(val, 10, 63)
+			if err != nil {
+				return Faults{}, fmt.Errorf("fsio: fault clause %q: %w", clause, err)
+			}
+			switch key {
+			case "fail-op":
+				f.FailOp = n
+			case "sync-fail-after":
+				f.SyncFailAfter = n
+			case "enospc-after":
+				f.ENOSPCAfter = int64(n)
+			}
+		default:
+			return Faults{}, fmt.Errorf("fsio: unknown fault clause %q", clause)
+		}
+	}
+	return f, nil
+}
+
+// fileState tracks what a power cut would preserve of one file.
+type fileState struct {
+	size   int64 // current content length
+	synced int64 // length guaranteed durable (advanced by successful Sync)
+	// frozen, when >= 0, caps synced forever: a file fsync failed at
+	// that offset and the kernel dropped the dirty pages beyond it.
+	// Cleared only by truncating the file to or below the mark (the
+	// lost range no longer exists; fresh writes are fresh pages).
+	frozen int64
+	// linked reports whether the file's directory entry is durable —
+	// true for pre-existing files, and set when the parent directory
+	// is synced. An unlinked file vanishes entirely at a power cut.
+	linked bool
+}
+
+// renameUndo records a rename whose directory entry is not yet durable.
+type renameUndo struct {
+	dir        string // parent directory whose sync commits the rename
+	from, to   string
+	clobbered  []byte // previous content of to, if it existed
+	hadTarget  bool
+	fromLinked bool // whether from's entry was durable pre-rename
+}
+
+// FaultFS wraps a base FS and injects deterministic faults. It also
+// models a strict power-cut: unsynced bytes are truncated away,
+// unsynced directory entries (creates, renames) are reverted, and the
+// filesystem goes dead. The model is strict — stricter in places than
+// any one real filesystem — so that protocols passing under it are
+// sound on all of them. (Two deliberate simplifications: directory
+// creations persist, and un-dir-synced removals are not resurrected;
+// neither can mask an acked-or-absent violation in this engine, since
+// recovery skips WAL segments at or below the manifest's sequence.)
+type FaultFS struct {
+	base FS
+
+	mu      sync.Mutex
+	faults  Faults
+	nOps    uint64
+	ops     []Op
+	syncs   uint64
+	written int64
+	dead    bool
+	files   map[string]*fileState
+	renames []renameUndo
+}
+
+// NewFaultFS wraps base with the given fault schedule.
+func NewFaultFS(base FS, faults Faults) *FaultFS {
+	return &FaultFS{base: base, faults: faults, files: make(map[string]*fileState)}
+}
+
+// SetFaults replaces the fault schedule. The op counter keeps running,
+// so FailOp indexes remain global: arm a future fault with
+// OpCount() + k.
+func (x *FaultFS) SetFaults(f Faults) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.faults = f
+}
+
+// ClearFaults disables all injected faults (the op counter keeps
+// running).
+func (x *FaultFS) ClearFaults() { x.SetFaults(Faults{}) }
+
+// OpCount reports how many mutating operations have been counted.
+func (x *FaultFS) OpCount() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.nOps
+}
+
+// Ops returns the counted operation log.
+func (x *FaultFS) Ops() []Op {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]Op(nil), x.ops...)
+}
+
+// PowerCut simulates pulling the plug: every tracked file is truncated
+// to its durable length, unsynced renames are reverted, files whose
+// directory entries were never synced are removed, and the FaultFS
+// goes dead — all subsequent operations fail with ErrPowerCut (Close
+// still closes real handles so tests can release descriptors).
+// Recovery then reopens the directory with a fresh FS.
+func (x *FaultFS) PowerCut() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.dead {
+		return
+	}
+	x.dead = true
+	// 1) Content: drop unsynced bytes.
+	for path, st := range x.files {
+		durable := st.synced
+		if st.frozen >= 0 && st.frozen < durable {
+			durable = st.frozen
+		}
+		if st.size > durable {
+			_ = x.base.Truncate(path, durable)
+		}
+	}
+	// 2) Dirents: revert renames never committed by a directory sync,
+	// restoring any clobbered target (a power cut mid-rename leaves
+	// the old entry — the adversarial choice for atomic-replace
+	// protocols).
+	for i := len(x.renames) - 1; i >= 0; i-- {
+		u := x.renames[i]
+		_ = x.base.Rename(u.to, u.from)
+		if st, ok := x.files[u.to]; ok {
+			delete(x.files, u.to)
+			st.linked = u.fromLinked
+			x.files[u.from] = st
+		}
+		if u.hadTarget {
+			_ = x.base.WriteFile(u.to, u.clobbered, 0o644)
+		}
+	}
+	x.renames = nil
+	// 3) Dirents: files created since the last parent-directory sync
+	// never became findable.
+	for path, st := range x.files {
+		if !st.linked {
+			_ = x.base.Remove(path)
+		}
+	}
+}
+
+// count records one mutating op and returns its decision: a non-nil
+// error to inject, and whether to tear (for writes).
+func (x *FaultFS) count(kind OpKind, path string) (uint64, error) {
+	x.nOps++
+	idx := x.nOps
+	x.ops = append(x.ops, Op{Index: idx, Kind: kind, Path: path})
+	if x.dead {
+		return idx, ErrPowerCut
+	}
+	f := x.faults
+	if f.FailOp != 0 && (idx == f.FailOp || (f.Sticky && idx > f.FailOp)) {
+		return idx, x.injectedErr(kind, path)
+	}
+	return idx, nil
+}
+
+func (x *FaultFS) injectedErr(kind OpKind, path string) error {
+	err := x.faults.Err
+	if err == nil {
+		err = syscall.EIO
+	}
+	return fmt.Errorf("fsio: injected fault (%s %s): %w", kind, path, err)
+}
+
+// syncGate applies the sticky fsync fault. Caller holds mu and has
+// already counted the op.
+func (x *FaultFS) syncGate(kind OpKind, path string) error {
+	x.syncs++
+	if x.faults.SyncFailAfter != 0 && x.syncs >= x.faults.SyncFailAfter {
+		return x.injectedErr(kind, path)
+	}
+	return nil
+}
+
+// track returns (creating if needed) the state for path.
+func (x *FaultFS) track(path string, existed bool, size int64) *fileState {
+	st, ok := x.files[path]
+	if !ok {
+		st = &fileState{frozen: -1}
+		if existed {
+			// Pre-existing file: its dirent and current content are
+			// assumed durable.
+			st.linked = true
+			st.size = size
+			st.synced = size
+		}
+		x.files[path] = st
+	}
+	return st
+}
+
+type faultFile struct {
+	fs   *FaultFS
+	f    File
+	path string
+}
+
+func (x *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	x.mu.Lock()
+	creating := flag&os.O_CREATE != 0
+	var existed bool
+	var size int64
+	if fi, err := x.base.Stat(name); err == nil {
+		existed = true
+		size = fi.Size()
+	}
+	if creating {
+		if _, err := x.count(OpCreate, name); err != nil {
+			x.mu.Unlock()
+			return nil, err
+		}
+	} else if x.dead {
+		x.mu.Unlock()
+		return nil, ErrPowerCut
+	}
+	f, err := x.base.OpenFile(name, flag, perm)
+	if err != nil {
+		x.mu.Unlock()
+		return nil, err
+	}
+	st := x.track(name, existed, size)
+	if flag&os.O_TRUNC != 0 {
+		// Truncation discards the content — including any fsync-lost
+		// range — so the freeze lifts and the durable length resets.
+		st.size, st.synced, st.frozen = 0, 0, -1
+	}
+	x.mu.Unlock()
+	return &faultFile{fs: x, f: f, path: name}, nil
+}
+
+func (f *faultFile) Name() string { return f.path }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	x := f.fs
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	st := x.track(f.path, false, 0)
+	if _, err := x.count(OpWrite, f.path); err != nil {
+		n := 0
+		if x.faults.Torn && len(p) > 1 && !x.dead {
+			// Torn write: half the buffer lands before the error.
+			n, _ = f.f.Write(p[:len(p)/2])
+			st.size += int64(n)
+			x.written += int64(n)
+		}
+		return n, err
+	}
+	if b := x.faults.ENOSPCAfter; b > 0 {
+		if free := b - x.written; free < int64(len(p)) {
+			n := 0
+			if free > 0 {
+				n, _ = f.f.Write(p[:free])
+			}
+			st.size += int64(n)
+			x.written += int64(n)
+			return n, fmt.Errorf("fsio: injected fault (write %s): %w", f.path, syscall.ENOSPC)
+		}
+	}
+	n, err := f.f.Write(p)
+	st.size += int64(n)
+	x.written += int64(n)
+	return n, err
+}
+
+func (f *faultFile) Sync() error {
+	x := f.fs
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	st := x.track(f.path, false, 0)
+	if _, err := x.count(OpSync, f.path); err != nil {
+		x.freezeLocked(st)
+		return err
+	}
+	if err := x.syncGate(OpSync, f.path); err != nil {
+		x.freezeLocked(st)
+		return err
+	}
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	if st.frozen < 0 {
+		st.synced = st.size
+	}
+	return nil
+}
+
+// freezeLocked records that a file fsync failed: the unsynced range is
+// permanently lost, whatever later syncs report.
+func (x *FaultFS) freezeLocked(st *fileState) {
+	if st.frozen < 0 {
+		st.frozen = st.synced
+	}
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	x := f.fs
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	st := x.track(f.path, false, 0)
+	if _, err := x.count(OpTruncate, f.path); err != nil {
+		return err
+	}
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	st.size = size
+	if st.synced > size {
+		st.synced = size
+	}
+	if st.frozen >= size {
+		st.frozen = -1
+	}
+	return nil
+}
+
+func (f *faultFile) Close() error {
+	// Close always reaches the base handle, even after a power cut:
+	// tests must be able to release descriptors.
+	return f.f.Close()
+}
+
+func (x *FaultFS) ReadFile(name string) ([]byte, error) {
+	x.mu.Lock()
+	dead := x.dead
+	x.mu.Unlock()
+	if dead {
+		return nil, ErrPowerCut
+	}
+	return x.base.ReadFile(name)
+}
+
+func (x *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	x.mu.Lock()
+	dead := x.dead
+	x.mu.Unlock()
+	if dead {
+		return nil, ErrPowerCut
+	}
+	return x.base.ReadDir(name)
+}
+
+func (x *FaultFS) Stat(name string) (os.FileInfo, error) {
+	x.mu.Lock()
+	dead := x.dead
+	x.mu.Unlock()
+	if dead {
+		return nil, ErrPowerCut
+	}
+	return x.base.Stat(name)
+}
+
+func (x *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, err := x.count(OpMkdir, path); err != nil {
+		return err
+	}
+	return x.base.MkdirAll(path, perm)
+}
+
+func (x *FaultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	f, err := x.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (x *FaultFS) Rename(oldpath, newpath string) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, err := x.count(OpRename, oldpath); err != nil {
+		return err
+	}
+	var clobbered []byte
+	hadTarget := false
+	if data, err := x.base.ReadFile(newpath); err == nil {
+		clobbered = data
+		hadTarget = true
+	}
+	if err := x.base.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	st := x.track(oldpath, false, 0)
+	delete(x.files, oldpath)
+	fromLinked := st.linked
+	if old, ok := x.files[newpath]; ok && old.linked {
+		// Replacing a durable entry: the name survives a power cut
+		// (holding either old or new content).
+		st.linked = true
+	} else {
+		st.linked = false
+	}
+	x.files[newpath] = st
+	x.renames = append(x.renames, renameUndo{
+		dir: filepath.Dir(newpath), from: oldpath, to: newpath,
+		clobbered: clobbered, hadTarget: hadTarget, fromLinked: fromLinked,
+	})
+	return nil
+}
+
+func (x *FaultFS) Remove(name string) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, err := x.count(OpRemove, name); err != nil {
+		return err
+	}
+	if err := x.base.Remove(name); err != nil {
+		return err
+	}
+	delete(x.files, name)
+	return nil
+}
+
+func (x *FaultFS) Truncate(name string, size int64) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, err := x.count(OpTruncate, name); err != nil {
+		return err
+	}
+	if err := x.base.Truncate(name, size); err != nil {
+		return err
+	}
+	var existed bool
+	var fsize int64
+	if fi, err := x.base.Stat(name); err == nil {
+		existed, fsize = true, fi.Size()
+	}
+	st := x.track(name, existed, fsize)
+	st.size = size
+	if st.synced > size {
+		st.synced = size
+	}
+	if st.frozen >= size {
+		st.frozen = -1
+	}
+	return nil
+}
+
+func (x *FaultFS) SyncDir(dir string) error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if _, err := x.count(OpSyncDir, dir); err != nil {
+		return err
+	}
+	if err := x.syncGate(OpSyncDir, dir); err != nil {
+		return err
+	}
+	if err := x.base.SyncDir(dir); err != nil {
+		return err
+	}
+	// The directory's entries are now durable: link its files and
+	// commit its pending renames.
+	for path, st := range x.files {
+		if filepath.Dir(path) == dir {
+			st.linked = true
+		}
+	}
+	kept := x.renames[:0]
+	for _, u := range x.renames {
+		if u.dir != dir {
+			kept = append(kept, u)
+		}
+	}
+	x.renames = kept
+	return nil
+}
+
+// OpsByKind filters the op log, preserving order.
+func (x *FaultFS) OpsByKind(kind OpKind) []Op {
+	all := x.Ops()
+	out := all[:0]
+	for _, op := range all {
+		if op.Kind == kind {
+			out = append(out, op)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}

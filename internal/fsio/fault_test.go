@@ -1,0 +1,293 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestParseFaults(t *testing.T) {
+	f, err := ParseFaults("fail-op=17,torn,sticky")
+	if err != nil {
+		t.Fatalf("ParseFaults: %v", err)
+	}
+	if f.FailOp != 17 || !f.Torn || !f.Sticky {
+		t.Fatalf("ParseFaults = %+v", f)
+	}
+	f, err = ParseFaults("sync-fail-after=3, enospc-after=4096")
+	if err != nil {
+		t.Fatalf("ParseFaults: %v", err)
+	}
+	if f.SyncFailAfter != 3 || f.ENOSPCAfter != 4096 {
+		t.Fatalf("ParseFaults = %+v", f)
+	}
+	for _, bad := range []string{"fail-op", "nope", "fail-op=x"} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("ParseFaults(%q): want error", bad)
+		}
+	}
+}
+
+// mustWriteSynced creates path through ffs with content, fsyncs it and
+// syncs its parent directory, making both content and dirent durable.
+func mustWriteSynced(t *testing.T, ffs *FaultFS, path, content string) {
+	t.Helper()
+	f, err := ffs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile(%s): %v", path, err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatalf("Write(%s): %v", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync(%s): %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close(%s): %v", path, err)
+	}
+	if err := ffs.SyncDir(filepath.Dir(path)); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+}
+
+func TestFailOpExactAndSticky(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, Faults{FailOp: 2})
+	// Op 1: create (succeeds). Op 2: write (fails). Op 3+: succeed again.
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("op 2 write: got %v, want EIO", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("op 3 write after non-sticky fault: %v", err)
+	}
+	f.Close()
+
+	ffs = NewFaultFS(OS, Faults{FailOp: 2, Sticky: true})
+	f, err = ffs.OpenFile(filepath.Join(dir, "b"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("op 2 write: got %v, want EIO", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("op 3 write under sticky fault: got %v, want EIO", err)
+	}
+	if err := ffs.SyncDir(dir); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("syncdir under sticky fault: got %v, want EIO", err)
+	}
+	f.Close()
+}
+
+func TestTornWriteLandsHalf(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	ffs := NewFaultFS(OS, Faults{FailOp: 2, Torn: true})
+	f, err := ffs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if err == nil {
+		t.Fatal("torn write: want error")
+	}
+	if n != 4 {
+		t.Fatalf("torn write landed %d bytes, want 4", n)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if string(got) != "abcd" {
+		t.Fatalf("on disk after torn write: %q, want \"abcd\"", got)
+	}
+}
+
+func TestENOSPCBudget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "full")
+	ffs := NewFaultFS(OS, Faults{ENOSPCAfter: 6})
+	f, err := ffs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	n, err := f.Write([]byte("efgh"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write past budget: got %v, want ENOSPC", err)
+	}
+	if n != 2 {
+		t.Fatalf("partial write landed %d bytes, want 2", n)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("every later write: got %v, want ENOSPC", err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if string(got) != "abcdef" {
+		t.Fatalf("on disk: %q, want \"abcdef\"", got)
+	}
+}
+
+// TestSyncFailureFreezesDurableWatermark is the Postgres fsync-gate
+// scenario: once an fsync fails, the unsynced bytes are gone for good —
+// a later "successful" fsync must not resurrect them.
+func TestSyncFailureFreezesDurableWatermark(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	ffs := NewFaultFS(OS, Faults{})
+	mustWriteSynced(t, ffs, path, "hello")
+
+	f, err := ffs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := f.Write([]byte(" world")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	ffs.SetFaults(Faults{FailOp: ffs.OpCount() + 1}) // next op is the fsync
+	if err := f.Sync(); err == nil {
+		t.Fatal("injected fsync: want error")
+	}
+	ffs.ClearFaults()
+	if err := f.Sync(); err != nil {
+		// The retried fsync "succeeds" — exactly the trap: the kernel
+		// already dropped the dirty pages.
+		t.Fatalf("retried fsync: %v", err)
+	}
+	f.Close()
+
+	ffs.PowerCut()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read after power cut: %v", err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("after failed-then-retried fsync + power cut: %q, want \"hello\"", got)
+	}
+}
+
+func TestPowerCutDropsUnsyncedBytesAndUnlinkedFiles(t *testing.T) {
+	dir := t.TempDir()
+	synced := filepath.Join(dir, "synced")
+	ffs := NewFaultFS(OS, Faults{})
+	mustWriteSynced(t, ffs, synced, "durable")
+
+	// Append unsynced bytes to the durable file.
+	f, err := ffs.OpenFile(synced, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := f.Write([]byte(" and not")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	f.Close()
+
+	// Create a file whose dirent is never made durable.
+	unlinked := filepath.Join(dir, "unlinked")
+	g, err := ffs.OpenFile(unlinked, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	g.Write([]byte("ghost"))
+	g.Sync() // content synced, but the directory entry is not
+	g.Close()
+
+	ffs.PowerCut()
+	if got, _ := os.ReadFile(synced); string(got) != "durable" {
+		t.Fatalf("synced file after power cut: %q, want \"durable\"", got)
+	}
+	if _, err := os.Stat(unlinked); !os.IsNotExist(err) {
+		t.Fatalf("unlinked file survived power cut: %v", err)
+	}
+	if _, err := ffs.ReadFile(synced); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("op after power cut: got %v, want ErrPowerCut", err)
+	}
+}
+
+func TestPowerCutRevertsUncommittedRename(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "MANIFEST")
+	tmp := filepath.Join(dir, "MANIFEST.tmp")
+	ffs := NewFaultFS(OS, Faults{})
+	mustWriteSynced(t, ffs, target, "old")
+	mustWriteSynced(t, ffs, tmp, "new")
+	if err := ffs.Rename(tmp, target); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	// No SyncDir: the rename's dirent never became durable. The
+	// adversarial power cut restores the old manifest.
+	ffs.PowerCut()
+	if got, _ := os.ReadFile(target); string(got) != "old" {
+		t.Fatalf("target after power cut: %q, want \"old\"", got)
+	}
+}
+
+func TestSyncDirCommitsRename(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "MANIFEST")
+	tmp := filepath.Join(dir, "MANIFEST.tmp")
+	ffs := NewFaultFS(OS, Faults{})
+	mustWriteSynced(t, ffs, target, "old")
+	mustWriteSynced(t, ffs, tmp, "new")
+	if err := ffs.Rename(tmp, target); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	if err := ffs.SyncDir(dir); err != nil {
+		t.Fatalf("syncdir: %v", err)
+	}
+	ffs.PowerCut()
+	if got, _ := os.ReadFile(target); string(got) != "new" {
+		t.Fatalf("target after committed rename + power cut: %q, want \"new\"", got)
+	}
+}
+
+func TestSyncFailAfterGate(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, Faults{SyncFailAfter: 2})
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync 2: got %v, want EIO", err)
+	}
+	// The gate is sticky and shared with directory syncs.
+	if err := ffs.SyncDir(dir); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("dir sync after gate: got %v, want EIO", err)
+	}
+	f.Close()
+}
+
+func TestOpLogIsDeterministic(t *testing.T) {
+	workload := func() []Op {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OS, Faults{})
+		mustWriteSynced(t, ffs, filepath.Join(dir, "a"), "one")
+		mustWriteSynced(t, ffs, filepath.Join(dir, "b"), "two")
+		if err := ffs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "c")); err != nil {
+			t.Fatalf("rename: %v", err)
+		}
+		return ffs.Ops()
+	}
+	a, b := workload(), workload()
+	if len(a) != len(b) {
+		t.Fatalf("op counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		// Paths embed the per-run TempDir; the schedule itself — index
+		// and kind — is what fault sweeps replay against.
+		if a[i].Index != b[i].Index || a[i].Kind != b[i].Kind {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"xmlest/internal/fsio"
 )
 
 // FileName is the manifest's name inside a data directory.
@@ -129,7 +131,12 @@ func (m *Manifest) Encode() ([]byte, error) {
 // Load reads the data directory's manifest. ok is false (with a nil
 // error) when no manifest exists — a fresh directory.
 func Load(dir string) (m *Manifest, ok bool, err error) {
-	data, err := os.ReadFile(filepath.Join(dir, FileName))
+	return LoadFS(fsio.OS, dir)
+}
+
+// LoadFS is Load over an explicit filesystem.
+func LoadFS(fsys fsio.FS, dir string) (m *Manifest, ok bool, err error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, FileName))
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
@@ -147,12 +154,19 @@ func Load(dir string) (m *Manifest, ok bool, err error) {
 // FileName, fsync the directory. A crash at any point leaves either
 // the previous manifest or the new one — never a torn mix.
 func (m *Manifest) Write(dir string) error {
+	return m.WriteFS(fsio.OS, dir)
+}
+
+// WriteFS is Write over an explicit filesystem. Any step failing —
+// temp write, fsync, rename, directory fsync — leaves the previous
+// manifest in place; the caller retries the whole write.
+func (m *Manifest) WriteFS(fsys fsio.FS, dir string) error {
 	data, err := m.Encode()
 	if err != nil {
 		return err
 	}
 	tmp := filepath.Join(dir, FileName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("manifest: %w", err)
 	}
@@ -167,16 +181,11 @@ func (m *Manifest) Write(dir string) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("manifest: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, FileName)); err != nil {
+	if err := fsys.Rename(tmp, filepath.Join(dir, FileName)); err != nil {
 		return fmt.Errorf("manifest: %w", err)
 	}
-	d, err := os.Open(dir)
-	if err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("manifest: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("manifest: fsync %s: %w", dir, err)
 	}
 	return nil
 }

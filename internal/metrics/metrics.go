@@ -216,6 +216,7 @@ type Endpoint struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
 	rejected atomic.Uint64
+	panics   atomic.Uint64
 	inflight atomic.Int64
 	lat      *LatencyHistogram
 	// recent is a ring of per-second request counts packed as
@@ -244,6 +245,14 @@ func (e *Endpoint) BeginRequest() func(Outcome) {
 		e.Observe(time.Since(start), o)
 	}
 }
+
+// RecordPanic counts one recovered handler panic. The request itself
+// is also completed (as an Error) by the usual path; this counter
+// exists so panics are distinguishable from ordinary failures.
+func (e *Endpoint) RecordPanic() { e.panics.Add(1) }
+
+// Panics returns the recovered-panic count.
+func (e *Endpoint) Panics() uint64 { return e.panics.Load() }
 
 // Observe records one completed request.
 func (e *Endpoint) Observe(d time.Duration, o Outcome) {
@@ -306,6 +315,7 @@ type EndpointSnapshot struct {
 	Requests  uint64         `json:"requests"`
 	Errors    uint64         `json:"errors"`
 	Rejected  uint64         `json:"rejected"`
+	Panics    uint64         `json:"panics,omitempty"`
 	Inflight  int64          `json:"inflight"`
 	QPS       float64        `json:"qps"`
 	RecentQPS float64        `json:"recent_qps"`
@@ -359,6 +369,7 @@ func (r *Registry) Snapshot() []EndpointSnapshot {
 			Requests:  e.requests.Load(),
 			Errors:    e.errors.Load(),
 			Rejected:  e.rejected.Load(),
+			Panics:    e.panics.Load(),
 			Inflight:  e.inflight.Load(),
 			RecentQPS: e.RecentQPS(),
 			Latency:   e.lat.Summary(),

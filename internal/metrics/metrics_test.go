@@ -150,3 +150,19 @@ func TestRecentQPSCountsOnlyTaggedSeconds(t *testing.T) {
 		t.Errorf("young RecentQPS = %v, want 20 (40 requests over a 2s life)", got)
 	}
 }
+
+func TestPanicCounter(t *testing.T) {
+	r := NewRegistry()
+	e := r.Endpoint("append")
+	if e.Panics() != 0 {
+		t.Fatalf("fresh panics = %d, want 0", e.Panics())
+	}
+	e.RecordPanic()
+	e.RecordPanic()
+	if e.Panics() != 2 {
+		t.Fatalf("panics = %d, want 2", e.Panics())
+	}
+	if s := r.Snapshot()[0]; s.Panics != 2 {
+		t.Errorf("snapshot panics = %d, want 2", s.Panics)
+	}
+}

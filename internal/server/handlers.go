@@ -119,16 +119,30 @@ type StatsResponse struct {
 	Durability *xmlest.DurabilityStats `json:"durability,omitempty"`
 }
 
-// HealthResponse is the /healthz body.
-type HealthResponse struct {
-	Status  string `json:"status"`
-	Version uint64 `json:"version"`
-	Shards  int    `json:"shards"`
+// DegradedJSON names the failed storage component on a degraded
+// daemon: "wal" (log sealed; mutations refused until restart) or
+// "checkpoint" (last checkpoint failed; retried with backoff).
+type DegradedJSON struct {
+	Component string `json:"component"`
+	Reason    string `json:"reason"`
 }
 
-// ErrorResponse carries a client-readable error.
+// HealthResponse is the /healthz body. Status is "ok", "degraded"
+// (reads serve, durable mutations fail; Degraded has the component) or
+// "draining" (shutdown in progress, 503).
+type HealthResponse struct {
+	Status   string        `json:"status"`
+	Version  uint64        `json:"version"`
+	Shards   int           `json:"shards"`
+	Degraded *DegradedJSON `json:"degraded,omitempty"`
+}
+
+// ErrorResponse carries a client-readable error; Degraded is set when
+// the error is the storage layer's degraded state rather than the
+// request's fault.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error    string        `json:"error"`
+	Degraded *DegradedJSON `json:"degraded,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -141,6 +155,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// writeDegraded rejects a mutation because a storage component failed:
+// 503 with the component and reason, plus Retry-After — a "checkpoint"
+// degradation clears on its own; a sealed WAL needs an operator (and a
+// healthy disk) anyway.
+func writeDegraded(w http.ResponseWriter, component, reason string) {
+	w.Header().Set("Retry-After", "10")
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+		Error:    "storage degraded (" + component + "): mutations refused, reads still serve",
+		Degraded: &DegradedJSON{Component: component, Reason: reason},
+	})
+}
+
+// degradedJSON snapshots the database's degraded state, nil when
+// healthy or non-durable.
+func (s *Server) degradedJSON() *DegradedJSON {
+	if s.db == nil {
+		return nil
+	}
+	if comp, reason, bad := s.db.Degraded(); bad {
+		return &DegradedJSON{Component: comp, Reason: reason}
+	}
+	return nil
 }
 
 // decodeJSON strictly decodes one JSON object from the request body.
@@ -252,6 +290,13 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusForbidden, "read-only server (loaded from a summary): no document store to append to")
 		return
 	}
+	if comp, reason, bad := s.db.Degraded(); bad && comp == "wal" {
+		// The WAL sealed on an I/O failure: nothing can be made durable,
+		// so nothing is accepted. (A checkpoint-only degradation does not
+		// gate appends — the WAL itself is healthy and keeps every ack.)
+		writeDegraded(w, comp, reason)
+		return
+	}
 	select {
 	case s.appendSem <- struct{}{}:
 		defer func() { <-s.appendSem }()
@@ -281,6 +326,13 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.db.Append(readers...)
 	if err != nil {
+		var de *xmlest.DegradedError
+		if errors.As(err, &de) {
+			// The failure that sealed the log can race the pre-check; the
+			// ack is an error either way.
+			writeDegraded(w, de.Component, err.Error())
+			return
+		}
 		writeRequestError(w, "append: ", err)
 		return
 	}
@@ -322,6 +374,11 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	}
 	merged, err := s.db.Compact(policy)
 	if err != nil {
+		var de *xmlest.DegradedError
+		if errors.As(err, &de) {
+			writeDegraded(w, de.Component, err.Error())
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "compact: "+err.Error())
 		return
 	}
@@ -385,11 +442,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.est.Snapshot()
 	status, code := "ok", http.StatusOK
+	degraded := s.degradedJSON()
+	if degraded != nil {
+		// Degraded is still 200: reads serve from the in-memory snapshot,
+		// so a load balancer probing liveness should keep routing. The
+		// body names the failed component for monitoring.
+		status = "degraded"
+	}
 	if s.draining.Load() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, HealthResponse{
 		Status: status, Version: snap.Version(), Shards: snap.ShardCount(),
+		Degraded: degraded,
 	})
 }
 

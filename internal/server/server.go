@@ -29,6 +29,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,21 @@ type Config struct {
 	// non-durable databases.
 	CheckpointInterval time.Duration
 
+	// ReadTimeout, WriteTimeout and IdleTimeout harden the HTTP server
+	// against slow or stalled clients (slowloris, dead peers holding
+	// connections). Zero means the defaults below; negative is
+	// rejected. ReadTimeout covers the whole request read,
+	// WriteTimeout the response write (sized generously so a large
+	// synchronous /compact is not cut off), IdleTimeout keep-alive
+	// idle connections.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+
+	// MaxHeaderBytes bounds request headers. 0 means
+	// DefaultMaxHeaderBytes; negative is rejected.
+	MaxHeaderBytes int
+
 	// DrainDelay is how long Shutdown keeps the listener accepting
 	// after /healthz flips to 503, so load-balancer probes can observe
 	// the drain before connections start being refused. 0 (the
@@ -98,6 +114,18 @@ const (
 	DefaultMaxInflightAppends = 4
 	DefaultMaxBatchPatterns   = 256
 	DefaultMaxBodyBytes       = 32 << 20
+	DefaultReadTimeout        = time.Minute
+	DefaultWriteTimeout       = 5 * time.Minute
+	DefaultIdleTimeout        = 2 * time.Minute
+	DefaultMaxHeaderBytes     = 1 << 20
+)
+
+// Checkpoint-retry backoff bounds (see checkpointLoop): consecutive
+// failures double the delay from the configured interval up to
+// maxCheckpointBackoffMult times it, capped at maxCheckpointBackoff.
+const (
+	maxCheckpointBackoffMult = 32
+	maxCheckpointBackoff     = 5 * time.Minute
 )
 
 // withDefaults validates and fills in the zero fields.
@@ -117,6 +145,22 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxInflightAppends < 0 || c.MaxBatchPatterns < 0 || c.MaxBodyBytes < 0 {
 		return c, fmt.Errorf("server: negative limit in config (appends %d, batch %d, body %d)",
 			c.MaxInflightAppends, c.MaxBatchPatterns, c.MaxBodyBytes)
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = DefaultReadTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.MaxHeaderBytes == 0 {
+		c.MaxHeaderBytes = DefaultMaxHeaderBytes
+	}
+	if c.ReadTimeout < 0 || c.WriteTimeout < 0 || c.IdleTimeout < 0 || c.MaxHeaderBytes < 0 {
+		return c, fmt.Errorf("server: negative HTTP hardening limit (read %s, write %s, idle %s, header %d)",
+			c.ReadTimeout, c.WriteTimeout, c.IdleTimeout, c.MaxHeaderBytes)
 	}
 	if c.AutoCompactInterval < 0 {
 		return c, fmt.Errorf("server: negative auto-compact interval %s", c.AutoCompactInterval)
@@ -154,6 +198,7 @@ type Server struct {
 	autoMerges  atomic.Uint64 // shards merged away by the auto-compaction loop
 	autoRounds  atomic.Uint64 // auto-compaction rounds run
 	cpRounds    atomic.Uint64 // background checkpoint rounds run
+	cpFailures  atomic.Uint64 // background checkpoint rounds that failed
 	appendsSeen atomic.Uint64 // documents accepted via /append
 }
 
@@ -224,6 +269,10 @@ func (s *Server) Start() (net.Addr, error) {
 	s.httpSrv = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+		MaxHeaderBytes:    s.cfg.MaxHeaderBytes,
 	}
 	needCompact := s.cfg.AutoCompactInterval > 0 && s.db != nil
 	needCheckpoint := s.cfg.CheckpointInterval > 0 && s.db != nil && s.db.Durable()
@@ -331,28 +380,55 @@ func (s *Server) autoCompactLoop(ctx context.Context) {
 // cancelled, so the WAL stays short and recovery fast. Checkpoints
 // run concurrently with appends and estimates; a batch landing
 // mid-round simply stays in the WAL for the next one.
+//
+// A failed round — disk full, I/O error — does not kill the loop: it
+// retries with capped exponential backoff (interval × 2^failures, up
+// to min(interval×32, 5m)), so a transient fault costs a few delayed
+// checkpoints and a persistent one does not hammer a sick disk. The
+// failure count is visible as the "checkpoint" endpoint's error count
+// in /stats and as checkpoint_failures in the durability section.
 func (s *Server) checkpointLoop(ctx context.Context) {
-	t := time.NewTicker(s.cfg.CheckpointInterval)
+	interval := s.cfg.CheckpointInterval
+	maxDelay := interval * maxCheckpointBackoffMult
+	if maxDelay > maxCheckpointBackoff {
+		maxDelay = maxCheckpointBackoff
+	}
+	if maxDelay < interval {
+		maxDelay = interval
+	}
+	delay := interval
+	t := time.NewTimer(delay)
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			s.checkpointOnce()
 		}
+		if err := s.checkpointOnce(); err != nil {
+			delay *= 2
+			if delay > maxDelay {
+				delay = maxDelay
+			}
+			s.cfg.Log.Printf("xqestd: checkpoint failed (%d so far), retrying in %s: %v",
+				s.cpFailures.Load(), delay, err)
+		} else {
+			delay = interval
+		}
+		t.Reset(delay)
 	}
 }
 
 // checkpointOnce runs one instrumented checkpoint round.
-func (s *Server) checkpointOnce() {
+func (s *Server) checkpointOnce() error {
 	done := s.reg.Endpoint("checkpoint").BeginRequest()
 	_, err := s.db.Checkpoint()
 	done(metrics.OutcomeOf(err != nil))
 	s.cpRounds.Add(1)
 	if err != nil {
-		s.cfg.Log.Printf("xqestd: checkpoint: %v", err)
+		s.cpFailures.Add(1)
 	}
+	return err
 }
 
 // compactOnce runs one instrumented auto-compaction round.
@@ -372,15 +448,24 @@ func (s *Server) compactOnce() {
 	}
 }
 
-// statusRecorder captures the response status for instrumentation.
+// statusRecorder captures the response status for instrumentation and
+// whether anything was written (so panic recovery knows if a 500 can
+// still be sent).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(p)
 }
 
 // instrument enforces the HTTP method, bounds the request body, and
@@ -388,25 +473,40 @@ func (r *statusRecorder) WriteHeader(code int) {
 // Deliberate 503s — append backpressure, healthz while draining — are
 // rejections, not errors: a saturated-but-healthy daemon must not read
 // as error-ridden in /stats.
+//
+// It also recovers handler panics: the request gets a 500 (when the
+// response has not started), the endpoint's panic counter increments,
+// and the stack is logged — one poisoned request must not kill a
+// daemon serving thousands of healthy ones.
 func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handler {
 	ep := s.reg.Endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		done := ep.BeginRequest()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				ep.RecordPanic()
+				s.cfg.Log.Printf("xqestd: panic in %s %s: %v\n%s", method, r.URL.Path, p, debug.Stack())
+				rec.status = http.StatusInternalServerError
+				if !rec.wrote {
+					writeError(rec, http.StatusInternalServerError, "internal error")
+				}
+			}
+			switch {
+			case rec.status == http.StatusServiceUnavailable:
+				done(metrics.Rejected)
+			case rec.status >= 400:
+				done(metrics.Error)
+			default:
+				done(metrics.OK)
+			}
+		}()
 		if r.Method != method {
 			rec.Header().Set("Allow", method)
 			writeError(rec, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed")
-		} else {
-			r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
-			h(rec, r)
+			return
 		}
-		switch {
-		case rec.status == http.StatusServiceUnavailable:
-			done(metrics.Rejected)
-		case rec.status >= 400:
-			done(metrics.Error)
-		default:
-			done(metrics.OK)
-		}
+		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+		h(rec, r)
 	})
 }

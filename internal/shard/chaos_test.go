@@ -1,0 +1,356 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xmlest/internal/core"
+	"xmlest/internal/fsio"
+	"xmlest/internal/manifest"
+	"xmlest/internal/pattern"
+	"xmlest/internal/predicate"
+	"xmlest/internal/wal"
+	"xmlest/internal/xmltree"
+)
+
+// The chaos workload: chaosBatches single-doc appends, each with a
+// unique tag, interleaved with checkpoints. Unique tags make the
+// acked-or-absent invariant directly observable: batch i is present in
+// a recovered store iff //chaos<i> estimates exactly what the control
+// store says, and absent iff it estimates zero.
+const chaosBatches = 8
+
+func chaosDoc(i int) [][]byte {
+	return [][]byte{[]byte(fmt.Sprintf("<department><chaos%d>p%d</chaos%d></department>", i, i, i))}
+}
+
+func chaosCfg(fsys fsio.FS) DurableConfig {
+	return DurableConfig{
+		Options: durableTestOpts,
+		WAL:     wal.Options{Mode: wal.ModeAlways},
+		FS:      fsys,
+	}
+}
+
+// runChaosWorkload runs the fixed workload on fsys, tolerating
+// injected failures, and reports which batches were acknowledged.
+// shutdown releases descriptors (call it after PowerCut so the "crash"
+// happens first; its own I/O failures are expected and ignored).
+func runChaosWorkload(dir string, fsys fsio.FS) (acked []int, shutdown func()) {
+	d, err := OpenDurable(dir, nil, chaosCfg(fsys))
+	if err != nil {
+		return nil, func() {}
+	}
+	for i := 0; i < chaosBatches; i++ {
+		if i == 3 || i == 5 {
+			_, _ = d.Checkpoint() // may fail under fault: degraded, keep going
+		}
+		if _, _, err := d.AppendDocs(chaosDoc(i)); err == nil {
+			acked = append(acked, i)
+		}
+	}
+	_, _ = d.Checkpoint()
+	return acked, func() { _ = d.Close() }
+}
+
+// chaosControl builds the never-crashed reference: a plain in-memory
+// store holding exactly the acknowledged batches.
+func chaosControl(t *testing.T, acked []int) *Store {
+	t.Helper()
+	st := NewStore(predicate.Spec{AllTags: true})
+	for _, i := range acked {
+		tree, err := xmltree.ParseCollection(readerSlice(chaosDoc(i)), xmltree.DefaultParseOptions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.AppendTree(tree); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// chaosEstimates evaluates //chaos<i> for every batch index. A batch
+// that is absent has no tag=chaos<i> histogram in any shard — the
+// estimator refuses the unknown predicate, which this probe maps to an
+// estimate of zero (identically for control and recovered stores, so
+// the bit-for-bit comparison stays meaningful).
+func chaosEstimates(t *testing.T, st *Store, opts core.Options) []float64 {
+	t.Helper()
+	set := st.Current()
+	out := make([]float64, chaosBatches)
+	for i := 0; i < chaosBatches; i++ {
+		p, err := pattern.Parse(fmt.Sprintf("//chaos%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := set.EstimateTwig(p, opts)
+		switch {
+		case err == nil:
+			out[i] = res.Estimate
+		case strings.Contains(err.Error(), "no histogram for predicate"):
+			out[i] = 0
+		default:
+			t.Fatalf("estimate //chaos%d: %v", i, err)
+		}
+	}
+	return out
+}
+
+// verifyAckedOrAbsent recovers dir with a clean filesystem and asserts
+// the invariant: every acked batch is present with bit-identical
+// estimates, every non-acked batch is absent (zero estimate — in this
+// workload a failed append seals the log before any of its bytes are
+// fsynced, so "maybe present" collapses to "absent").
+func verifyAckedOrAbsent(t *testing.T, dir string, acked []int, label string) {
+	t.Helper()
+	d, err := OpenDurable(dir, nil, durableCfg())
+	if err != nil {
+		t.Fatalf("%s: recovery must always succeed, got: %v", label, err)
+	}
+	defer d.Close()
+	want := chaosEstimates(t, chaosControl(t, acked), durableTestOpts)
+	got := chaosEstimates(t, d.Store(), durableTestOpts)
+	for i := 0; i < chaosBatches; i++ {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: //chaos%d: recovered %v, control %v (acked=%v)",
+				label, i, got[i], want[i], acked)
+		}
+	}
+}
+
+// chaosControlRun executes the workload fault-free once to discover the
+// deterministic op schedule the sweeps replay against.
+func chaosControlRun(t *testing.T) *fsio.FaultFS {
+	t.Helper()
+	control := fsio.NewFaultFS(fsio.OS, fsio.Faults{})
+	dir := t.TempDir()
+	acked, shutdown := runChaosWorkload(dir, control)
+	shutdown()
+	if len(acked) != chaosBatches {
+		t.Fatalf("fault-free control run acked %v, want all %d batches", acked, chaosBatches)
+	}
+	verifyAckedOrAbsent(t, dir, acked, "control")
+	return control
+}
+
+func runChaosCase(t *testing.T, faults fsio.Faults, label string) {
+	t.Helper()
+	dir := t.TempDir()
+	ffs := fsio.NewFaultFS(fsio.OS, faults)
+	acked, shutdown := runChaosWorkload(dir, ffs)
+	ffs.PowerCut() // crash first...
+	shutdown()     // ...then release descriptors
+	verifyAckedOrAbsent(t, dir, acked, label)
+}
+
+// TestChaosSweepEveryOp injects a one-shot EIO at every mutating I/O
+// operation the workload performs, crashes with a power cut, recovers,
+// and requires acked-or-absent with bit-identical estimates each time.
+func TestChaosSweepEveryOp(t *testing.T) {
+	total := chaosControlRun(t).OpCount()
+	if total < 20 {
+		t.Fatalf("workload performed only %d ops; sweep would be vacuous", total)
+	}
+	for op := uint64(1); op <= total; op++ {
+		op := op
+		t.Run(fmt.Sprintf("fail-op-%d", op), func(t *testing.T) {
+			t.Parallel()
+			runChaosCase(t, fsio.Faults{FailOp: op}, fmt.Sprintf("fail-op=%d", op))
+		})
+	}
+}
+
+// TestChaosSweepTornWrites makes every write in the schedule a torn
+// write (half lands, then EIO).
+func TestChaosSweepTornWrites(t *testing.T) {
+	writes := chaosControlRun(t).OpsByKind(fsio.OpWrite)
+	if len(writes) == 0 {
+		t.Fatal("workload performed no writes")
+	}
+	for _, w := range writes {
+		w := w
+		t.Run(fmt.Sprintf("torn-op-%d", w.Index), func(t *testing.T) {
+			t.Parallel()
+			runChaosCase(t, fsio.Faults{FailOp: w.Index, Torn: true},
+				fmt.Sprintf("torn-op=%d", w.Index))
+		})
+	}
+}
+
+// TestChaosSweepStickyDisk turns the disk permanently bad at a spread
+// of op indexes — every later operation fails too.
+func TestChaosSweepStickyDisk(t *testing.T) {
+	total := chaosControlRun(t).OpCount()
+	for op := uint64(1); op <= total; op += 5 {
+		op := op
+		t.Run(fmt.Sprintf("sticky-op-%d", op), func(t *testing.T) {
+			t.Parallel()
+			runChaosCase(t, fsio.Faults{FailOp: op, Sticky: true},
+				fmt.Sprintf("sticky-op=%d", op))
+		})
+	}
+}
+
+// TestChaosRandomized composes fault schedules from a fixed seed: the
+// run is reproducible, but covers combinations the exhaustive sweeps
+// do not (sync gates + ENOSPC budgets + torn writes together).
+func TestChaosRandomized(t *testing.T) {
+	total := chaosControlRun(t).OpCount()
+	rng := rand.New(rand.NewSource(20020807))
+	for run := 0; run < 24; run++ {
+		var f fsio.Faults
+		if rng.Intn(2) == 0 {
+			f.FailOp = 1 + uint64(rng.Int63n(int64(total)))
+			f.Torn = rng.Intn(2) == 0
+			f.Sticky = rng.Intn(3) == 0
+		}
+		if rng.Intn(3) == 0 {
+			f.SyncFailAfter = 1 + uint64(rng.Int63n(24))
+		}
+		if rng.Intn(3) == 0 {
+			f.ENOSPCAfter = 1 + rng.Int63n(8192)
+		}
+		t.Run(fmt.Sprintf("run-%d", run), func(t *testing.T) {
+			t.Parallel()
+			runChaosCase(t, f, fmt.Sprintf("random run %d (%+v)", run, f))
+		})
+	}
+}
+
+// TestFsyncFailureNeverAckedEndToEnd pins the headline guarantee at the
+// store level: when the very first append's fsync fails, the client
+// gets an error, nothing is installed, the store reports itself
+// degraded, and recovery finds an empty database.
+func TestFsyncFailureNeverAckedEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ffs := fsio.NewFaultFS(fsio.OS, fsio.Faults{})
+	d, err := OpenDurable(dir, nil, chaosCfg(ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := d.Store().Version()
+	ffs.SetFaults(fsio.Faults{SyncFailAfter: 1}) // every fsync from here fails
+	if _, _, err := d.AppendDocs(chaosDoc(0)); err == nil {
+		t.Fatal("append whose fsync failed must return an error, not an ack")
+	}
+	if v := d.Store().Version(); v != v0 {
+		t.Fatalf("serving version moved %d -> %d on a failed append", v0, v)
+	}
+	_, _, err2 := d.AppendDocs(chaosDoc(1))
+	var de *DegradedError
+	if !errors.As(err2, &de) || de.Component != "wal" {
+		t.Fatalf("append after seal: got %v, want DegradedError{wal}", err2)
+	}
+	if comp, _, bad := d.Degraded(); !bad || comp != "wal" {
+		t.Fatalf("Degraded() = (%q, _, %v), want (wal, true)", comp, bad)
+	}
+	st := d.Stats()
+	if !st.Degraded || st.DegradedComponent != "wal" {
+		t.Fatalf("Stats degraded fields: %+v", st)
+	}
+	ffs.PowerCut()
+	_ = d.Close()
+	verifyAckedOrAbsent(t, dir, nil, "fsync-failure")
+}
+
+// TestCheckpointAtomicityUnderFaults fails every I/O operation of a
+// checkpoint in turn and asserts the previous checkpoint is never
+// damaged: the manifest stays loadable at the old or new version, the
+// store keeps serving and reports transient checkpoint degradation, a
+// retry succeeds and clears it, and a subsequent crash still recovers
+// every acked batch bit-identically.
+func TestCheckpointAtomicityUnderFaults(t *testing.T) {
+	// The prelude every case repeats: 3 acked appends, a clean
+	// checkpoint, 2 more acked appends.
+	prelude := func(t *testing.T, ffs *fsio.FaultFS, dir string) (*DurableStore, uint64) {
+		t.Helper()
+		d, err := OpenDurable(dir, nil, chaosCfg(ffs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, _, err := d.AppendDocs(chaosDoc(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v1, err := d.Checkpoint()
+		if err != nil {
+			t.Fatalf("clean checkpoint: %v", err)
+		}
+		for i := 3; i < 5; i++ {
+			if _, _, err := d.AppendDocs(chaosDoc(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d, v1
+	}
+
+	// Control: how many ops does the second checkpoint perform?
+	control := fsio.NewFaultFS(fsio.OS, fsio.Faults{})
+	cd, _ := prelude(t, control, t.TempDir())
+	before := control.OpCount()
+	if _, err := cd.Checkpoint(); err != nil {
+		t.Fatalf("control second checkpoint: %v", err)
+	}
+	cpOps := control.OpCount() - before
+	cd.Close()
+	if cpOps == 0 {
+		t.Fatal("second checkpoint performed no ops; test workload is wrong")
+	}
+
+	acked := []int{0, 1, 2, 3, 4}
+	for off := uint64(1); off <= cpOps; off++ {
+		off := off
+		t.Run(fmt.Sprintf("cp-op-%d", off), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			ffs := fsio.NewFaultFS(fsio.OS, fsio.Faults{})
+			d, v1 := prelude(t, ffs, dir)
+			ffs.SetFaults(fsio.Faults{FailOp: ffs.OpCount() + off})
+			v2target := d.Store().Version()
+			if _, err := d.Checkpoint(); err == nil {
+				t.Fatalf("checkpoint with op %d failing: want error", off)
+			}
+			// The previous checkpoint is intact: manifest loadable at
+			// old or new version, never torn.
+			man, ok, err := manifest.Load(dir)
+			if err != nil || !ok {
+				t.Fatalf("manifest after failed checkpoint: ok=%v err=%v", ok, err)
+			}
+			if man.Version != v1 && man.Version != v2target {
+				t.Fatalf("manifest version %d, want %d (old) or %d (new)", man.Version, v1, v2target)
+			}
+			// Serving continues; degradation is transient and typed.
+			if got := chaosEstimates(t, d.Store(), durableTestOpts); got[0] == 0 {
+				t.Fatal("store stopped serving after a failed checkpoint")
+			}
+			if comp, _, bad := d.Degraded(); !bad || comp != "checkpoint" {
+				t.Fatalf("Degraded() = (%q, _, %v), want (checkpoint, true)", comp, bad)
+			}
+			if st := d.Stats(); st.CheckpointFailures == 0 || !st.Degraded {
+				t.Fatalf("stats after failed checkpoint: %+v", st)
+			}
+			// Appends are still accepted: the WAL is healthy.
+			if _, _, err := d.AppendDocs(chaosDoc(5)); err != nil {
+				t.Fatalf("append during checkpoint degradation: %v", err)
+			}
+			// The disk recovers; the retry succeeds and clears the state.
+			ffs.ClearFaults()
+			if _, err := d.Checkpoint(); err != nil {
+				t.Fatalf("retried checkpoint: %v", err)
+			}
+			if _, _, bad := d.Degraded(); bad {
+				t.Fatal("degradation must clear on a successful checkpoint")
+			}
+			// And a crash after all that still loses nothing.
+			ffs.PowerCut()
+			_ = d.Close()
+			verifyAckedOrAbsent(t, dir, append(acked, 5), fmt.Sprintf("cp-op=%d", off))
+		})
+	}
+}

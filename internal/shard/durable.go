@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"xmlest/internal/core"
+	"xmlest/internal/fsio"
 	"xmlest/internal/manifest"
 	"xmlest/internal/predicate"
 	"xmlest/internal/wal"
@@ -43,7 +44,27 @@ type DurableConfig struct {
 
 	// WAL tunes the write-ahead log: fsync policy and segment size.
 	WAL wal.Options
+
+	// FS is the filesystem the store (manifest, checkpoints, and —
+	// unless WAL.FS overrides it — the WAL) runs on; nil means the real
+	// one. Fault-injection tests substitute an fsio.FaultFS.
+	FS fsio.FS
 }
+
+// DegradedError marks a mutation refused, or failed, because a storage
+// component is in a failed state. Component is "wal" (sealed log —
+// permanent until restart) or "checkpoint" (last checkpoint failed —
+// clears when one succeeds); reads are unaffected either way.
+type DegradedError struct {
+	Component string
+	Err       error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("shard: %s degraded: %v", e.Component, e.Err)
+}
+
+func (e *DegradedError) Unwrap() error { return e.Err }
 
 // RecoveryInfo describes one boot-time recovery.
 type RecoveryInfo struct {
@@ -77,6 +98,17 @@ type DurabilityStats struct {
 	CheckpointVersion uint64 `json:"checkpoint_version"`
 	CheckpointWALSeq  uint64 `json:"checkpoint_wal_seq"`
 	Checkpoints       uint64 `json:"checkpoints"`
+	// CheckpointFailures counts checkpoint attempts that failed; the
+	// checkpoint loop retries with backoff, so a transient disk error
+	// shows up here without degrading appends.
+	CheckpointFailures uint64 `json:"checkpoint_failures,omitempty"`
+	// Degraded reports a failed storage component: DegradedComponent is
+	// "wal" (log sealed; appends refused until restart) or "checkpoint"
+	// (last checkpoint failed; clears on the next success), with
+	// DegradedReason the underlying error. Reads serve normally.
+	Degraded          bool   `json:"degraded,omitempty"`
+	DegradedComponent string `json:"degraded_component,omitempty"`
+	DegradedReason    string `json:"degraded_reason,omitempty"`
 	// Recovery echoes the boot-time replay.
 	Recovery RecoveryInfo `json:"recovery"`
 }
@@ -92,6 +124,7 @@ type DurableStore struct {
 	store   *Store
 	log     *wal.Log
 	dir     string
+	fs      fsio.FS
 	opts    core.Options
 	walMode wal.Mode
 
@@ -106,6 +139,28 @@ type DurableStore struct {
 	checkpoints atomic.Uint64
 	cpVersion   atomic.Uint64
 	cpSeq       atomic.Uint64
+
+	// cpErr is the last checkpoint failure (nil after a success): the
+	// transient half of the degraded surface. The permanent half — a
+	// sealed WAL — lives in the log itself (wal.Log.Err).
+	cpErr      atomic.Pointer[string]
+	cpFailures atomic.Uint64
+}
+
+// Degraded reports the store's failed component, if any: "wal" when
+// the log has sealed after an I/O failure (appends are refused until
+// the process restarts against a healthy disk), or "checkpoint" when
+// the most recent checkpoint attempt failed (appends still work; the
+// WAL simply keeps growing until a checkpoint succeeds). Reads are
+// never degraded — the serving snapshot lives in memory.
+func (d *DurableStore) Degraded() (component, reason string, degraded bool) {
+	if err := d.log.Err(); err != nil {
+		return "wal", err.Error(), true
+	}
+	if p := d.cpErr.Load(); p != nil {
+		return "checkpoint", *p, true
+	}
+	return "", "", false
 }
 
 // OpenDurable opens a data directory, recovering whatever it holds:
@@ -129,10 +184,17 @@ func OpenDurable(dir string, bootstrap func() (*Store, error), cfg DurableConfig
 	if opts.GridSize == 0 {
 		opts.GridSize = core.DefaultOptions.GridSize
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = fsio.OS
+	}
+	if cfg.WAL.FS == nil {
+		cfg.WAL.FS = fsys
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("shard: data dir: %w", err)
 	}
-	man, haveMan, err := manifest.Load(dir)
+	man, haveMan, err := manifest.LoadFS(fsys, dir)
 	if err != nil {
 		// A corrupt manifest is not silently discarded: that would boot
 		// an empty database over a directory full of data.
@@ -165,13 +227,14 @@ func OpenDurable(dir string, bootstrap func() (*Store, error), cfg DurableConfig
 	d := &DurableStore{
 		store:   st,
 		dir:     dir,
+		fs:      fsys,
 		opts:    opts,
 		walMode: cfg.WAL.Mode,
 		files:   make(map[uint64]manifest.Shard),
 	}
 	if haveMan {
 		for _, entry := range man.Shards {
-			est, err := loadShardEntry(dir, entry)
+			est, err := loadShardEntry(fsys, dir, entry)
 			if err != nil {
 				return nil, err
 			}
@@ -254,8 +317,8 @@ func (d *DurableStore) installRecovered(sh *Shard) {
 }
 
 // loadShardEntry reads and verifies one checkpointed summary.
-func loadShardEntry(dir string, entry manifest.Shard) (*core.Estimator, error) {
-	data, err := os.ReadFile(filepath.Join(dir, entry.File))
+func loadShardEntry(fsys fsio.FS, dir string, entry manifest.Shard) (*core.Estimator, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, entry.File))
 	if err != nil {
 		return nil, fmt.Errorf("shard: checkpoint %s: %w", entry.File, err)
 	}
@@ -297,6 +360,11 @@ func (d *DurableStore) AppendDocs(docs [][]byte) (*Shard, uint64, error) {
 	if len(docs) == 0 {
 		return nil, 0, fmt.Errorf("shard: refusing to append an empty batch")
 	}
+	if err := d.log.Err(); err != nil {
+		// The log sealed on an earlier I/O failure; fail before doing
+		// any parse work.
+		return nil, 0, &DegradedError{Component: "wal", Err: err}
+	}
 	readers := make([]io.Reader, len(docs))
 	for i, doc := range docs {
 		readers[i] = bytes.NewReader(doc)
@@ -318,6 +386,9 @@ func (d *DurableStore) AppendDocs(docs [][]byte) (*Shard, uint64, error) {
 	defer st.writeMu.Unlock()
 	seq, err := d.log.Append(st.Current().version+1, docs)
 	if err != nil {
+		if d.log.Err() != nil {
+			return nil, 0, &DegradedError{Component: "wal", Err: err}
+		}
 		return nil, 0, err
 	}
 	sh.walSeq = seq
@@ -336,7 +407,24 @@ func (d *DurableStore) AppendDocs(docs [][]byte) (*Shard, uint64, error) {
 func (d *DurableStore) Checkpoint() (uint64, error) {
 	d.cpMu.Lock()
 	defer d.cpMu.Unlock()
-	return d.checkpointLocked()
+	return d.checkpointGuarded()
+}
+
+// checkpointGuarded runs one checkpoint attempt under cpMu, keeping
+// the degraded surface in sync: a failure records the reason and bumps
+// the failure counter, a success clears it. A checkpoint is attempted
+// even when the WAL has sealed — it can still persist every already-
+// acknowledged batch, shrinking what a restart must replay.
+func (d *DurableStore) checkpointGuarded() (uint64, error) {
+	v, err := d.checkpointLocked()
+	if err != nil {
+		d.cpFailures.Add(1)
+		reason := err.Error()
+		d.cpErr.Store(&reason)
+		return 0, &DegradedError{Component: "checkpoint", Err: err}
+	}
+	d.cpErr.Store(nil)
+	return v, nil
 }
 
 func (d *DurableStore) checkpointLocked() (uint64, error) {
@@ -351,7 +439,7 @@ func (d *DurableStore) checkpointLocked() (uint64, error) {
 	st.writeMu.Unlock()
 
 	shardDir := filepath.Join(d.dir, ShardDir)
-	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+	if err := d.fs.MkdirAll(shardDir, 0o755); err != nil {
 		return 0, fmt.Errorf("shard: checkpoint: %w", err)
 	}
 	entries := make([]manifest.Shard, 0, set.Len())
@@ -368,7 +456,7 @@ func (d *DurableStore) checkpointLocked() (uint64, error) {
 				return 0, fmt.Errorf("shard: checkpoint: %w", err)
 			}
 			rel := filepath.Join(ShardDir, fmt.Sprintf("cp-%d-%d.xqs", set.Version(), sh.id))
-			if err := writeFileSync(filepath.Join(d.dir, rel), blob); err != nil {
+			if err := writeFileSync(d.fs, filepath.Join(d.dir, rel), blob); err != nil {
 				return 0, err
 			}
 			entry = manifest.Shard{
@@ -387,8 +475,8 @@ func (d *DurableStore) checkpointLocked() (uint64, error) {
 	if len(written) > 0 {
 		// New shard files must be durable before the manifest points at
 		// them.
-		if err := wal.SyncDir(shardDir); err != nil {
-			return 0, err
+		if err := d.fs.SyncDir(shardDir); err != nil {
+			return 0, fmt.Errorf("shard: checkpoint: %w", err)
 		}
 	}
 	man := &manifest.Manifest{
@@ -398,7 +486,7 @@ func (d *DurableStore) checkpointLocked() (uint64, error) {
 		GridSize:      d.opts.GridSize,
 		Shards:        entries,
 	}
-	if err := man.Write(d.dir); err != nil {
+	if err := man.WriteFS(d.fs, d.dir); err != nil {
 		return 0, err
 	}
 	// Only now are the new files reusable: recording them earlier would
@@ -437,7 +525,7 @@ func (d *DurableStore) gcShardFiles(shardDir string, live []manifest.Shard) {
 			delete(d.files, id)
 		}
 	}
-	dirents, err := os.ReadDir(shardDir)
+	dirents, err := d.fs.ReadDir(shardDir)
 	if err != nil {
 		return
 	}
@@ -445,7 +533,7 @@ func (d *DurableStore) gcShardFiles(shardDir string, live []manifest.Shard) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xqs") || liveFile[e.Name()] {
 			continue
 		}
-		_ = os.Remove(filepath.Join(shardDir, e.Name()))
+		_ = d.fs.Remove(filepath.Join(shardDir, e.Name()))
 	}
 }
 
@@ -458,7 +546,7 @@ func (d *DurableStore) Drop(id uint64) (bool, error) {
 	if !d.store.Drop(id) {
 		return false, nil
 	}
-	_, err := d.checkpointLocked()
+	_, err := d.checkpointGuarded()
 	return true, err
 }
 
@@ -480,23 +568,28 @@ func (d *DurableStore) Stats() DurabilityStats {
 	for _, s := range segs {
 		bytes += s.Bytes
 	}
+	comp, reason, degraded := d.Degraded()
 	return DurabilityStats{
-		Dir:               d.dir,
-		Fsync:             d.walMode.String(),
-		WALSegments:       len(segs),
-		WALBytes:          bytes,
-		LastSeq:           d.log.LastSeq(),
-		DurableSeq:        d.log.DurableSeq(),
-		CheckpointVersion: d.cpVersion.Load(),
-		CheckpointWALSeq:  d.cpSeq.Load(),
-		Checkpoints:       d.checkpoints.Load(),
-		Recovery:          d.recovery,
+		Dir:                d.dir,
+		Fsync:              d.walMode.String(),
+		WALSegments:        len(segs),
+		WALBytes:           bytes,
+		LastSeq:            d.log.LastSeq(),
+		DurableSeq:         d.log.DurableSeq(),
+		CheckpointVersion:  d.cpVersion.Load(),
+		CheckpointWALSeq:   d.cpSeq.Load(),
+		Checkpoints:        d.checkpoints.Load(),
+		CheckpointFailures: d.cpFailures.Load(),
+		Degraded:           degraded,
+		DegradedComponent:  comp,
+		DegradedReason:     reason,
+		Recovery:           d.recovery,
 	}
 }
 
 // writeFileSync writes data and fsyncs before closing.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+func writeFileSync(fsys fsio.FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("shard: checkpoint: %w", err)
 	}

@@ -40,6 +40,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"xmlest/internal/fsio"
 )
 
 // Mode is the fsync policy.
@@ -96,6 +98,10 @@ type Options struct {
 	// SegmentBytes rolls to a new segment once the active one exceeds
 	// this size; <= 0 means DefaultSegmentBytes.
 	SegmentBytes int64
+
+	// FS is the filesystem the log runs on; nil means the real one
+	// (fsio.OS). Tests substitute a fault-injecting implementation.
+	FS fsio.FS
 }
 
 // Defaults for the zero Options.
@@ -110,6 +116,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.FS == nil {
+		o.FS = fsio.OS
 	}
 	return o
 }
@@ -169,9 +178,10 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 type Log struct {
 	dir  string
 	opts Options
+	fs   fsio.FS
 
 	mu         sync.Mutex
-	active     *os.File
+	active     fsio.File
 	activePath string
 	activeSize int64
 	activeSeq  uint64 // first seq of the active segment (its name)
@@ -186,7 +196,14 @@ type Log struct {
 	flushStop chan struct{}
 	flushDone chan struct{}
 	closed    bool
-	failed    bool // a partial frame could not be rolled back; fail-stop
+	// failedErr seals the log: once any write, fsync or segment-roll
+	// operation fails, every subsequent Append, Sync and Close fails
+	// with it. The seal is deliberate and sticky — after an fsync
+	// failure the kernel may have dropped the dirty pages, so a later
+	// "successful" fsync proves nothing about earlier bytes (the
+	// Postgres fsync-gate lesson). No append is ever acknowledged
+	// after an unreported sync failure.
+	failedErr error
 }
 
 // Open opens (or creates) the log in dir, truncating any torn tail of
@@ -195,14 +212,14 @@ type Log struct {
 // replay them with Replay.
 func Open(dir string, opts Options) (*Log, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	segs, err := List(dir)
+	segs, err := listFS(opts.FS, dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, nextSeq: 1}
+	l := &Log{dir: dir, opts: opts, fs: opts.FS, nextSeq: 1}
 	for i, seg := range segs {
 		last := i == len(segs)-1
 		if seg.TornBytes > 0 && !last {
@@ -216,7 +233,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		if seg.TornBytes > 0 && last {
 			// Crash mid-append: drop the torn tail so new appends start
 			// at a valid frame boundary.
-			if err := os.Truncate(seg.Path, seg.Bytes-seg.TornBytes); err != nil {
+			if err := l.fs.Truncate(seg.Path, seg.Bytes-seg.TornBytes); err != nil {
 				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.Path, err)
 			}
 			seg.Bytes -= seg.TornBytes
@@ -236,12 +253,12 @@ func Open(dir string, opts Options) (*Log, error) {
 		if seg.Bytes < headerLen {
 			// The whole file was garbage (bad or missing magic): recreate
 			// it below rather than appending records with no header.
-			if err := os.Remove(seg.Path); err != nil {
+			if err := l.fs.Remove(seg.Path); err != nil {
 				return nil, fmt.Errorf("wal: %w", err)
 			}
 			continue
 		}
-		f, err := os.OpenFile(seg.Path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := l.fs.OpenFile(seg.Path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -275,7 +292,10 @@ func (l *Log) flushLoop() {
 		case <-l.flushStop:
 			return
 		case <-t.C:
-			_ = l.Sync() // an fsync error will resurface on the next append or Close
+			// A failed interval flush seals the log (see sealLocked): the
+			// error is recorded sticky, so the next Append, Sync or Close
+			// fails loudly instead of the flush being silently dropped.
+			_ = l.Sync()
 		}
 	}
 }
@@ -292,8 +312,8 @@ func (l *Log) Append(version uint64, docs [][]byte) (uint64, error) {
 	if l.closed {
 		return 0, fmt.Errorf("wal: log is closed")
 	}
-	if l.failed {
-		return 0, fmt.Errorf("wal: log failed on an earlier partial write; refusing further appends")
+	if l.failedErr != nil {
+		return 0, l.sealedErr()
 	}
 	seq := l.nextSeq
 	frame, err := encodeFrame(Record{Seq: seq, Version: version, Docs: docs})
@@ -309,13 +329,15 @@ func (l *Log) Append(version uint64, docs [][]byte) (uint64, error) {
 		// Roll the partial frame back: later appends must never land
 		// after garbage, or recovery's torn-tail truncation — which cuts
 		// at the FIRST invalid frame of the newest segment — would
-		// silently discard every acknowledged record behind it. If the
-		// rollback itself fails, fail-stop: un-acked errors are safe,
-		// a poisoned log is not.
+		// silently discard every acknowledged record behind it. Either
+		// way the log seals: a disk that failed a write may fail the
+		// next one worse, and un-acked errors are safe while optimistic
+		// retries against a sick disk are not.
 		if terr := l.active.Truncate(l.activeSize); terr != nil {
-			l.failed = true
-			return 0, fmt.Errorf("wal: append failed (%v) and rollback failed (%v); log disabled", err, terr)
+			l.sealLocked(fmt.Errorf("wal: append failed (%v) and rollback failed (%v)", err, terr))
+			return 0, fmt.Errorf("wal: append failed (%v) and rollback failed (%v); log sealed", err, terr)
 		}
+		l.sealLocked(fmt.Errorf("wal: append: %w", err))
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.activeSize += int64(len(frame))
@@ -325,11 +347,39 @@ func (l *Log) Append(version uint64, docs [][]byte) (uint64, error) {
 	l.lastSeq.Store(seq)
 	if l.opts.Mode == ModeAlways {
 		if err := l.active.Sync(); err != nil {
+			// The record may or may not be on disk — recovery will keep
+			// it if it is — but it is never acknowledged, and the seal
+			// guarantees nothing later is acknowledged either.
+			l.sealLocked(fmt.Errorf("wal: fsync: %w", err))
 			return 0, fmt.Errorf("wal: fsync: %w", err)
 		}
 		l.durableSeq.Store(seq)
 	}
 	return seq, nil
+}
+
+// sealLocked records the log's first fatal I/O error; once set, every
+// subsequent Append, Sync and Close fails with it.
+func (l *Log) sealLocked(err error) {
+	if l.failedErr == nil {
+		l.failedErr = err
+	}
+}
+
+func (l *Log) sealedErr() error {
+	return fmt.Errorf("wal: log sealed after I/O failure: %w", l.failedErr)
+}
+
+// Err reports the sticky I/O failure that sealed the log, if any. A
+// sealed log refuses all appends; the store above reports itself
+// degraded and the daemon keeps serving reads.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failedErr == nil {
+		return nil
+	}
+	return l.sealedErr()
 }
 
 // Sync fsyncs the active segment and advances the durable watermark to
@@ -341,11 +391,21 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) syncLocked() error {
+	if l.failedErr != nil {
+		return l.sealedErr()
+	}
 	if l.closed || l.active == nil {
 		return nil
 	}
 	last := l.lastSeq.Load()
+	if last <= l.durableSeq.Load() {
+		// Nothing unsynced: skip the fsync. Beyond the saved syscall,
+		// this keeps segment rolls in ModeAlways (where every ack is
+		// already durable) from taking an avoidable I/O failure path.
+		return nil
+	}
 	if err := l.active.Sync(); err != nil {
+		l.sealLocked(fmt.Errorf("wal: fsync: %w", err))
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
 	if last > l.durableSeq.Load() {
@@ -412,7 +472,7 @@ func (l *Log) Segments() []SegmentInfo {
 // order, to fn. Replay on an open log is only sound before serving
 // starts (boot-time recovery); concurrent appends are not replayed.
 func (l *Log) Replay(after uint64, fn func(Record) error) error {
-	return ScanDir(l.dir, after, fn)
+	return scanDirFS(l.fs, l.dir, after, fn)
 }
 
 // Truncate drops every segment whose records all have Seq <= through:
@@ -431,8 +491,10 @@ func (l *Log) Truncate(through uint64) error {
 			return err
 		}
 	}
-	kept := l.closedSegs[:0]
-	for _, seg := range l.closedSegs {
+	// kept must not alias closedSegs: a failed remove returns with the
+	// not-yet-visited tail intact so a later Truncate can retry.
+	kept := make([]SegmentInfo, 0, len(l.closedSegs))
+	for i, seg := range l.closedSegs {
 		// An empty closed segment cannot arise (rolls happen on append),
 		// but treat one as covered to be safe.
 		covered := seg.LastSeq <= through && seg.FirstSeq <= through
@@ -440,15 +502,18 @@ func (l *Log) Truncate(through uint64) error {
 			kept = append(kept, seg)
 			continue
 		}
-		if err := os.Remove(seg.Path); err != nil {
+		// A failed remove is retryable — the covered segment lingers but
+		// replay skips its records — so it does not seal the log.
+		if err := l.fs.Remove(seg.Path); err != nil {
+			l.closedSegs = append(kept, l.closedSegs[i:]...)
 			return fmt.Errorf("wal: truncate: %w", err)
 		}
 		l.totalBytes -= seg.Bytes
 	}
 	l.closedSegs = kept
 	if l.opts.Mode != ModeOff {
-		if err := SyncDir(l.dir); err != nil {
-			return err
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
 		}
 	}
 	return nil
@@ -469,21 +534,37 @@ func (l *Log) Close() error {
 		l.mu.Lock()
 	}
 	err := l.syncLocked()
-	if cerr := l.active.Close(); err == nil {
-		err = cerr
+	if l.active != nil {
+		if cerr := l.active.Close(); err == nil {
+			err = cerr
+		}
 	}
 	l.closed = true
 	l.mu.Unlock()
 	return err
 }
 
-// rollLocked closes the active segment and starts a fresh one whose
-// name is the next sequence to be written.
+// rollLocked retires the active segment and starts a fresh one whose
+// name is the next sequence to be written. The replacement is created
+// first: a creation failure leaves the active segment fully usable, so
+// a roll (e.g. inside a checkpoint's truncate) is retryable and does
+// not seal the log.
 func (l *Log) rollLocked(firstSeq uint64) error {
+	f, path, err := l.createSegment(firstSeq)
+	if err != nil {
+		return err
+	}
 	if err := l.syncLocked(); err != nil {
+		f.Close()
+		_ = l.fs.Remove(path)
 		return err
 	}
 	if err := l.active.Close(); err != nil {
+		// The old segment's handle failed to close after a clean fsync;
+		// its buffered state is unknowable, so the log seals.
+		f.Close()
+		l.active = nil
+		l.sealLocked(fmt.Errorf("wal: roll: %w", err))
 		return fmt.Errorf("wal: roll: %w", err)
 	}
 	l.closedSegs = append(l.closedSegs, SegmentInfo{
@@ -494,29 +575,44 @@ func (l *Log) rollLocked(firstSeq uint64) error {
 		Bytes:    l.activeSize,
 	})
 	l.totalBytes += l.activeSize
-	return l.newSegmentLocked(firstSeq)
+	l.active, l.activePath, l.activeSize, l.activeSeq = f, path, headerLen, firstSeq
+	l.activeLast, l.activeRecs = 0, 0
+	return nil
 }
 
-// newSegmentLocked creates and opens a fresh active segment.
-func (l *Log) newSegmentLocked(firstSeq uint64) error {
+// createSegment creates, headers and (mode permitting) fsyncs a fresh
+// segment file without touching the log's active state.
+func (l *Log) createSegment(firstSeq uint64) (fsio.File, string, error) {
 	path := filepath.Join(l.dir, segName(firstSeq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return nil, "", fmt.Errorf("wal: %w", err)
 	}
 	if _, err := f.Write(segMagic[:]); err != nil {
 		f.Close()
-		return fmt.Errorf("wal: %w", err)
+		return nil, "", fmt.Errorf("wal: %w", err)
 	}
 	if l.opts.Mode != ModeOff {
 		if err := f.Sync(); err != nil {
 			f.Close()
-			return fmt.Errorf("wal: %w", err)
+			return nil, "", fmt.Errorf("wal: %w", err)
 		}
-		if err := SyncDir(l.dir); err != nil {
+		if err := l.fs.SyncDir(l.dir); err != nil {
 			f.Close()
-			return err
+			return nil, "", fmt.Errorf("wal: create segment: %w", err)
 		}
+	}
+	return f, path, nil
+}
+
+// newSegmentLocked creates and opens a fresh active segment. A failure
+// seals the log: callers on this path have no active segment to fall
+// back to, so there is nowhere correct to append.
+func (l *Log) newSegmentLocked(firstSeq uint64) error {
+	f, path, err := l.createSegment(firstSeq)
+	if err != nil {
+		l.sealLocked(err)
+		return err
 	}
 	l.active, l.activePath, l.activeSize, l.activeSeq = f, path, headerLen, firstSeq
 	l.activeLast, l.activeRecs = 0, 0
@@ -529,8 +625,8 @@ func segName(firstSeq uint64) string {
 
 // segmentPaths lists segment files by name only — no content reads —
 // sorted by first sequence.
-func segmentPaths(dir string) ([]SegmentInfo, error) {
-	entries, err := os.ReadDir(dir)
+func segmentPaths(fsys fsio.FS, dir string) ([]SegmentInfo, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -557,13 +653,17 @@ func segmentPaths(dir string) ([]SegmentInfo, error) {
 // without truncating torn tails) — the read-only view `xqest wal` and
 // boot-time recovery share.
 func List(dir string) ([]SegmentInfo, error) {
-	segs, err := segmentPaths(dir)
+	return listFS(fsio.OS, dir)
+}
+
+func listFS(fsys fsio.FS, dir string) ([]SegmentInfo, error) {
+	segs, err := segmentPaths(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
 	for i := range segs {
 		info := &segs[i]
-		data, err := os.ReadFile(info.Path)
+		data, err := fsys.ReadFile(info.Path)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -586,7 +686,11 @@ func List(dir string) ([]SegmentInfo, error) {
 // next segment's first sequence). Torn or corrupt segment tails end
 // that segment's scan at its last valid record; fn errors abort.
 func ScanDir(dir string, after uint64, fn func(Record) error) error {
-	segs, err := segmentPaths(dir)
+	return scanDirFS(fsio.OS, dir, after, fn)
+}
+
+func scanDirFS(fsys fsio.FS, dir string, after uint64, fn func(Record) error) error {
+	segs, err := segmentPaths(fsys, dir)
 	if err != nil {
 		return err
 	}
@@ -594,7 +698,7 @@ func ScanDir(dir string, after uint64, fn func(Record) error) error {
 		if i+1 < len(segs) && segs[i+1].FirstSeq <= after+1 {
 			continue // every record here is <= after
 		}
-		data, err := os.ReadFile(seg.Path)
+		data, err := fsys.ReadFile(seg.Path)
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -750,16 +854,8 @@ func uvarint(b []byte) (uint64, []byte, bool) {
 }
 
 // SyncDir fsyncs a directory so entry creations and removals are
-// durable. Shared with the checkpoint layer, which has the same
-// file-then-directory ordering obligation.
+// durable. Kept as a thin wrapper over fsio for callers outside the
+// FS-threaded paths.
 func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync %s: %w", dir, err)
-	}
-	return nil
+	return fsio.OS.SyncDir(dir)
 }
