@@ -71,6 +71,7 @@ func main() {
 		visible: metrics.NewLatencyHistogram(),
 		durable: metrics.NewLatencyHistogram(),
 		durSem:  make(chan struct{}, *appenders+1),
+		visSem:  make(chan struct{}, 2),
 	}
 
 	if err := b.waitHealthy(*wait); err != nil {
@@ -128,6 +129,12 @@ type bench struct {
 	// awaited inline, so an interval/off fsync cadence does not
 	// throttle the closed append loop itself.
 	durSem chan struct{}
+
+	// visSem likewise bounds concurrent visibility probes:
+	// append-to-visible is sampled in the background instead of awaited
+	// after every append, so the closed append loop measures append
+	// throughput rather than probe round-trips.
+	visSem chan struct{}
 }
 
 // errBackpressured marks a 503 from /append: expected under load, not
@@ -145,11 +152,11 @@ type appendResponse struct {
 	Durable *bool  `json:"durable"`
 }
 
-// statsDurability is the /stats slice the durability poll reads.
-type statsDurability struct {
-	Durability *struct {
-		DurableSeq uint64 `json:"durable_seq"`
-	} `json:"durability"`
+// healthDurability is the /healthz slice the durability poll reads:
+// the probe endpoint carries the durable watermark precisely so that
+// pollers do not have to pay for the full /stats encoding.
+type healthDurability struct {
+	DurableSeq *uint64 `json:"durable_seq"`
 }
 
 // waitHealthy polls /healthz until it answers 200. The whole wait —
@@ -198,8 +205,9 @@ func (b *bench) estimateLoop(ctx context.Context, id int) {
 }
 
 // appendLoop is one closed-loop append worker: it lands a small
-// document, then probes /estimate until the served snapshot version
-// reaches the append's, recording the full append-to-visible time.
+// document, then immediately issues the next one. Append-to-visible
+// and ack-to-durable are both sampled by bounded background probes, so
+// the loop's throughput is append throughput.
 func (b *bench) appendLoop(ctx context.Context, id int) {
 	rng := rand.New(rand.NewSource(int64(id) + 1))
 	for seq := 0; ctx.Err() == nil; seq++ {
@@ -237,19 +245,38 @@ func (b *bench) appendLoop(ctx context.Context, id int) {
 				}
 			}
 		}
-		for ctx.Err() == nil {
-			served, err := b.postEstimate(ctx, b.probe)
-			if err != nil {
-				if ctx.Err() != nil {
-					return
-				}
+		select {
+		case b.visSem <- struct{}{}:
+			go func(ver uint64, start time.Time) {
+				defer func() { <-b.visSem }()
+				b.pollVisible(ctx, ver, start)
+			}(ver, start)
+		default: // probes already sampling; skip this append
+		}
+	}
+}
+
+// pollVisible probes /estimate until the served snapshot version
+// reaches ver, recording the full append-to-visible time.
+func (b *bench) pollVisible(ctx context.Context, ver uint64, start time.Time) {
+	for ctx.Err() == nil {
+		served, err := b.postEstimate(ctx, b.probe)
+		if err != nil {
+			if ctx.Err() == nil {
 				b.errs.Add(1)
-				break
 			}
-			if served >= ver {
-				b.visible.Observe(time.Since(start))
-				break
-			}
+			return
+		}
+		if served >= ver {
+			b.visible.Observe(time.Since(start))
+			return
+		}
+		// Pace the probe: it samples staleness, it must not become a
+		// busy-loop competing with the measured estimate workers.
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Millisecond):
 		}
 	}
 }
@@ -317,7 +344,7 @@ func (b *bench) postAppend(ctx context.Context, doc string) (appendResponse, err
 // (fsync interval/off policies), reporting success.
 func (b *bench) pollDurable(ctx context.Context, seq uint64) bool {
 	for ctx.Err() == nil {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+"/stats", nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+"/healthz", nil)
 		if err != nil {
 			return false
 		}
@@ -329,20 +356,23 @@ func (b *bench) pollDurable(ctx context.Context, seq uint64) bool {
 			b.errs.Add(1)
 			return false
 		}
-		var sd statsDurability
-		derr := json.NewDecoder(resp.Body).Decode(&sd)
+		var hd healthDurability
+		derr := json.NewDecoder(resp.Body).Decode(&hd)
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		if derr != nil || sd.Durability == nil {
+		if derr != nil || hd.DurableSeq == nil {
 			return false
 		}
-		if sd.Durability.DurableSeq >= seq {
+		if *hd.DurableSeq >= seq {
 			return true
 		}
+		// Pace well below the durability cadences being measured (100ms
+		// interval flush, seconds-scale checkpoints): even a cheap probe
+		// polled tightly taxes the daemon it is measuring.
 		select {
 		case <-ctx.Done():
 			return false
-		case <-time.After(5 * time.Millisecond):
+		case <-time.After(20 * time.Millisecond):
 		}
 	}
 	return false
@@ -388,17 +418,51 @@ func digest(h *metrics.LatencyHistogram, elapsed time.Duration) histJSON {
 	return out
 }
 
+// groupCommitJSON is the report's digest of the daemon's group-commit
+// counters: how many appends shared each fsync and how often the disk
+// actually synced. Read from the final /stats snapshot, so the figures
+// cover the daemon's whole uptime, not just the measured window.
+type groupCommitJSON struct {
+	Groups        uint64  `json:"groups"`
+	Batches       uint64  `json:"batches"`
+	MeanGroupSize float64 `json:"mean_group_size"`
+	P50GroupSize  float64 `json:"p50_group_size"`
+	P95GroupSize  float64 `json:"p95_group_size"`
+	MaxGroupSize  uint64  `json:"max_group_size"`
+	Fsyncs        uint64  `json:"fsyncs"`
+	FsyncsPerSec  float64 `json:"fsyncs_per_sec"`
+}
+
+// statsGroupCommit is the /stats slice the report digest reads.
+type statsGroupCommit struct {
+	Durability *struct {
+		GroupCommit *struct {
+			Groups    uint64 `json:"groups"`
+			Batches   uint64 `json:"batches"`
+			GroupSize struct {
+				Mean float64 `json:"mean"`
+				P50  float64 `json:"p50"`
+				P95  float64 `json:"p95"`
+				Max  uint64  `json:"max"`
+			} `json:"group_size"`
+			Fsyncs       uint64  `json:"fsyncs"`
+			FsyncsPerSec float64 `json:"fsyncs_per_sec"`
+		} `json:"group_commit"`
+	} `json:"durability"`
+}
+
 type reportJSON struct {
-	Target          string          `json:"target"`
-	DurationSeconds float64         `json:"duration_seconds"`
-	EstimateWorkers int             `json:"estimate_workers"`
-	AppendWorkers   int             `json:"append_workers"`
-	Errors          uint64          `json:"errors"`
-	Estimate        histJSON        `json:"estimate"`
-	Append          histJSON        `json:"append"`
-	AppendToVisible histJSON        `json:"append_to_visible"`
-	AckToDurable    *histJSON       `json:"ack_to_durable,omitempty"`
-	ServerStats     json.RawMessage `json:"server_stats,omitempty"`
+	Target          string           `json:"target"`
+	DurationSeconds float64          `json:"duration_seconds"`
+	EstimateWorkers int              `json:"estimate_workers"`
+	AppendWorkers   int              `json:"append_workers"`
+	Errors          uint64           `json:"errors"`
+	Estimate        histJSON         `json:"estimate"`
+	Append          histJSON         `json:"append"`
+	AppendToVisible histJSON         `json:"append_to_visible"`
+	AckToDurable    *histJSON        `json:"ack_to_durable,omitempty"`
+	GroupCommit     *groupCommitJSON `json:"group_commit,omitempty"`
+	ServerStats     json.RawMessage  `json:"server_stats,omitempty"`
 }
 
 func (b *bench) report(elapsed time.Duration, estimators, appenders int) reportJSON {
@@ -429,6 +493,21 @@ func (b *bench) report(elapsed time.Duration, estimators, appenders int) reportJ
 		resp.Body.Close()
 		if err == nil && resp.StatusCode == http.StatusOK && json.Valid(stats) {
 			r.ServerStats = stats
+			var sg statsGroupCommit
+			if json.Unmarshal(stats, &sg) == nil && sg.Durability != nil &&
+				sg.Durability.GroupCommit != nil && sg.Durability.GroupCommit.Groups > 0 {
+				gc := sg.Durability.GroupCommit
+				r.GroupCommit = &groupCommitJSON{
+					Groups:        gc.Groups,
+					Batches:       gc.Batches,
+					MeanGroupSize: gc.GroupSize.Mean,
+					P50GroupSize:  gc.GroupSize.P50,
+					P95GroupSize:  gc.GroupSize.P95,
+					MaxGroupSize:  gc.GroupSize.Max,
+					Fsyncs:        gc.Fsyncs,
+					FsyncsPerSec:  gc.FsyncsPerSec,
+				}
+			}
 		}
 	}
 	return r

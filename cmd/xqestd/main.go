@@ -57,6 +57,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory: WAL + checkpoints; appends survive crashes")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always, interval or off")
 	fsyncInterval := flag.Duration("fsync-interval", 0, "fsync cadence for -fsync interval (default 100ms)")
+	commitDelay := flag.Duration("commit-delay", 0, "group-commit latency budget: wait up to this long for more appends to share one fsync (0 = natural coalescing only)")
+	ingestWorkers := flag.Int("ingest-workers", 0, "concurrent parse/summary-build workers on the append pipeline (0 = GOMAXPROCS)")
 	checkpoint := flag.Duration("checkpoint", 0, "background checkpoint interval with -data-dir (0 = shutdown only)")
 	readTimeout := flag.Duration("read-timeout", 0, "HTTP read timeout: full request including body (0 = default)")
 	writeTimeout := flag.Duration("write-timeout", 0, "HTTP write timeout: handler + response (0 = default)")
@@ -111,8 +113,17 @@ func main() {
 			log.Printf("xqestd: FAULT INJECTION ACTIVE (-fault %q): storage runs on a fault-injecting filesystem", *fault)
 		}
 		var db *xmlest.Database
-		db, err = cliutil.OpenDurableDatabase(*dataDir, cfg.Options, *fsync, *fsyncInterval,
-			*data, *dataset, *scale, *seed, *fault)
+		db, err = cliutil.OpenDurableDatabase(*dataDir, cfg.Options, cliutil.DurableFlags{
+			Fsync:         *fsync,
+			FsyncInterval: *fsyncInterval,
+			CommitDelay:   *commitDelay,
+			IngestWorkers: *ingestWorkers,
+			Data:          *data,
+			Dataset:       *dataset,
+			Scale:         *scale,
+			Seed:          *seed,
+			FaultSpec:     *fault,
+		})
 		if err != nil {
 			fatal(fmt.Errorf("xqestd: %w", err))
 		}

@@ -13,27 +13,54 @@ import (
 	"xmlest/internal/wal"
 )
 
+// DurableFlags carries the durability-related command-line flags of
+// xqestd and xqest into OpenDurableDatabase. Zero values mean "use the
+// library default" throughout.
+type DurableFlags struct {
+	// Fsync and FsyncInterval are the WAL fsync policy flags (-fsync,
+	// -fsync-interval).
+	Fsync         string
+	FsyncInterval time.Duration
+
+	// CommitDelay is the group-commit latency budget (-commit-delay):
+	// how long the committer waits for more concurrent appends to share
+	// one fsync. 0 keeps natural coalescing only.
+	CommitDelay time.Duration
+
+	// IngestWorkers bounds concurrent parse + summary-build work on the
+	// append pipeline (-ingest-workers; 0 = GOMAXPROCS).
+	IngestWorkers int
+
+	// Data, Dataset, Scale and Seed are the corpus flags; they
+	// bootstrap a fresh directory (see OpenDatabase).
+	Data    string
+	Dataset string
+	Scale   float64
+	Seed    int64
+
+	// FaultSpec, if non-empty, is an fsio.ParseFaults schedule (the
+	// -fault testing flag): the store then runs on a fault-injecting
+	// filesystem.
+	FaultSpec string
+}
+
 // OpenDurableDatabase opens (or recovers) a durable database in
 // dataDir — the shared -data-dir path of xqestd and xqest. The corpus
 // flags (-data/-dataset) bootstrap a fresh directory and define the
 // predicate vocabulary on every boot; when both are empty the daemon
 // starts empty with the all-tags vocabulary and grows by ingest alone.
 // opts are the estimator options (-grid/-build-workers); the grid size
-// must match the directory's manifest on recovered boots. faultSpec, if
-// non-empty, is an fsio.ParseFaults schedule (the -fault testing flag):
-// the store then runs on a fault-injecting filesystem.
-func OpenDurableDatabase(dataDir string, opts xmlest.Options, fsync string,
-	fsyncInterval time.Duration, data, dataset string, scale float64, seed int64,
-	faultSpec string) (*xmlest.Database, error) {
+// must match the directory's manifest on recovered boots.
+func OpenDurableDatabase(dataDir string, opts xmlest.Options, f DurableFlags) (*xmlest.Database, error) {
 	var bootstrap func() (*xmlest.Database, error)
-	if data != "" || dataset != "" {
+	if f.Data != "" || f.Dataset != "" {
 		bootstrap = func() (*xmlest.Database, error) {
-			return OpenDatabase(data, dataset, scale, seed)
+			return OpenDatabase(f.Data, f.Dataset, f.Scale, f.Seed)
 		}
 	}
 	var fs fsio.FS
-	if faultSpec != "" {
-		faults, err := fsio.ParseFaults(faultSpec)
+	if f.FaultSpec != "" {
+		faults, err := fsio.ParseFaults(f.FaultSpec)
 		if err != nil {
 			return nil, fmt.Errorf("-fault: %w", err)
 		}
@@ -41,8 +68,10 @@ func OpenDurableDatabase(dataDir string, opts xmlest.Options, fsync string,
 	}
 	return xmlest.OpenDurable(dataDir, xmlest.DurableConfig{
 		Options:       opts,
-		Fsync:         fsync,
-		FsyncInterval: fsyncInterval,
+		Fsync:         f.Fsync,
+		FsyncInterval: f.FsyncInterval,
+		CommitDelay:   f.CommitDelay,
+		IngestWorkers: f.IngestWorkers,
 		Bootstrap:     bootstrap,
 		FS:            fs,
 	})

@@ -46,6 +46,13 @@ type Estimator struct {
 	// approximately counts entries for the wholesale-reset size bound.
 	prepared  sync.Map
 	preparedN atomic.Int64
+
+	// storageBytes caches StorageBytes (stored as total+1; 0 = unset).
+	// The histograms are immutable after construction, so the encoding
+	// size is a constant of the estimator — recomputing it re-walks
+	// every sparse cell of every histogram, which made polling /stats
+	// a serving-path cost. Synthesize invalidates.
+	storageBytes atomic.Int64
 }
 
 // Options configures estimator construction.
@@ -599,8 +606,14 @@ func (e *Estimator) buildSubPattern(q *pattern.Node) (SubPattern, bool, error) {
 
 // StorageBytes reports the total compact-encoding size of every
 // position histogram (and coverage histogram) the estimator holds —
-// the paper's storage-requirement metric.
+// the paper's storage-requirement metric. The figure is computed once
+// and cached: the histograms never change after construction (only
+// Synthesize adds one, and it invalidates), and observability callers
+// (/stats) may poll at serving rates.
 func (e *Estimator) StorageBytes() int {
+	if v := e.storageBytes.Load(); v > 0 {
+		return int(v - 1)
+	}
 	total := 0
 	for _, h := range e.hists {
 		total += h.StorageBytes()
@@ -608,5 +621,6 @@ func (e *Estimator) StorageBytes() int {
 	for _, c := range e.covs {
 		total += c.StorageBytes()
 	}
+	e.storageBytes.Store(int64(total) + 1)
 	return total
 }

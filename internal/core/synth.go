@@ -94,5 +94,6 @@ func (e *Estimator) Synthesize(name string, op SynthOp, parts ...string) error {
 	// algorithm applies (the conservative choice).
 	e.overlap[name] = true
 	e.names = append(e.names, name)
+	e.storageBytes.Store(0) // the summary grew; recompute on demand
 	return nil
 }

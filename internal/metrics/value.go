@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"sync/atomic"
+
+	"xmlest/internal/histogram"
+)
+
+// valueGridBounds spans 1 to 2^20 with doubling (log-spaced) buckets,
+// plus a catch-all first bucket for zero — 22 buckets. The same
+// footprint/error trade-off as the latency grid: a few hundred bytes,
+// quantile error bounded by the 2× bucket ratio.
+func valueGridBounds() []int {
+	bounds := []int{0}
+	for v := 1; v <= 1<<20; v *= 2 {
+		bounds = append(bounds, v)
+	}
+	return bounds
+}
+
+// valueGrid is the shared bucket partition for integer-valued
+// histograms (group sizes, queue depths).
+var valueGrid = histogram.MustGrid(valueGridBounds())
+
+// ValueHistogram is a fixed-bucket histogram of non-negative integer
+// observations. All methods are safe for concurrent use; Observe is
+// wait-free. It is the latency histogram's machinery pointed at
+// dimensionless values — group sizes, batch counts — instead of
+// nanoseconds.
+type ValueHistogram struct {
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+}
+
+// NewValueHistogram returns a histogram over the default log-spaced
+// partition (1..2^20, doubling).
+func NewValueHistogram() *ValueHistogram {
+	return &ValueHistogram{buckets: make([]atomic.Uint64, valueGrid.Size())}
+}
+
+// Observe records one value; negatives clamp to zero.
+func (h *ValueHistogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	clamped := v
+	if clamped >= valueGrid.MaxPos() {
+		clamped = valueGrid.MaxPos() - 1
+	}
+	h.buckets[valueGrid.Bucket(clamped)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		cur := h.max.Load()
+		if uint64(v) <= cur || h.max.CompareAndSwap(cur, uint64(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *ValueHistogram) Count() uint64 { return h.count.Load() }
+
+// ValueSummary is a point-in-time digest of a ValueHistogram.
+// Quantiles are interpolated within buckets (2× worst-case relative
+// error); Max is exact.
+type ValueSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
+// Summary digests the histogram. Concurrent Observes may land between
+// the per-bucket reads; the digest is internally consistent with the
+// counts it read.
+func (h *ValueHistogram) Summary() ValueSummary {
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := ValueSummary{Count: total, Max: h.max.Load()}
+	if total == 0 {
+		return s
+	}
+	s.Mean = float64(h.sum.Load()) / float64(total)
+	s.P50 = valueQuantile(counts, total, 0.50)
+	s.P95 = valueQuantile(counts, total, 0.95)
+	s.P99 = valueQuantile(counts, total, 0.99)
+	if s.Max > 0 {
+		// The top bucket's upper edge can exceed the largest observation
+		// by up to 2×; the tracked max is a tighter cap.
+		for _, q := range []*float64{&s.P50, &s.P95, &s.P99} {
+			if *q > float64(s.Max) {
+				*q = float64(s.Max)
+			}
+		}
+	}
+	return s
+}
+
+// valueQuantile walks the bucket counts to the one holding rank
+// p*total and interpolates linearly within its [Lo, Hi) extent.
+func valueQuantile(counts []uint64, total uint64, p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			lo, hi := float64(valueGrid.Lo(i)), float64(valueGrid.Hi(i))
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += float64(c)
+	}
+	return float64(valueGrid.MaxPos())
+}

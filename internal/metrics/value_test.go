@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestValueHistogramBasics(t *testing.T) {
+	h := NewValueHistogram()
+	if s := h.Summary(); s.Count != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(8)
+	}
+	h.Observe(64)
+	s := h.Summary()
+	if s.Count != 101 || s.Max != 64 {
+		t.Fatalf("count=%d max=%d, want 101 and 64", s.Count, s.Max)
+	}
+	wantMean := float64(100*8+64) / 101
+	if s.Mean != wantMean {
+		t.Fatalf("mean %.3f, want %.3f", s.Mean, wantMean)
+	}
+	// p50 lands in the [8,16) bucket; the 2x bucket ratio bounds the
+	// interpolation error.
+	if s.P50 < 8 || s.P50 >= 16 {
+		t.Fatalf("p50 %.3f outside [8,16)", s.P50)
+	}
+	// Quantiles never exceed the tracked max even though the top
+	// bucket's upper edge would.
+	if s.P99 > float64(s.Max) {
+		t.Fatalf("p99 %.3f exceeds max %d", s.P99, s.Max)
+	}
+}
+
+func TestValueHistogramClamps(t *testing.T) {
+	h := NewValueHistogram()
+	h.Observe(-5) // clamps to zero, still counted
+	h.Observe(1 << 30)
+	s := h.Summary()
+	if s.Count != 2 {
+		t.Fatalf("count %d, want 2", s.Count)
+	}
+	if s.Max != 1<<30 {
+		t.Fatalf("max %d, want %d (max tracks the raw value)", s.Max, 1<<30)
+	}
+}
+
+func TestValueHistogramConcurrent(t *testing.T) {
+	h := NewValueHistogram()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(w + 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Summary()
+	if s.Count != workers*each {
+		t.Fatalf("count %d, want %d", s.Count, workers*each)
+	}
+	if s.Max != workers {
+		t.Fatalf("max %d, want %d", s.Max, workers)
+	}
+}

@@ -119,7 +119,7 @@ func TestDegradedServingEndToEnd(t *testing.T) {
 // connection both survive.
 func TestPanicRecoveryMiddleware(t *testing.T) {
 	s, _ := newTestServer(t, Config{})
-	h := s.instrument("panicky", http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+	h := s.instrument("panicky", http.MethodGet, DefaultMaxBodyBytes, func(w http.ResponseWriter, r *http.Request) {
 		panic("boom")
 	})
 	rec := httptest.NewRecorder()
@@ -137,7 +137,7 @@ func TestPanicRecoveryMiddleware(t *testing.T) {
 
 	// A panic after the handler already wrote keeps the partial
 	// response (the status line is gone) but still counts.
-	h2 := s.instrument("panicky2", http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+	h2 := s.instrument("panicky2", http.MethodGet, DefaultMaxBodyBytes, func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		panic("late boom")
 	})

@@ -4,9 +4,12 @@
 //
 // Endpoints:
 //
-//	POST /estimate  {"pattern": "..."} or {"patterns": ["...", ...]}
-//	POST /append    raw XML body, or {"documents": ["<a/>", ...]} (one shard)
-//	POST /compact   optional {"max_shards": n}
+//	POST /estimate       {"pattern": "..."} or {"patterns": ["...", ...]}
+//	POST /append         raw XML body, or {"documents": ["<a/>", ...]} (one shard)
+//	POST /append-stream  raw XML body of any size; spooled to disk and
+//	                     summarized in two streaming passes (one
+//	                     summary-only shard; all-tags vocabulary only)
+//	POST /compact        optional {"max_shards": n}
 //	GET  /shards    serving shard set
 //	GET  /stats     corpus stats + per-endpoint QPS and p50/p95/p99
 //	GET  /healthz   liveness (503 while draining)
@@ -49,8 +52,12 @@ type Config struct {
 
 	// MaxInflightAppends bounds concurrent /append requests (ingest
 	// backpressure); excess requests receive 503 + Retry-After rather
-	// than queue without bound. 0 means DefaultMaxInflightAppends;
-	// negative is rejected.
+	// than queue without bound. The default is sized for group commit:
+	// admitted appends overlap their parse work on the ingest pool and
+	// then wait together in the commit queue, where everything waiting
+	// shares one fsync — so the bound is a queue-depth cap, not a
+	// concurrency tax. 0 means DefaultMaxInflightAppends; negative is
+	// rejected.
 	MaxInflightAppends int
 
 	// MaxBatchPatterns bounds the patterns per /estimate request.
@@ -60,6 +67,13 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies. 0 means DefaultMaxBodyBytes;
 	// negative is rejected.
 	MaxBodyBytes int64
+
+	// MaxStreamBytes bounds /append-stream bodies, separately from
+	// MaxBodyBytes: streamed documents are spooled to disk and scanned
+	// with memory bounded by depth, so they may be far larger than any
+	// buffered body. 0 means DefaultMaxStreamBytes; negative is
+	// rejected.
+	MaxStreamBytes int64
 
 	// AutoCompactInterval, when positive, runs a background compaction
 	// round (per CompactionPolicy) that often; compaction rebuilds off
@@ -110,10 +124,17 @@ type Config struct {
 
 // Defaults for the zero Config.
 const (
-	DefaultAddr               = "127.0.0.1:8080"
-	DefaultMaxInflightAppends = 4
+	DefaultAddr = "127.0.0.1:8080"
+	// DefaultMaxInflightAppends admits enough concurrent appends for
+	// group commit to amortize fsyncs well: admitted requests parse in
+	// parallel (bounded by the ingest pool) and queue at the committer,
+	// so a deep bound costs queue memory, not lock contention. The old
+	// bound of 4 effectively serialized the write path — each append
+	// held its own fsync — capping groups at the bound.
+	DefaultMaxInflightAppends = 64
 	DefaultMaxBatchPatterns   = 256
 	DefaultMaxBodyBytes       = 32 << 20
+	DefaultMaxStreamBytes     = 1 << 30
 	DefaultReadTimeout        = time.Minute
 	DefaultWriteTimeout       = 5 * time.Minute
 	DefaultIdleTimeout        = 2 * time.Minute
@@ -142,9 +163,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = DefaultMaxBodyBytes
 	}
-	if c.MaxInflightAppends < 0 || c.MaxBatchPatterns < 0 || c.MaxBodyBytes < 0 {
-		return c, fmt.Errorf("server: negative limit in config (appends %d, batch %d, body %d)",
-			c.MaxInflightAppends, c.MaxBatchPatterns, c.MaxBodyBytes)
+	if c.MaxStreamBytes == 0 {
+		c.MaxStreamBytes = DefaultMaxStreamBytes
+	}
+	if c.MaxInflightAppends < 0 || c.MaxBatchPatterns < 0 || c.MaxBodyBytes < 0 || c.MaxStreamBytes < 0 {
+		return c, fmt.Errorf("server: negative limit in config (appends %d, batch %d, body %d, stream %d)",
+			c.MaxInflightAppends, c.MaxBatchPatterns, c.MaxBodyBytes, c.MaxStreamBytes)
 	}
 	if c.ReadTimeout == 0 {
 		c.ReadTimeout = DefaultReadTimeout
@@ -237,12 +261,13 @@ func newServer(db *xmlest.Database, est *xmlest.Estimator, cfg Config) (*Server,
 		appendSem: make(chan struct{}, cfg.MaxInflightAppends),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.Handle("/estimate", s.instrument("estimate", http.MethodPost, s.handleEstimate))
-	s.mux.Handle("/append", s.instrument("append", http.MethodPost, s.handleAppend))
-	s.mux.Handle("/compact", s.instrument("compact", http.MethodPost, s.handleCompact))
-	s.mux.Handle("/shards", s.instrument("shards", http.MethodGet, s.handleShards))
-	s.mux.Handle("/stats", s.instrument("stats", http.MethodGet, s.handleStats))
-	s.mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
+	s.mux.Handle("/estimate", s.instrument("estimate", http.MethodPost, cfg.MaxBodyBytes, s.handleEstimate))
+	s.mux.Handle("/append", s.instrument("append", http.MethodPost, cfg.MaxBodyBytes, s.handleAppend))
+	s.mux.Handle("/append-stream", s.instrument("append-stream", http.MethodPost, cfg.MaxStreamBytes, s.handleAppendStream))
+	s.mux.Handle("/compact", s.instrument("compact", http.MethodPost, cfg.MaxBodyBytes, s.handleCompact))
+	s.mux.Handle("/shards", s.instrument("shards", http.MethodGet, cfg.MaxBodyBytes, s.handleShards))
+	s.mux.Handle("/stats", s.instrument("stats", http.MethodGet, cfg.MaxBodyBytes, s.handleStats))
+	s.mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, cfg.MaxBodyBytes, s.handleHealthz))
 	return s, nil
 }
 
@@ -360,18 +385,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
-// autoCompactLoop runs one compaction round per interval until
-// cancelled. Rounds rebuild entirely off the serving path; a round that
-// finds nothing to merge is free.
+// autoCompactLoop runs compaction rounds per interval until cancelled.
+// Each tick drains: rounds run back-to-back while they find shards to
+// merge, so coalesced ingest (which installs on the order of a
+// hundred shards per second) cannot outrun the once-per-tick cadence
+// and balloon the serving set — unbounded shard counts make every
+// estimate's fan-out and every fold slower. Rounds rebuild entirely
+// off the serving path, but they still compete for CPU with it, so
+// the drain is bounded by a time budget (a quarter of the tick
+// interval): when ingest outruns even that much merging, the set is
+// allowed to grow until traffic lets compaction catch up — degraded
+// estimates beat starved ones. A round that finds nothing is free, so
+// draining costs nothing once the set is tidy.
 func (s *Server) autoCompactLoop(ctx context.Context) {
 	t := time.NewTicker(s.cfg.AutoCompactInterval)
 	defer t.Stop()
+	budget := s.cfg.AutoCompactInterval / 4
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			s.compactOnce()
+			deadline := time.Now().Add(budget)
+			for s.compactOnce() > 0 && ctx.Err() == nil && time.Now().Before(deadline) {
+			}
 		}
 	}
 }
@@ -431,21 +468,24 @@ func (s *Server) checkpointOnce() error {
 	return err
 }
 
-// compactOnce runs one instrumented auto-compaction round.
-func (s *Server) compactOnce() {
+// compactOnce runs one instrumented auto-compaction round and returns
+// how many shards it merged away (0 when nothing qualified or the
+// round failed).
+func (s *Server) compactOnce() int {
 	done := s.reg.Endpoint("autocompact").BeginRequest()
 	merged, err := s.db.Compact(s.cfg.CompactionPolicy)
 	done(metrics.OutcomeOf(err != nil))
 	s.autoRounds.Add(1)
 	if err != nil {
 		s.cfg.Log.Printf("xqestd: auto-compact: %v", err)
-		return
+		return 0
 	}
 	if merged > 0 {
 		s.autoMerges.Add(uint64(merged))
 		s.cfg.Log.Printf("xqestd: auto-compact merged %d shard(s); %d remain (version %d)",
 			merged, s.est.ShardCount(), s.est.Version())
 	}
+	return merged
 }
 
 // statusRecorder captures the response status for instrumentation and
@@ -468,8 +508,9 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return r.ResponseWriter.Write(p)
 }
 
-// instrument enforces the HTTP method, bounds the request body, and
-// records latency, request, error and rejection counts per endpoint.
+// instrument enforces the HTTP method, bounds the request body to
+// bodyLimit bytes, and records latency, request, error and rejection
+// counts per endpoint.
 // Deliberate 503s — append backpressure, healthz while draining — are
 // rejections, not errors: a saturated-but-healthy daemon must not read
 // as error-ridden in /stats.
@@ -478,7 +519,7 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 // response has not started), the endpoint's panic counter increments,
 // and the stack is logged — one poisoned request must not kill a
 // daemon serving thousands of healthy ones.
-func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handler {
+func (s *Server) instrument(name, method string, bodyLimit int64, h http.HandlerFunc) http.Handler {
 	ep := s.reg.Endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		done := ep.BeginRequest()
@@ -506,7 +547,7 @@ func (s *Server) instrument(name, method string, h http.HandlerFunc) http.Handle
 			writeError(rec, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed")
 			return
 		}
-		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+		r.Body = http.MaxBytesReader(rec, r.Body, bodyLimit)
 		h(rec, r)
 	})
 }

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xmlest"
+)
+
+func postStreamXML(t *testing.T, base, doc string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(base+"/append-stream", "application/xml", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestAppendStreamEndToEnd: a document POSTed to /append-stream lands
+// as a summary-only shard, bumps the serving version, and answers
+// estimates — without the server ever buffering the document beyond
+// its disk spool.
+func TestAppendStreamEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	before := decode[EstimateResponse](t, postJSON(t, ts.URL+"/estimate", EstimateRequest{Pattern: "//faculty//TA"}))
+
+	resp := postStreamXML(t, ts.URL, dept2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append-stream: HTTP %d", resp.StatusCode)
+	}
+	ar := decode[AppendResponse](t, resp)
+	if !ar.Streamed || ar.Docs != 1 || ar.Version == 0 || ar.WALSeq != 0 {
+		t.Fatalf("append-stream response: %+v", ar)
+	}
+
+	after := decode[EstimateResponse](t, postJSON(t, ts.URL+"/estimate", EstimateRequest{Pattern: "//faculty//TA"}))
+	if after.Version < ar.Version {
+		t.Fatalf("estimate version %d below append version %d", after.Version, ar.Version)
+	}
+	if *after.Estimate <= *before.Estimate {
+		t.Fatalf("estimate did not rise after streamed append: %v -> %v", *before.Estimate, *after.Estimate)
+	}
+}
+
+// TestAppendStreamDurable: on a durable daemon the streamed shard's
+// ack is a checkpoint — the shard survives an immediate crash-restart
+// with no WAL record.
+func TestAppendStreamDurable(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurableTestDB(t, dir)
+	_, ts := newDurableTestServer(t, db)
+
+	resp := postStreamXML(t, ts.URL, dept2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("durable append-stream: HTTP %d", resp.StatusCode)
+	}
+	ar := decode[AppendResponse](t, resp)
+	if !ar.Streamed || ar.Durable == nil || !*ar.Durable || ar.WALSeq != 0 {
+		t.Fatalf("durable append-stream response: %+v", ar)
+	}
+	before := decode[EstimateResponse](t, postJSON(t, ts.URL+"/estimate", EstimateRequest{Pattern: "//faculty//TA"}))
+
+	// Crash (no Close) and recover: the checkpointed streamed shard is
+	// still there, with the identical estimate.
+	ts.Close()
+	db2 := openDurableTestDB(t, dir)
+	defer db2.Close()
+	_, ts2 := newDurableTestServer(t, db2)
+	after := decode[EstimateResponse](t, postJSON(t, ts2.URL+"/estimate", EstimateRequest{Pattern: "//faculty//TA"}))
+	if *after.Estimate != *before.Estimate {
+		t.Fatalf("streamed shard lost or changed by recovery: %v -> %v", *before.Estimate, *after.Estimate)
+	}
+}
+
+// TestAppendStreamErrors: malformed XML is a 400, an empty body is a
+// 400, a read-only server refuses with 403.
+func TestAppendStreamErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if resp := postStreamXML(t, ts.URL, "<a><b></a>"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed stream: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp := postStreamXML(t, ts.URL, ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty stream: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// Read-only server: loaded from a summary, no document store.
+	db, err := xmlest.Open(strings.NewReader(dept1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.AddAllTagPredicates()
+	est, err := db.NewEstimator(xmlest.Options{GridSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := est.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := xmlest.LoadEstimator(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewFromEstimator(loaded, Config{Options: xmlest.Options{GridSize: 4}, Log: discardLogger()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := httptest.NewServer(s.Handler())
+	defer ro.Close()
+	if resp := postStreamXML(t, ro.URL, dept2); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("read-only append-stream: HTTP %d, want 403", resp.StatusCode)
+	}
+}

@@ -7,13 +7,16 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xmlest/internal/core"
 	"xmlest/internal/fsio"
 	"xmlest/internal/manifest"
+	"xmlest/internal/metrics"
 	"xmlest/internal/predicate"
 	"xmlest/internal/wal"
 	"xmlest/internal/xmltree"
@@ -44,6 +47,22 @@ type DurableConfig struct {
 
 	// WAL tunes the write-ahead log: fsync policy and segment size.
 	WAL wal.Options
+
+	// Commit tunes the group-commit layer: the MaxDelay latency budget
+	// and the per-group byte cap. The zero value groups naturally (no
+	// added latency) — see wal.CommitterOptions.
+	//
+	// The store spends MaxDelay at the INGEST stage, not the WAL
+	// stage: waiting for stragglers before the parse + summary build
+	// amortizes the build, the shard install, and the fsync all at
+	// once, where a post-build wait could only amortize the fsync.
+	// The wal.Committer therefore runs with no delay of its own.
+	Commit wal.CommitterOptions
+
+	// IngestWorkers bounds concurrent parse + summary-build work — the
+	// CPU stage of the append pipeline, which runs outside every lock.
+	// <= 0 means GOMAXPROCS.
+	IngestWorkers int
 
 	// FS is the filesystem the store (manifest, checkpoints, and —
 	// unless WAL.FS overrides it — the WAL) runs on; nil means the real
@@ -109,8 +128,29 @@ type DurabilityStats struct {
 	Degraded          bool   `json:"degraded,omitempty"`
 	DegradedComponent string `json:"degraded_component,omitempty"`
 	DegradedReason    string `json:"degraded_reason,omitempty"`
+	// GroupCommit is the write-path observability section.
+	GroupCommit GroupCommitStats `json:"group_commit"`
 	// Recovery echoes the boot-time replay.
 	Recovery RecoveryInfo `json:"recovery"`
+}
+
+// GroupCommitStats digests the group-commit write path: how well
+// concurrent appends amortize fsyncs, and how long batches wait in the
+// commit queue.
+type GroupCommitStats struct {
+	// Groups counts committed groups; Batches counts the appends across
+	// them — Batches/Groups is the lifetime mean group size.
+	Groups  uint64 `json:"groups"`
+	Batches uint64 `json:"batches"`
+	// GroupSize digests per-group batch counts (p50/p95/max).
+	GroupSize metrics.ValueSummary `json:"group_size"`
+	// Fsyncs counts data fsyncs since open; FsyncsPerSec is the
+	// lifetime rate.
+	Fsyncs       uint64  `json:"fsyncs"`
+	FsyncsPerSec float64 `json:"fsyncs_per_sec"`
+	// QueueWait digests the time batches spend between submission and
+	// group formation — the latency cost of grouping.
+	QueueWait metrics.LatencySummary `json:"queue_wait"`
 }
 
 // DurableStore wraps a Store with LSM-style durability: every append
@@ -145,6 +185,43 @@ type DurableStore struct {
 	// sealed WAL — lives in the log itself (wal.Log.Err).
 	cpErr      atomic.Pointer[string]
 	cpFailures atomic.Uint64
+
+	// Group-commit write pipeline: the ingest coalescer drains every
+	// append batch queued behind the CPU stage into ONE parse + summary
+	// build (so a burst of concurrent appends lands as one shard with
+	// one WAL record instead of N), ingestSem bounds how many such
+	// builds run at once (outside all locks), the committer owns the
+	// log+install stage, and the histograms feed /stats.
+	committer     *wal.Committer
+	ingestSem     chan struct{}
+	ingestQ       chan *ingestReq
+	ingestStop    chan struct{}
+	ingestDone    chan struct{}
+	ingestCap     int64
+	ingestDelay   time.Duration
+	submitSlots   chan struct{}
+	ingestMu      sync.RWMutex // guards ingestClosed against in-flight AppendDocs
+	ingestClosed  bool
+	ingestEnq     sync.WaitGroup // AppendDocs calls between closed-check and enqueue
+	ingestWorkers sync.WaitGroup // dispatched build goroutines
+	groupSizes    *metrics.ValueHistogram
+	queueWait     *metrics.LatencyHistogram
+	openedAt      time.Time
+}
+
+// ingestReq is one AppendDocs batch waiting for the ingest coalescer;
+// res delivers the built (possibly shared) shard and its commit handle,
+// or the batch's own parse/build error.
+type ingestReq struct {
+	docs [][]byte
+	at   time.Time
+	res  chan ingestRes
+}
+
+type ingestRes struct {
+	sh  *Shard
+	p   *wal.Pending
+	err error
 }
 
 // Degraded reports the store's failed component, if any: "wal" when
@@ -274,6 +351,41 @@ func OpenDurable(dir string, bootstrap func() (*Store, error), cfg DurableConfig
 		log.Close()
 		return nil, fmt.Errorf("shard: wal replay: %w", err)
 	}
+
+	workers := cfg.IngestWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	d.ingestSem = make(chan struct{}, workers)
+	depth := cfg.Commit.QueueDepth
+	if depth <= 0 {
+		depth = wal.DefaultQueueDepth
+	}
+	d.ingestQ = make(chan *ingestReq, depth)
+	d.ingestStop = make(chan struct{})
+	d.ingestDone = make(chan struct{})
+	d.ingestCap = cfg.Commit.MaxGroupBytes
+	if d.ingestCap <= 0 {
+		d.ingestCap = wal.DefaultMaxGroupBytes
+	}
+	// Two in-flight submissions: one group building while the previous
+	// one commits (fsync). This is what makes coalescing engage — any
+	// batch arriving while both slots are busy queues up and joins the
+	// next group, so the number of shards installed per second tracks
+	// the commit rate, not the append rate.
+	d.submitSlots = make(chan struct{}, 2)
+	d.ingestDelay = cfg.Commit.MaxDelay
+	d.groupSizes = metrics.NewValueHistogram()
+	d.queueWait = metrics.NewLatencyHistogram()
+	d.openedAt = time.Now()
+	// The committer starts only after recovery: replay installs shards
+	// directly and must not race group formation. The latency budget is
+	// spent at the ingest stage (see DurableConfig.Commit), so the
+	// committer itself always commits eagerly.
+	commitOpts := cfg.Commit
+	commitOpts.MaxDelay = 0
+	d.committer = wal.NewCommitter(log, commitOpts, d.commitGroup)
+	go d.ingestLoop()
 	return d, nil
 }
 
@@ -344,18 +456,37 @@ func (d *DurableStore) Store() *Store { return d.store }
 // Recovery reports what boot-time recovery rebuilt.
 func (d *DurableStore) Recovery() RecoveryInfo { return d.recovery }
 
+// GridSize returns the grid size pinned in the data directory's
+// manifest.
+func (d *DurableStore) GridSize() int { return d.opts.GridSize }
+
 // DurableSeq returns the newest WAL sequence known fsynced.
 func (d *DurableStore) DurableSeq() uint64 { return d.log.DurableSeq() }
 
-// AppendDocs durably lands one batch of raw XML documents as a new
-// shard: the batch is parsed and summarized off the serving path,
-// logged to the WAL at the exact version the shard installs at
-// (fsynced before return under the always policy), and only then
-// installed. An error means nothing was acknowledged or installed.
+// AppendDocs durably lands one batch of raw XML documents. It is a
+// three-stage pipeline:
 //
-// The WAL write and the install share the store's write lock, so the
-// logged ack version is exact even while compactions install
-// concurrently — the recovery invariant depends on it.
+//  1. Coalesce: the batch queues behind the CPU stage; the ingest
+//     coalescer drains everything waiting into ONE parse + summary
+//     build, so a burst of N concurrent appends costs one build, one
+//     shard install, and one WAL record instead of N. A lone append
+//     coalesces with nothing and behaves exactly as before.
+//  2. CPU stage, outside every lock, bounded by IngestWorkers: parse
+//     the (possibly merged) documents and build the shard's summaries.
+//  3. Commit stage, via the group committer: the submission joins
+//     whatever group is forming; the commit callback takes the write
+//     lock once per GROUP, logs every submission with one segment
+//     write + one fsync (always policy), installs every shard, and
+//     wakes the waiters with their exact seq and ack version.
+//
+// Batches merged into one build share a shard, a WAL record, a seq and
+// an ack version — and therefore an all-or-nothing fate, the same
+// contract a commit group already has. Recovery replays the merged
+// record into the identical merged shard, so estimates stay
+// bit-identical to the uncrashed process.
+//
+// An error means nothing was acknowledged or installed — a failed
+// group write or fsync refuses the whole group.
 func (d *DurableStore) AppendDocs(docs [][]byte) (*Shard, uint64, error) {
 	if len(docs) == 0 {
 		return nil, 0, fmt.Errorf("shard: refusing to append an empty batch")
@@ -365,35 +496,248 @@ func (d *DurableStore) AppendDocs(docs [][]byte) (*Shard, uint64, error) {
 		// any parse work.
 		return nil, 0, &DegradedError{Component: "wal", Err: err}
 	}
+	d.ingestMu.RLock()
+	if d.ingestClosed {
+		d.ingestMu.RUnlock()
+		return nil, 0, fmt.Errorf("shard: store is closed")
+	}
+	d.ingestEnq.Add(1)
+	d.ingestMu.RUnlock()
+	r := &ingestReq{docs: docs, at: time.Now(), res: make(chan ingestRes, 1)}
+	d.ingestQ <- r
+	d.ingestEnq.Done()
+	res := <-r.res
+	if res.err != nil {
+		return nil, 0, res.err
+	}
+	if _, _, err := res.p.Wait(); err != nil {
+		if d.log.Err() != nil {
+			return nil, 0, &DegradedError{Component: "wal", Err: err}
+		}
+		return nil, 0, err
+	}
+	return res.sh, res.sh.walSeq, nil
+}
+
+// ingestLoop is the coalescer goroutine: it blocks for the first batch,
+// waits for a build slot, and only THEN drains everything else queued
+// into the group — group formation happens as late as possible, so
+// every batch that arrived while earlier builds held the pool joins
+// this group instead of becoming a premature singleton. The dispatched
+// build runs on its own goroutine, so the loop immediately waits for
+// the next batch and builds overlap the previous group's fsync.
+func (d *DurableStore) ingestLoop() {
+	defer close(d.ingestDone)
+	for {
+		select {
+		case <-d.ingestStop:
+			for {
+				select {
+				case r := <-d.ingestQ:
+					d.dispatchIngest(r)
+				default:
+					d.ingestWorkers.Wait()
+					return
+				}
+			}
+		case r := <-d.ingestQ:
+			d.dispatchIngest(r)
+		}
+	}
+}
+
+// formIngestGroup greedily drains the ingest queue behind first, up to
+// the group byte budget. With no latency budget a group is whatever
+// queued while earlier builds and commits were in flight; with one
+// (DurableConfig.Commit.MaxDelay), the coalescer then waits out the
+// budget for stragglers — fewer, larger shards per second at the cost
+// of that much ack latency.
+func (d *DurableStore) formIngestGroup(first *ingestReq) []*ingestReq {
+	group := append(make([]*ingestReq, 0, 8), first)
+	var bytes int64
+	for _, doc := range first.docs {
+		bytes += int64(len(doc))
+	}
+greedy:
+	for bytes < d.ingestCap {
+		select {
+		case r := <-d.ingestQ:
+			group = append(group, r)
+			for _, doc := range r.docs {
+				bytes += int64(len(doc))
+			}
+		default:
+			break greedy
+		}
+	}
+	if d.ingestDelay > 0 {
+		t := time.NewTimer(d.ingestDelay)
+		defer t.Stop()
+	budget:
+		for bytes < d.ingestCap {
+			select {
+			case r := <-d.ingestQ:
+				group = append(group, r)
+				for _, doc := range r.docs {
+					bytes += int64(len(doc))
+				}
+			case <-t.C:
+				break budget
+			case <-d.ingestStop:
+				// Shutdown: build what we have; the drain handles the rest.
+				break budget
+			}
+		}
+	}
+	return group
+}
+
+// dispatchIngest waits for a submission slot and a build slot, forms
+// the group at the last possible moment (everything that queued while
+// the slots were busy joins), and runs the merged build on the pool.
+// Blocking here, on the coalescer goroutine, is what creates the
+// coalescing pressure: while one group builds and another commits,
+// arrivals queue and join the next, larger group. The submission slot
+// is held until the group's commit resolves, so the install rate —
+// and with it the serving set's shard count — tracks the commit
+// cycle, not the raw append rate.
+func (d *DurableStore) dispatchIngest(first *ingestReq) {
+	d.submitSlots <- struct{}{}
+	d.ingestSem <- struct{}{}
+	group := d.formIngestGroup(first)
+	d.ingestWorkers.Add(1)
+	go func() {
+		p := d.ingestGroup(group)
+		<-d.ingestSem
+		if p != nil {
+			p.Wait()
+		}
+		<-d.submitSlots
+		d.ingestWorkers.Done()
+	}()
+}
+
+// ingestGroup builds one shard from every batch in the group and
+// submits it for commit, returning the pending submission (the
+// dispatcher holds its slot until it resolves). If the merged parse
+// fails — one poisoned batch must not refuse its neighbors — each
+// batch falls back to its own build and submission, so exactly the
+// malformed batches fail; the fallback returns nil (its submissions
+// resolve on their own).
+func (d *DurableStore) ingestGroup(group []*ingestReq) *wal.Pending {
+	if len(group) == 1 {
+		return d.buildAndSubmit(group[0])
+	}
+	var docs [][]byte
+	members := make([]time.Time, len(group))
+	for i, r := range group {
+		docs = append(docs, r.docs...)
+		members[i] = r.at
+	}
+	sh, err := d.buildShard(docs)
+	if err != nil {
+		for _, r := range group {
+			d.buildAndSubmit(r)
+		}
+		return nil
+	}
+	p, err := d.committer.SubmitCoalesced(docs, sh, members)
+	for _, r := range group {
+		r.res <- ingestRes{sh: sh, p: p, err: err}
+	}
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// buildAndSubmit is the uncoalesced path: one batch, its own shard and
+// WAL record.
+func (d *DurableStore) buildAndSubmit(r *ingestReq) *wal.Pending {
+	sh, err := d.buildShard(r.docs)
+	if err != nil {
+		r.res <- ingestRes{err: err}
+		return nil
+	}
+	p, err := d.committer.SubmitCoalesced(r.docs, sh, []time.Time{r.at})
+	r.res <- ingestRes{sh: sh, p: p, err: err}
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// buildShard is the append pipeline's CPU stage: parse + summary
+// build, no locks held. Concurrency is bounded by the dispatch
+// semaphore, not here.
+func (d *DurableStore) buildShard(docs [][]byte) (*Shard, error) {
 	readers := make([]io.Reader, len(docs))
 	for i, doc := range docs {
 		readers[i] = bytes.NewReader(doc)
 	}
 	tree, err := xmltree.ParseCollection(readers, xmltree.DefaultParseOptions)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	if tree.NumNodes() == 0 {
-		return nil, 0, fmt.Errorf("shard: refusing to append an empty tree")
+		return nil, fmt.Errorf("shard: refusing to append an empty tree")
 	}
 	cat := d.store.Spec().Build(tree)
-	sh, err := d.store.newShard(tree, cat)
-	if err != nil {
-		return nil, 0, err
+	return d.store.newShard(tree, cat)
+}
+
+// commitGroup is the commit callback the committer runs once per
+// formed group, on its own goroutine. It holds the store's write lock
+// across the whole group so the versions encoded into the WAL records
+// are exactly the versions the shards install at — the recovery
+// invariant — and so the checkpoint's truncation-safety pin (set +
+// lastSeq observed together under writeMu) keeps holding: the group's
+// records and shards become visible to a checkpoint atomically.
+func (d *DurableStore) commitGroup(group []*wal.Pending) {
+	now := time.Now()
+	members := 0
+	for _, p := range group {
+		members += len(p.Members)
+		for _, at := range p.Members {
+			// Measured from the append batch's arrival at the ingest
+			// coalescer, so it covers the whole pre-commit wait a caller
+			// experiences (build queue + commit queue).
+			d.queueWait.Observe(now.Sub(at))
+		}
 	}
+	d.groupSizes.Observe(members)
+
 	st := d.store
 	st.writeMu.Lock()
 	defer st.writeMu.Unlock()
-	seq, err := d.log.Append(st.Current().version+1, docs)
-	if err != nil {
-		if d.log.Err() != nil {
-			return nil, 0, &DegradedError{Component: "wal", Err: err}
-		}
-		return nil, 0, err
+	base := st.Current().version
+	recs := make([]wal.GroupRecord, len(group))
+	for i, p := range group {
+		recs[i] = wal.GroupRecord{Version: base + uint64(i) + 1, Docs: p.Docs}
 	}
-	sh.walSeq = seq
-	st.appendLocked(sh)
-	return sh, seq, nil
+	first, err := d.log.AppendGroup(recs)
+	if err != nil {
+		// The whole group is refused: its frames either never landed or
+		// their durability is unknown (the log sealed either way), so no
+		// batch may be acknowledged and none is installed. Under a power
+		// cut the un-fsynced frames are torn away on recovery — refused
+		// batches stay absent.
+		for _, p := range group {
+			p.Err = err
+		}
+		return
+	}
+	shs := make([]*Shard, len(group))
+	for i, p := range group {
+		sh := p.Payload.(*Shard)
+		sh.walSeq = first + uint64(i)
+		shs[i] = sh
+	}
+	st.appendGroupLocked(shs)
+	for i, p := range group {
+		p.Seq = shs[i].walSeq
+		p.Version = shs[i].installedAt
+	}
 }
 
 // Checkpoint persists the serving set without the WAL: every live
@@ -550,10 +894,44 @@ func (d *DurableStore) Drop(id uint64) (bool, error) {
 	return true, err
 }
 
-// Close checkpoints the serving set and closes the WAL. The directory
-// can be reopened with OpenDurable; a process that dies without Close
-// recovers the same state from manifest + WAL instead.
+// AppendSummary durably lands a prebuilt summary-only shard (streamed
+// ingest: the raw documents were never buffered, so there is nothing
+// to WAL) and makes it durable with an immediate checkpoint — the same
+// discipline as Drop. The ack is the checkpoint: on failure the shard
+// is rolled back out of the serving set so no un-durable batch is
+// served as if acknowledged. (If the failure landed after the manifest
+// committed, a recovery may resurrect the batch — allowed, as un-acked
+// batches are "maybe present", exactly like an un-fsynced WAL tail.)
+func (d *DurableStore) AppendSummary(est *core.Estimator, docs, nodes int) (*Shard, error) {
+	d.cpMu.Lock()
+	defer d.cpMu.Unlock()
+	sh, err := d.store.AppendSummary(est, docs, nodes)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.checkpointGuarded(); err != nil {
+		d.store.Drop(sh.id)
+		return nil, err
+	}
+	return sh, nil
+}
+
+// Close drains and stops the ingest coalescer and the group committer
+// (resolving every batch already accepted), checkpoints the serving
+// set, and closes the WAL. The directory can be reopened with
+// OpenDurable; a process that dies without Close recovers the same
+// state from manifest + WAL instead.
 func (d *DurableStore) Close() error {
+	d.ingestMu.Lock()
+	wasClosed := d.ingestClosed
+	d.ingestClosed = true
+	d.ingestMu.Unlock()
+	if !wasClosed {
+		d.ingestEnq.Wait() // every accepted AppendDocs has enqueued
+		close(d.ingestStop)
+	}
+	<-d.ingestDone // loop has drained the queue and its builds finished
+	d.committer.Close()
 	_, err := d.Checkpoint()
 	if cerr := d.log.Close(); err == nil {
 		err = cerr
@@ -569,6 +947,17 @@ func (d *DurableStore) Stats() DurabilityStats {
 		bytes += s.Bytes
 	}
 	comp, reason, degraded := d.Degraded()
+	groups, batches, _, _ := d.committer.Stats()
+	gc := GroupCommitStats{
+		Groups:    groups,
+		Batches:   batches,
+		GroupSize: d.groupSizes.Summary(),
+		Fsyncs:    d.log.Fsyncs(),
+		QueueWait: d.queueWait.Summary(),
+	}
+	if up := time.Since(d.openedAt).Seconds(); up > 0 {
+		gc.FsyncsPerSec = float64(gc.Fsyncs) / up
+	}
 	return DurabilityStats{
 		Dir:                d.dir,
 		Fsync:              d.walMode.String(),
@@ -583,6 +972,7 @@ func (d *DurableStore) Stats() DurabilityStats {
 		Degraded:           degraded,
 		DegradedComponent:  comp,
 		DegradedReason:     reason,
+		GroupCommit:        gc,
 		Recovery:           d.recovery,
 	}
 }

@@ -142,6 +142,26 @@ func (st *Store) appendLocked(sh *Shard) {
 	st.install(next, prev)
 }
 
+// appendGroupLocked installs a group of shards at consecutive versions
+// in ONE copy-on-write swap: shard i's visibility watermark is
+// prev.version+i+1 and the new set's version is prev.version+n. Group
+// commit lands n batches with one slice copy and one merge scheduling
+// instead of n of each; the intermediate versions are never served,
+// which is fine — a client acked at version prev+i+1 waits for any
+// serving version >= that, and the set at prev+n contains its batch.
+// The caller must hold writeMu.
+func (st *Store) appendGroupLocked(shs []*Shard) {
+	prev := st.Current()
+	next := make([]*Shard, 0, len(prev.shards)+len(shs))
+	next = append(next, prev.shards...)
+	for i, sh := range shs {
+		sh.installedAt = prev.version + uint64(i) + 1
+		next = append(next, sh)
+	}
+	st.cur.Store(&Set{version: prev.version + uint64(len(shs)), shards: next})
+	st.scheduleMerge()
+}
+
 // setMinVersion raises the serving set's version to at least v without
 // changing membership. The durable layer uses it during recovery so
 // the version watermark clients observed before a crash never

@@ -24,6 +24,23 @@ func BuildEstimator(src Source, gridSize int, preds []EventPredicate) (*core.Est
 	return est, res, nil
 }
 
+// BuildAllTagsEstimator is BuildEstimator with tag discovery: pass one
+// collects the distinct element tags, pass two builds one histogram
+// per tag plus TRUE. It is the streaming build for stores whose
+// predicate vocabulary is Spec{AllTags: true} — the only vocabulary a
+// byte stream can serve, since tree-based predicates need the tree.
+func BuildAllTagsEstimator(src Source, gridSize int) (*core.Estimator, *Result, error) {
+	res, err := BuildAllTags(src, gridSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	est, err := core.NewEstimatorFromHistograms(res.Hists["TRUE"], res.Hists, res.MayOverlap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return est, res, nil
+}
+
 // AppendShard streams one XML source into a summary-only shard of the
 // store: the ingest path for documents that exceed memory, landing with
 // cost proportional to the new document only, like every other append.

@@ -16,6 +16,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"xmlest/internal/histogram"
@@ -99,15 +100,38 @@ type Result struct {
 // grid. Memory use is O(depth + g² per predicate); the document tree is
 // never materialized.
 func Build(src Source, gridSize int, preds []EventPredicate) (*Result, error) {
+	// Pass 1: count elements to fix the position space.
+	elements, _, err := countElements(src, false)
+	if err != nil {
+		return nil, err
+	}
+	return buildCounted(src, gridSize, preds, elements)
+}
+
+// BuildAllTags scans the source twice and returns one histogram per
+// distinct element tag plus TRUE — the streaming analogue of the
+// all-tags predicate vocabulary (predicate.Spec.AllTags). The tag set
+// is discovered during pass one alongside the element count, so the
+// input is still read exactly twice.
+func BuildAllTags(src Source, gridSize int) (*Result, error) {
+	elements, tags, err := countElements(src, true)
+	if err != nil {
+		return nil, err
+	}
+	preds := make([]EventPredicate, len(tags))
+	for i, tag := range tags {
+		preds[i] = TagPred{Tag: tag}
+	}
+	return buildCounted(src, gridSize, preds, elements)
+}
+
+// buildCounted is pass two plus setup, with the element count already
+// known.
+func buildCounted(src Source, gridSize int, preds []EventPredicate, elements int) (*Result, error) {
 	for _, p := range preds {
 		if p.Name() == "TRUE" {
 			return nil, fmt.Errorf("stream: the TRUE histogram is built automatically")
 		}
-	}
-	// Pass 1: count elements to fix the position space.
-	elements, err := countElements(src)
-	if err != nil {
-		return nil, err
 	}
 	// Positions mirror xmltree.Builder: dummy root takes label 0 and
 	// the final label, each element takes two labels.
@@ -164,28 +188,45 @@ func Build(src Source, gridSize int, preds []EventPredicate) (*Result, error) {
 	return res, nil
 }
 
-// countElements is pass one.
-func countElements(src Source) (int, error) {
+// countElements is pass one: the element count, plus — when collectTags
+// is set — the distinct element tags in sorted order (the all-tags
+// vocabulary discovery).
+func countElements(src Source, collectTags bool) (int, []string, error) {
 	r, err := src()
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer r.Close()
 	dec := xml.NewDecoder(r)
 	n := 0
+	var seen map[string]struct{}
+	if collectTags {
+		seen = make(map[string]struct{})
+	}
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return 0, fmt.Errorf("stream: pass 1: %w", err)
+			return 0, nil, fmt.Errorf("stream: pass 1: %w", err)
 		}
-		if _, ok := tok.(xml.StartElement); ok {
+		if el, ok := tok.(xml.StartElement); ok {
 			n++
+			if collectTags {
+				seen[el.Name.Local] = struct{}{}
+			}
 		}
 	}
-	return n, nil
+	if !collectTags {
+		return n, nil, nil
+	}
+	tags := make([]string, 0, len(seen))
+	for tag := range seen {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	return n, tags, nil
 }
 
 // scan is pass two: it assigns (start, end) labels with one shared

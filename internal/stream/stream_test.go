@@ -166,3 +166,57 @@ func TestLemma1HoldsOnStreamedHistograms(t *testing.T) {
 		}
 	}
 }
+
+func TestBuildAllTagsDiscoversVocabulary(t *testing.T) {
+	tr := xmltree.Fig1Document()
+	src, doc := sourceFromTree(t, tr)
+	res, err := BuildAllTags(src, 4)
+	if err != nil {
+		t.Fatalf("BuildAllTags: %v", err)
+	}
+	back, err := xmltree.ParseString(doc)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	// One histogram per distinct tag, plus TRUE, nothing else.
+	tags := back.Tags()
+	if len(res.Hists) != len(tags)+1 {
+		t.Fatalf("%d histograms for %d tags", len(res.Hists), len(tags))
+	}
+	for _, tag := range tags {
+		if res.Hists["tag="+tag] == nil {
+			t.Fatalf("missing histogram for discovered tag %q", tag)
+		}
+		if err := VerifyAgainstTree(back, res, tag); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+	if res.Hists["TRUE"].Total() != float64(back.NumNodes()) {
+		t.Errorf("TRUE total = %v, want %d", res.Hists["TRUE"].Total(), back.NumNodes())
+	}
+}
+
+func TestBuildAllTagsEstimatorServesPatterns(t *testing.T) {
+	tr := datagen.GenerateDBLP(datagen.DBLPConfig{Seed: 7, Scale: 0.01})
+	src, _ := sourceFromTree(t, tr)
+	est, res, err := BuildAllTagsEstimator(src, 10)
+	if err != nil {
+		t.Fatalf("BuildAllTagsEstimator: %v", err)
+	}
+	if res.Nodes == 0 {
+		t.Fatal("no nodes")
+	}
+	r, err := est.EstimatePair("tag=article", "tag=author")
+	if err != nil {
+		t.Fatalf("EstimatePair: %v", err)
+	}
+	if r.Estimate <= 0 {
+		t.Fatalf("estimate %v, want > 0", r.Estimate)
+	}
+	// The wrapped estimator serves the discovered vocabulary.
+	for _, name := range []string{"tag=article", "tag=author"} {
+		if !est.HasPredicate(name) {
+			t.Fatalf("estimator lacks %q", name)
+		}
+	}
+}

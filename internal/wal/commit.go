@@ -1,0 +1,345 @@
+// Group commit: the classic database discipline for closing the gap
+// between write acknowledgment cost (one fsync each) and what the disk
+// can actually do (one fsync for everyone currently waiting).
+//
+// Concurrent appenders Submit their batches to a single committer
+// goroutine. The committer drains everything already queued into one
+// group — optionally waiting up to MaxDelay for stragglers — and hands
+// the group to a commit function that performs ONE segment write and
+// ONE fsync for all of it (Log.AppendGroup), then wakes every waiter
+// with its exact assigned sequence and ack version. While one group's
+// fsync is in flight, new arrivals queue up and form the next group,
+// so under concurrency the achieved group size approaches the number
+// of in-flight appenders with no configured delay at all ("natural"
+// group commit); MaxDelay trades ack latency for even larger groups on
+// sparse traffic.
+//
+// Failure semantics are all-or-nothing per group: the commit function
+// refuses every batch of a group whose write or fsync failed (the log
+// seals, nothing is installed, every waiter gets the error). There is
+// no outcome in which some batches of a group are acknowledged and
+// others are not — the frames share one write and one fsync, so no
+// evidence exists to ack a prefix.
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CommitterOptions tunes group formation. The zero value commits with
+// no added latency and default byte/queue bounds.
+type CommitterOptions struct {
+	// MaxDelay is the latency budget: after the first batch of a group
+	// arrives, the committer waits up to MaxDelay for more batches
+	// before committing. 0 adds no delay — a group is whatever queued
+	// while the previous commit was in flight, which already amortizes
+	// the fsync under concurrency without taxing sparse traffic.
+	MaxDelay time.Duration
+
+	// MaxGroupBytes caps one group's encoded payload: a group commits
+	// as soon as it holds this much, bounding commit latency spikes and
+	// the single-write allocation. <= 0 means DefaultMaxGroupBytes.
+	MaxGroupBytes int64
+
+	// QueueDepth bounds batches waiting to be grouped; Submit blocks
+	// once it is full (the committer is already saturated — queueing
+	// deeper only adds latency). <= 0 means DefaultQueueDepth.
+	QueueDepth int
+}
+
+// Defaults for the zero CommitterOptions.
+const (
+	DefaultMaxGroupBytes = 8 << 20
+	DefaultQueueDepth    = 256
+)
+
+func (o CommitterOptions) withDefaults() CommitterOptions {
+	if o.MaxGroupBytes <= 0 {
+		o.MaxGroupBytes = DefaultMaxGroupBytes
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	return o
+}
+
+// Pending is one batch waiting for (or resolved by) a group commit.
+// The submitter blocks in Wait; the commit function fills Seq, Version
+// and Err for every batch of the group it was handed.
+type Pending struct {
+	// Docs is the batch's raw documents, as passed to Submit.
+	Docs [][]byte
+	// Payload carries the submitter's prepared state (the built shard)
+	// through the queue untouched.
+	Payload any
+	// EnqueuedAt is when Submit accepted the batch; commit-queue wait
+	// time is measured from here to group formation.
+	EnqueuedAt time.Time
+	// Members holds the enqueue time of every original append batch
+	// this submission carries: Submit records one entry; an ingest
+	// coalescer that merged several append batches into one submission
+	// (SubmitCoalesced) records one per merged batch. Group-size and
+	// queue-wait accounting count members, not submissions, so the
+	// reported amortization reflects what callers actually experienced.
+	Members []time.Time
+
+	// Seq and Version are the batch's assigned WAL sequence and ack
+	// version; valid after Wait returns with a nil error.
+	Seq     uint64
+	Version uint64
+	// Err refuses the batch; when the group's write or fsync failed it
+	// is the same error for every batch in the group.
+	Err error
+
+	bytes int64
+	done  chan struct{}
+}
+
+// Wait blocks until the batch's group commits (or is refused) and
+// returns its assigned sequence and ack version, or the error that
+// refused its whole group.
+func (p *Pending) Wait() (seq, version uint64, err error) {
+	<-p.done
+	return p.Seq, p.Version, p.Err
+}
+
+// Committer is the group-commit front end for a Log. One goroutine
+// owns group formation; under ModeInterval it also owns the background
+// flush cadence (taking it over from the Log's own flusher), so a
+// flush failure seals the log strictly before any later group is
+// committed — there is no window in which a batch is acknowledged
+// after its durability was already known to be compromised.
+type Committer struct {
+	log    *Log
+	opts   CommitterOptions
+	commit func(group []*Pending)
+
+	queue chan *Pending
+	stop  chan struct{}
+	done  chan struct{}
+
+	mu        sync.RWMutex // guards closed against in-flight Submits
+	closed    bool
+	inflight  sync.WaitGroup
+	groups    atomic.Uint64
+	batches   atomic.Uint64
+	maxGroup  atomic.Uint64
+	lastGroup atomic.Uint64
+}
+
+// NewCommitter starts a committer over l. The commit function receives
+// each formed group exactly once, in formation order, on the committer
+// goroutine; it must resolve every Pending (fill Seq/Version or Err) —
+// the committer closes the waiters' done channels when it returns.
+// Typically it wraps Log.AppendGroup plus whatever installation must
+// be atomic with sequence assignment.
+func NewCommitter(l *Log, opts CommitterOptions, commit func(group []*Pending)) *Committer {
+	opts = opts.withDefaults()
+	c := &Committer{
+		log:    l,
+		opts:   opts,
+		commit: commit,
+		queue:  make(chan *Pending, opts.QueueDepth),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	// Take over the interval-flush cadence: flush failures and group
+	// commits must be totally ordered on one goroutine (see type doc).
+	l.StopFlushLoop()
+	go c.loop()
+	return c
+}
+
+// Submit enqueues one batch for group commit and returns its Pending
+// handle. It blocks only when the commit queue is full. The payload
+// travels with the batch to the commit function (via Pending.Payload).
+func (c *Committer) Submit(docs [][]byte, payload any) (*Pending, error) {
+	return c.submit(docs, payload, nil)
+}
+
+// SubmitCoalesced is Submit for an ingest coalescer that merged
+// several append batches into one submission: members carries each
+// merged batch's original enqueue time, so queue-wait and group-size
+// accounting reflect the callers' view rather than the submission
+// count. All merged batches resolve through the one returned Pending —
+// they share its seq, version and (on failure) error, which is exactly
+// the all-or-nothing contract their docs already have by sharing one
+// WAL record.
+func (c *Committer) SubmitCoalesced(docs [][]byte, payload any, members []time.Time) (*Pending, error) {
+	return c.submit(docs, payload, members)
+}
+
+func (c *Committer) submit(docs [][]byte, payload any, members []time.Time) (*Pending, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("wal: refusing to append an empty batch")
+	}
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return nil, fmt.Errorf("wal: committer is closed")
+	}
+	c.inflight.Add(1)
+	c.mu.RUnlock()
+	defer c.inflight.Done()
+	p := &Pending{
+		Docs:       docs,
+		Payload:    payload,
+		EnqueuedAt: time.Now(),
+		Members:    members,
+		done:       make(chan struct{}),
+	}
+	if len(p.Members) == 0 {
+		p.Members = []time.Time{p.EnqueuedAt}
+	}
+	for _, d := range docs {
+		p.bytes += int64(len(d))
+	}
+	c.queue <- p
+	return p, nil
+}
+
+// Close stops accepting new batches, commits everything already
+// queued (no submitted batch is left unresolved), stops the committer
+// goroutine, and — for ModeInterval logs — leaves flushing to the
+// Log's Close. Idempotent.
+func (c *Committer) Close() {
+	c.mu.Lock()
+	wasClosed := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if wasClosed {
+		<-c.done
+		return
+	}
+	c.inflight.Wait() // every accepted Submit has enqueued its batch
+	close(c.stop)
+	<-c.done
+}
+
+// Stats reports lifetime group-commit counters: groups committed,
+// batches across them, and the largest and most recent group sizes.
+// Batch and group-size figures count member batches (the append calls
+// callers made), not submissions — a coalesced submission of five
+// batches counts as five.
+func (c *Committer) Stats() (groups, batches, maxGroup, lastGroup uint64) {
+	return c.groups.Load(), c.batches.Load(), c.maxGroup.Load(), c.lastGroup.Load()
+}
+
+// loop is the committer goroutine: it blocks for the first batch of
+// each group, forms the rest greedily (plus the MaxDelay budget), and
+// commits. Under ModeInterval it also ticks the background flush.
+func (c *Committer) loop() {
+	defer close(c.done)
+	var tickC <-chan time.Time
+	if c.log.opts.Mode == ModeInterval {
+		t := time.NewTicker(c.log.opts.Interval)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case <-c.stop:
+			c.drain()
+			return
+		case <-tickC:
+			// A failed interval flush seals the log here, on the commit
+			// goroutine: every group formed after this point is refused by
+			// AppendGroup's seal check, so no ack can race the failure.
+			_ = c.log.Sync()
+		case p := <-c.queue:
+			c.commitGroup(c.formGroup(p))
+		}
+	}
+}
+
+// formGroup builds one group starting from first: everything already
+// queued joins immediately; with a MaxDelay budget the committer then
+// waits out the budget for stragglers. MaxGroupBytes caps the group
+// either way.
+func (c *Committer) formGroup(first *Pending) []*Pending {
+	group := append(make([]*Pending, 0, 16), first)
+	bytes := first.bytes
+greedy:
+	for bytes < c.opts.MaxGroupBytes {
+		select {
+		case p := <-c.queue:
+			group = append(group, p)
+			bytes += p.bytes
+		default:
+			break greedy
+		}
+	}
+	if c.opts.MaxDelay > 0 {
+		t := time.NewTimer(c.opts.MaxDelay)
+		defer t.Stop()
+	budget:
+		for bytes < c.opts.MaxGroupBytes {
+			select {
+			case p := <-c.queue:
+				group = append(group, p)
+				bytes += p.bytes
+			case <-t.C:
+				break budget
+			case <-c.stop:
+				// Shutdown: commit what we have now; drain handles the rest.
+				break budget
+			}
+		}
+	}
+	return group
+}
+
+// commitGroup hands one group to the commit function and wakes every
+// waiter.
+func (c *Committer) commitGroup(group []*Pending) {
+	c.commit(group)
+	c.groups.Add(1)
+	var n uint64
+	for _, p := range group {
+		n += uint64(len(p.Members))
+	}
+	c.batches.Add(n)
+	c.lastGroup.Store(n)
+	for {
+		old := c.maxGroup.Load()
+		if n <= old || c.maxGroup.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	for _, p := range group {
+		close(p.done)
+	}
+}
+
+// drain commits everything left in the queue at shutdown. Close has
+// already waited out in-flight Submits, so the queue can only shrink.
+func (c *Committer) drain() {
+	for {
+		select {
+		case p := <-c.queue:
+			c.commitGroup(c.formGroupNoWait(p))
+		default:
+			return
+		}
+	}
+}
+
+// formGroupNoWait is formGroup without the latency budget (shutdown
+// never waits for stragglers).
+func (c *Committer) formGroupNoWait(first *Pending) []*Pending {
+	group := append(make([]*Pending, 0, 16), first)
+	bytes := first.bytes
+	for bytes < c.opts.MaxGroupBytes {
+		select {
+		case p := <-c.queue:
+			group = append(group, p)
+			bytes += p.bytes
+		default:
+			return group
+		}
+	}
+	return group
+}

@@ -1,0 +1,374 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xmlest/internal/fsio"
+)
+
+// logCommit is the test commit function: AppendGroup with versions
+// derived from a running counter, mirroring what the durable store
+// does (logged version == install version).
+func logCommit(l *Log, nextVersion *uint64) func(group []*Pending) {
+	return func(group []*Pending) {
+		recs := make([]GroupRecord, len(group))
+		for i, p := range group {
+			*nextVersion++
+			recs[i] = GroupRecord{Version: *nextVersion, Docs: p.Docs}
+		}
+		first, err := l.AppendGroup(recs)
+		if err != nil {
+			for _, p := range group {
+				p.Err = err
+			}
+			return
+		}
+		for i, p := range group {
+			p.Seq = first + uint64(i)
+			p.Version = recs[i].Version
+		}
+	}
+}
+
+// TestAppendGroupRoundTrip: one AppendGroup call lands n records with
+// contiguous sequences, one fsync, and exact replay.
+func TestAppendGroupRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: ModeAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := l.Fsyncs()
+	recs := []GroupRecord{
+		{Version: 10, Docs: docs("<a/>")},
+		{Version: 11, Docs: docs("<b>x</b>", "<c/>")},
+		{Version: 12, Docs: docs("<d/>")},
+	}
+	first, err := l.AppendGroup(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || l.LastSeq() != 3 || l.DurableSeq() != 3 {
+		t.Fatalf("first=%d last=%d durable=%d, want 1/3/3", first, l.LastSeq(), l.DurableSeq())
+	}
+	if got := l.Fsyncs() - before; got != 1 {
+		t.Fatalf("group of 3 cost %d fsyncs, want 1", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	replayed := collect(t, dir, 0)
+	if len(replayed) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(replayed))
+	}
+	for i, rec := range replayed {
+		if rec.Seq != uint64(i+1) || rec.Version != uint64(i+10) {
+			t.Fatalf("record %d: seq %d version %d", i, rec.Seq, rec.Version)
+		}
+		for j, d := range rec.Docs {
+			if !bytes.Equal(d, recs[i].Docs[j]) {
+				t.Fatalf("record %d doc %d: %q", i, j, d)
+			}
+		}
+	}
+}
+
+// TestAppendGroupWriteFailureSealsAndRollsBack: a failed group write
+// refuses the whole group, truncates the partial frames, and seals.
+func TestAppendGroupWriteFailureSealsAndRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	ffs := fsio.NewFaultFS(fsio.OS, fsio.Faults{})
+	l, err := Open(dir, Options{Mode: ModeAlways, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(1, docs("<a/>")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.SetFaults(fsio.Faults{FailOp: ffs.OpCount() + 1}) // next op: the group write
+	_, err = l.AppendGroup([]GroupRecord{
+		{Version: 2, Docs: docs("<b/>")},
+		{Version: 3, Docs: docs("<c/>")},
+	})
+	if err == nil {
+		t.Fatal("group whose write failed must be refused")
+	}
+	ffs.ClearFaults()
+	if _, err := l.Append(4, docs("<d/>")); err == nil || !strings.Contains(err.Error(), "sealed") {
+		t.Fatalf("append after group write failure: got %v, want sealed", err)
+	}
+	if l.LastSeq() != 1 || l.DurableSeq() != 1 {
+		t.Fatalf("failed group moved watermarks: last=%d durable=%d", l.LastSeq(), l.DurableSeq())
+	}
+}
+
+// TestCommitterCoalesces: batches submitted while a commit is in
+// flight form ONE group — the natural group-commit effect, with no
+// MaxDelay configured.
+func TestCommitterCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: ModeAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// The first group blocks in the commit function until released, so
+	// every other batch is queued by the time the second group forms.
+	// entered signals the block is in place before the rest is
+	// submitted, making the grouping deterministic.
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	var nextVersion uint64
+	inner := logCommit(l, &nextVersion)
+	var c *Committer
+	c = NewCommitter(l, CommitterOptions{}, func(group []*Pending) {
+		gateOnce.Do(func() { close(entered); <-gate })
+		inner(group)
+	})
+	defer c.Close()
+
+	const n = 9
+	pendings := make([]*Pending, 0, n)
+	first, err := c.Submit(docs("<p0/>"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pendings = append(pendings, first)
+	<-entered // group 1 = {p0} is committing; later batches queue behind it
+	for i := 1; i < n; i++ {
+		p, err := c.Submit(docs(fmt.Sprintf("<p%d/>", i)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	close(gate) // all n batches enqueued; let the committer run
+
+	seen := make(map[uint64]bool)
+	for i, p := range pendings {
+		seq, ver, err := p.Wait()
+		if err != nil {
+			t.Fatalf("batch %d refused: %v", i, err)
+		}
+		if seq == 0 || ver != seq || seen[seq] {
+			t.Fatalf("batch %d: seq %d version %d (dup=%v)", i, seq, ver, seen[seq])
+		}
+		seen[seq] = true
+	}
+	groups, batches, maxGroup, _ := c.Stats()
+	if batches != n {
+		t.Fatalf("batches = %d, want %d", batches, n)
+	}
+	// First group holds only the batch that was blocking; everything
+	// else queued behind it must coalesce into the second.
+	if groups != 2 || maxGroup != n-1 {
+		t.Fatalf("groups=%d maxGroup=%d, want 2 and %d", groups, maxGroup, n-1)
+	}
+	if got := l.Fsyncs(); got > groups+1 {
+		t.Fatalf("%d fsyncs for %d groups", got, groups)
+	}
+}
+
+// TestCommitterMaxDelay: with a latency budget, a straggler submitted
+// after the first batch still joins its group.
+func TestCommitterMaxDelay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: ModeAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var nextVersion uint64
+	c := NewCommitter(l, CommitterOptions{MaxDelay: 2 * time.Second}, logCommit(l, &nextVersion))
+	defer c.Close()
+
+	p1, err := c.Submit(docs("<a/>"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the committer enter the budget wait
+	p2, err := c.Submit(docs("<b/>"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if groups, batches, _, _ := c.Stats(); groups != 1 || batches != 2 {
+		t.Fatalf("groups=%d batches=%d, want 1 and 2 (straggler missed the budget)", groups, batches)
+	}
+}
+
+// TestCommitterMaxGroupBytes: the byte cap splits what would have been
+// one giant group.
+func TestCommitterMaxGroupBytes(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: ModeAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	var nextVersion uint64
+	inner := logCommit(l, &nextVersion)
+	doc := strings.Repeat("x", 64)
+	c := NewCommitter(l, CommitterOptions{MaxGroupBytes: 128}, func(group []*Pending) {
+		gateOnce.Do(func() { <-gate })
+		inner(group)
+	})
+	defer c.Close()
+
+	var pendings []*Pending
+	for i := 0; i < 10; i++ {
+		p, err := c.Submit(docs(doc), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	close(gate)
+	for _, p := range pendings {
+		if _, _, err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, maxGroup, _ := c.Stats(); maxGroup > 2 {
+		t.Fatalf("128-byte cap allowed a group of %d 64-byte batches", maxGroup)
+	}
+}
+
+// TestCommitterRefusesWholeGroup: when the group's single fsync fails,
+// EVERY batch in the group gets the error — no partial-group acks.
+func TestCommitterRefusesWholeGroup(t *testing.T) {
+	dir := t.TempDir()
+	ffs := fsio.NewFaultFS(fsio.OS, fsio.Faults{})
+	l, err := Open(dir, Options{Mode: ModeAlways, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	var nextVersion uint64
+	inner := logCommit(l, &nextVersion)
+	c := NewCommitter(l, CommitterOptions{}, func(group []*Pending) {
+		gateOnce.Do(func() { close(entered); <-gate })
+		inner(group)
+	})
+	defer c.Close()
+
+	// Block group 1 in its commit, queue four more batches behind it,
+	// then fail every fsync from here on: group 1's fsync fails and
+	// seals, group 2 is refused whole by the seal check.
+	p0, err := c.Submit(docs("<ok/>"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	var doomed []*Pending
+	for i := 0; i < 4; i++ {
+		p, err := c.Submit(docs("<doomed/>"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doomed = append(doomed, p)
+	}
+	ffs.SetFaults(fsio.Faults{SyncFailAfter: 1})
+	close(gate)
+	if _, _, err := p0.Wait(); err == nil {
+		t.Fatal("batch whose group fsync failed was acknowledged")
+	}
+	var refused int
+	for _, p := range doomed {
+		if _, _, err := p.Wait(); err != nil {
+			refused++
+		}
+	}
+	if refused != len(doomed) {
+		t.Fatalf("%d/%d batches of the failed group refused; partial-group acks are forbidden", refused, len(doomed))
+	}
+	if l.Err() == nil {
+		t.Fatal("failed group fsync must seal the log")
+	}
+	if l.DurableSeq() != 0 {
+		t.Fatalf("durable seq %d after refusing every group, want 0", l.DurableSeq())
+	}
+	if groups, batches, _, _ := c.Stats(); groups != 2 || batches != 5 {
+		t.Fatalf("groups=%d batches=%d, want 2 and 5", groups, batches)
+	}
+}
+
+// TestCommitterCloseDrains: Close resolves every accepted batch and
+// later Submits are refused.
+func TestCommitterCloseDrains(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: ModeOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var nextVersion uint64
+	c := NewCommitter(l, CommitterOptions{}, logCommit(l, &nextVersion))
+
+	var pendings []*Pending
+	for i := 0; i < 20; i++ {
+		p, err := c.Submit(docs("<a/>"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	c.Close()
+	for i, p := range pendings {
+		if _, _, err := p.Wait(); err != nil {
+			t.Fatalf("batch %d unresolved after Close: %v", i, err)
+		}
+	}
+	if _, err := c.Submit(docs("<late/>"), nil); err == nil {
+		t.Fatal("Submit after Close accepted")
+	}
+	c.Close() // idempotent
+}
+
+// TestCommitterOwnsIntervalFlush: under ModeInterval the committer's
+// goroutine drives the flush cadence (the Log's own flusher is stopped)
+// and the durable watermark still advances.
+func TestCommitterOwnsIntervalFlush(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: ModeInterval, Interval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var nextVersion uint64
+	c := NewCommitter(l, CommitterOptions{}, logCommit(l, &nextVersion))
+	defer c.Close()
+	p, err := c.Submit(docs("<a/>"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _, err := p.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.DurableSeq() < seq {
+		if time.Now().After(deadline) {
+			t.Fatalf("durable seq stuck at %d, want %d (committer not flushing)", l.DurableSeq(), seq)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

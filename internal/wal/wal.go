@@ -196,6 +196,13 @@ type Log struct {
 	flushStop chan struct{}
 	flushDone chan struct{}
 	closed    bool
+	// fsyncs counts successful data fsyncs of segment files — the
+	// denominator group commit amortizes. Segment-creation syncs are
+	// excluded; they are bookkeeping, not batch durability.
+	fsyncs atomic.Uint64
+	// groupBuf is AppendGroup's concatenation scratch, reused across
+	// groups while the lock is held.
+	groupBuf []byte
 	// failedErr seals the log: once any write, fsync or segment-roll
 	// operation fails, every subsequent Append, Sync and Close fails
 	// with it. The seal is deliberate and sticky — after an fsync
@@ -277,19 +284,22 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.Mode == ModeInterval {
 		l.flushStop = make(chan struct{})
 		l.flushDone = make(chan struct{})
-		go l.flushLoop()
+		go l.flushLoop(l.flushStop, l.flushDone)
 	}
 	return l, nil
 }
 
-// flushLoop is the ModeInterval background fsync.
-func (l *Log) flushLoop() {
-	defer close(l.flushDone)
+// flushLoop is the ModeInterval background fsync. The channels are
+// passed in rather than re-read from the Log: StopFlushLoop nils the
+// fields before closing the stop channel, and a select on a nil
+// channel would block forever.
+func (l *Log) flushLoop(stop chan struct{}, done chan struct{}) {
+	defer close(done)
 	t := time.NewTicker(l.opts.Interval)
 	defer t.Stop()
 	for {
 		select {
-		case <-l.flushStop:
+		case <-stop:
 			return
 		case <-t.C:
 			// A failed interval flush seals the log (see sealLocked): the
@@ -307,6 +317,32 @@ func (l *Log) Append(version uint64, docs [][]byte) (uint64, error) {
 	if len(docs) == 0 {
 		return 0, fmt.Errorf("wal: refusing to append an empty batch")
 	}
+	return l.AppendGroup([]GroupRecord{{Version: version, Docs: docs}})
+}
+
+// GroupRecord is one batch of a group append: its ack version and raw
+// documents. Sequences are assigned contiguously by AppendGroup.
+type GroupRecord struct {
+	Version uint64
+	Docs    [][]byte
+}
+
+// AppendGroup logs a group of batches contiguously — one segment write
+// and, under ModeAlways, one fsync for the whole group — and returns
+// the first assigned sequence number: batch i is record firstSeq+i.
+// This is the group-commit primitive: the fsync cost is amortized over
+// every batch in the group.
+//
+// An error refuses the WHOLE group — no batch in it may be
+// acknowledged. Either no frame landed (a failed write is rolled back
+// and the log sealed) or the durability of all of them is unknown (a
+// failed fsync seals the log). There is no partial outcome to report:
+// the frames are written in one contiguous syscall and fsynced
+// together, so the batches stand or fall as a unit.
+func (l *Log) AppendGroup(recs []GroupRecord) (uint64, error) {
+	if len(recs) == 0 {
+		return 0, fmt.Errorf("wal: refusing to append an empty group")
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -315,18 +351,30 @@ func (l *Log) Append(version uint64, docs [][]byte) (uint64, error) {
 	if l.failedErr != nil {
 		return 0, l.sealedErr()
 	}
-	seq := l.nextSeq
-	frame, err := encodeFrame(Record{Seq: seq, Version: version, Docs: docs})
-	if err != nil {
-		return 0, err
+	first := l.nextSeq
+	buf := l.groupBuf[:0]
+	for i, rec := range recs {
+		if len(rec.Docs) == 0 {
+			return 0, fmt.Errorf("wal: refusing to append an empty batch")
+		}
+		frame, err := encodeFrame(Record{Seq: first + uint64(i), Version: rec.Version, Docs: rec.Docs})
+		if err != nil {
+			return 0, err
+		}
+		buf = append(buf, frame...)
 	}
-	if l.activeSize+int64(len(frame)) > l.opts.SegmentBytes && l.activeSize > headerLen {
-		if err := l.rollLocked(seq); err != nil {
+	if cap(buf) <= maxRetainedGroupBuf {
+		l.groupBuf = buf // keep the scratch for the next group
+	} else {
+		l.groupBuf = nil // an outlier group; don't pin its capacity
+	}
+	if l.activeSize+int64(len(buf)) > l.opts.SegmentBytes && l.activeSize > headerLen {
+		if err := l.rollLocked(first); err != nil {
 			return 0, err
 		}
 	}
-	if _, err := l.active.Write(frame); err != nil {
-		// Roll the partial frame back: later appends must never land
+	if _, err := l.active.Write(buf); err != nil {
+		// Roll the partial frames back: later appends must never land
 		// after garbage, or recovery's torn-tail truncation — which cuts
 		// at the FIRST invalid frame of the newest segment — would
 		// silently discard every acknowledged record behind it. Either
@@ -340,22 +388,47 @@ func (l *Log) Append(version uint64, docs [][]byte) (uint64, error) {
 		l.sealLocked(fmt.Errorf("wal: append: %w", err))
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
-	l.activeSize += int64(len(frame))
-	l.activeLast = seq
-	l.activeRecs++
-	l.nextSeq++
-	l.lastSeq.Store(seq)
+	last := first + uint64(len(recs)) - 1
+	l.activeSize += int64(len(buf))
+	l.activeLast = last
+	l.activeRecs += len(recs)
+	l.nextSeq = last + 1
+	l.lastSeq.Store(last)
 	if l.opts.Mode == ModeAlways {
 		if err := l.active.Sync(); err != nil {
-			// The record may or may not be on disk — recovery will keep
-			// it if it is — but it is never acknowledged, and the seal
+			// The records may or may not be on disk — recovery will keep
+			// any that are — but none are ever acknowledged, and the seal
 			// guarantees nothing later is acknowledged either.
 			l.sealLocked(fmt.Errorf("wal: fsync: %w", err))
 			return 0, fmt.Errorf("wal: fsync: %w", err)
 		}
-		l.durableSeq.Store(seq)
+		l.fsyncs.Add(1)
+		l.durableSeq.Store(last)
 	}
-	return seq, nil
+	return first, nil
+}
+
+// maxRetainedGroupBuf bounds the group-concatenation scratch kept
+// between AppendGroup calls.
+const maxRetainedGroupBuf = 4 << 20
+
+// StopFlushLoop stops the ModeInterval background flusher and hands
+// the flush cadence to an external driver (the group committer). Both
+// the loop and the committer flush through Sync/syncLocked — one flush
+// path — but only a single driver may own the cadence: with the
+// committer driving, a failed interval flush seals the log on the same
+// goroutine that commits groups, so no group can be acknowledged after
+// the flush failure was observed. Idempotent; a no-op for logs without
+// a flusher.
+func (l *Log) StopFlushLoop() {
+	l.mu.Lock()
+	stop, done := l.flushStop, l.flushDone
+	l.flushStop, l.flushDone = nil, nil
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 }
 
 // sealLocked records the log's first fatal I/O error; once set, every
@@ -408,11 +481,16 @@ func (l *Log) syncLocked() error {
 		l.sealLocked(fmt.Errorf("wal: fsync: %w", err))
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
+	l.fsyncs.Add(1)
 	if last > l.durableSeq.Load() {
 		l.durableSeq.Store(last)
 	}
 	return nil
 }
+
+// Fsyncs returns the number of successful data fsyncs since Open — the
+// cost group commit amortizes; appends/Fsyncs is the achieved grouping.
+func (l *Log) Fsyncs() uint64 { return l.fsyncs.Load() }
 
 // LastSeq returns the highest sequence number appended (0 when empty).
 func (l *Log) LastSeq() uint64 { return l.lastSeq.Load() }

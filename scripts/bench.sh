@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
 # Runs the tracked performance benchmarks and records them into
-# BENCH_PR5.json: the PR 1/2 microbenchmark series (ns/op, now with
+# BENCH_PR7.json: the PR 1/2 microbenchmark series (ns/op, now with
 # allocs/op from -benchmem), the PR 3 serving series (xqbench driving
 # an in-memory xqestd daemon — by default on the PR 5 merged-snapshot
-# path, plus a -no-merged fan-out run for comparison), and the PR 4
+# path, plus a -no-merged fan-out run for comparison), and the PR 4/7
 # durable serving series — the same load against a daemon with a data
-# directory at each WAL fsync policy (always / interval / off).
+# directory at each WAL fsync policy (always / interval / off). The
+# durable runs use many concurrent appenders so the PR 7 group-commit
+# path has groups to form; each report carries appends/s, append-side
+# client p50/p95/p99, ack-to-durable, and the achieved group size and
+# fsync rate parsed from the daemon's /stats.
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh      # override -benchtime
 #   SERVE_SECONDS=10 scripts/bench.sh  # longer serving runs
+#   APPENDERS=32 scripts/bench.sh      # durable-run append concurrency
+#   COMMIT_DELAY=5ms scripts/bench.sh  # durable-run group-commit budget
 #   SKIP_SERVING=1 scripts/bench.sh    # microbenchmarks only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR7.json}"
+appenders="${APPENDERS:-24}"
+commit_delay="${COMMIT_DELAY:-3ms}"
 benchtime="${BENCHTIME:-1s}"
 serve_seconds="${SERVE_SECONDS:-5}"
 addr="127.0.0.1:${BENCH_PORT:-18791}"
@@ -30,15 +38,15 @@ trap cleanup EXIT
 
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$workdir/micro.txt"
 
-# serve_run <report.json> [extra xqestd flags...] — boots a daemon,
-# drives it with xqbench, shuts it down.
+# serve_run <report.json> <appenders> [extra xqestd flags...] — boots
+# a daemon, drives it with xqbench, shuts it down.
 serve_run() {
-  local report="$1"; shift
+  local report="$1" nappend="$2"; shift 2
   "$workdir/xqestd" -dataset dblp -scale 0.05 -addr "$addr" -autocompact 1s "$@" \
     >"$workdir/xqestd.log" 2>&1 &
   daemon_pid=$!
   "$workdir/xqbench" -addr "http://$addr" -duration "${serve_seconds}s" \
-    -estimators 8 -appenders 2 -o "$report"
+    -estimators 8 -appenders "$nappend" -o "$report"
   kill -INT "$daemon_pid" && wait "$daemon_pid" 2>/dev/null || true
   daemon_pid=""
 }
@@ -47,14 +55,15 @@ if [[ -z "${SKIP_SERVING:-}" ]]; then
   echo "== serving benchmark: xqbench against xqestd on $addr (merged-snapshot path) =="
   go build -o "$workdir/xqestd" ./cmd/xqestd
   go build -o "$workdir/xqbench" ./cmd/xqbench
-  serve_run "$workdir/serving.json"
+  serve_run "$workdir/serving.json" 2
   echo "== serving benchmark: fan-out path (-no-merged) =="
-  serve_run "$workdir/serving-fanout.json" -no-merged
+  serve_run "$workdir/serving-fanout.json" 2 -no-merged
   for fsync in always interval off; do
-    echo "== durable serving benchmark: -fsync $fsync =="
+    echo "== durable serving benchmark: -fsync $fsync ($appenders appenders) =="
     rm -rf "$workdir/data-$fsync"
-    serve_run "$workdir/durable-$fsync.json" \
-      -data-dir "$workdir/data-$fsync" -fsync "$fsync" -checkpoint 2s
+    serve_run "$workdir/durable-$fsync.json" "$appenders" \
+      -data-dir "$workdir/data-$fsync" -fsync "$fsync" -checkpoint 2s \
+      -commit-delay "$commit_delay"
   done
 else
   printf 'null\n' > "$workdir/serving.json"

@@ -42,6 +42,7 @@ import (
 	"xmlest/internal/pattern"
 	"xmlest/internal/predicate"
 	"xmlest/internal/shard"
+	"xmlest/internal/stream"
 	"xmlest/internal/xmltree"
 )
 
@@ -223,6 +224,62 @@ func (db *Database) AppendTree(tree *xmltree.Tree) (ShardInfo, error) {
 		return db.appendDurable(docs)
 	}
 	sh, err := db.store.AppendTree(tree)
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	return shardInfo(sh), nil
+}
+
+// AppendStream lands one XML document from a re-openable byte stream
+// as a summary-only shard, never buffering the document in memory: the
+// stream is scanned twice (pass one sizes the position space and
+// discovers the tag vocabulary, pass two feeds the histograms) with
+// memory bounded by document depth plus the summary itself — the
+// ingest path for documents that exceed memory. gridSize 0 uses the
+// data directory's pinned grid (durable) or DefaultOptions.GridSize.
+//
+// The database's predicate vocabulary must be all-tags with no
+// registered tree predicates: a byte stream can answer "which tag is
+// this element" but not predicates that need the materialized tree.
+//
+// On a durable database the shard is made durable by an immediate
+// checkpoint rather than a WAL record — raw bytes were never held, so
+// there is nothing to replay — and the ack returns only after the
+// checkpoint commits.
+func (db *Database) AppendStream(open func() (io.ReadCloser, error), gridSize int) (ShardInfo, error) {
+	if open == nil {
+		return ShardInfo{}, fmt.Errorf("xmlest: AppendStream needs a source")
+	}
+	spec := db.store.Spec()
+	if !spec.AllTags || len(spec.Preds) > 0 {
+		return ShardInfo{}, fmt.Errorf(
+			"xmlest: streaming append requires the all-tags predicate vocabulary (tree-based predicates cannot be evaluated on a byte stream)")
+	}
+	if db.durable != nil {
+		pinned := db.durable.GridSize()
+		if gridSize == 0 {
+			gridSize = pinned
+		}
+		if gridSize != pinned {
+			return ShardInfo{}, fmt.Errorf(
+				"xmlest: streaming append grid %d differs from the data directory's pinned grid %d", gridSize, pinned)
+		}
+	} else if gridSize == 0 {
+		gridSize = DefaultOptions.GridSize
+	}
+	est, res, err := stream.BuildAllTagsEstimator(stream.Source(open), gridSize)
+	if err != nil {
+		return ShardInfo{}, err
+	}
+	if res.Nodes == 0 {
+		return ShardInfo{}, fmt.Errorf("xmlest: refusing to append an empty tree")
+	}
+	var sh *shard.Shard
+	if db.durable != nil {
+		sh, err = db.durable.AppendSummary(est, 1, res.Nodes)
+	} else {
+		sh, err = db.store.AppendSummary(est, 1, res.Nodes)
+	}
 	if err != nil {
 		return ShardInfo{}, err
 	}
