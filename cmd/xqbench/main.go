@@ -31,12 +31,14 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xmlest/internal/metrics"
+	"xmlest/internal/version"
 )
 
 func main() {
@@ -49,7 +51,13 @@ func main() {
 	visPattern := flag.String("vis-pattern", "", "pattern for visibility probes (default: first of -patterns)")
 	wait := flag.Duration("wait", 10*time.Second, "max wait for the daemon to report healthy")
 	out := flag.String("o", "", "write the JSON report here (default stdout)")
+	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("xqbench " + version.String())
+		return
+	}
 
 	pats := strings.Split(*patterns, ",")
 	probe := *visPattern
@@ -78,6 +86,12 @@ func main() {
 		fatal(err)
 	}
 
+	// Scrape the daemon's /metrics on both sides of the run: the report
+	// embeds the deltas of every counter-style series, so one JSON file
+	// carries the client's view and the daemon's own (fsyncs, commit
+	// groups, stage counts) for the same window.
+	before := b.scrapeMetrics()
+
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
 	start := time.Now()
@@ -94,6 +108,7 @@ func main() {
 	elapsed := time.Since(start)
 
 	report := b.report(elapsed, *estimators, *appenders)
+	report.MetricsDelta = metricsDelta(before, b.scrapeMetrics())
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -463,6 +478,77 @@ type reportJSON struct {
 	AckToDurable    *histJSON        `json:"ack_to_durable,omitempty"`
 	GroupCommit     *groupCommitJSON `json:"group_commit,omitempty"`
 	ServerStats     json.RawMessage  `json:"server_stats,omitempty"`
+	// MetricsDelta is the change in every counter-style /metrics series
+	// (_total/_count/_sum suffixes) across the load window — the
+	// daemon's own account of the run (fsyncs, commit groups, per-stage
+	// samples). Absent when the daemon exposes no /metrics.
+	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
+}
+
+// scrapeMetrics fetches and parses the daemon's Prometheus exposition
+// into a series->value map (key = name plus label set, verbatim).
+// A daemon without /metrics yields nil, which disables the delta.
+func (b *bench) scrapeMetrics() map[string]float64 {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+"/metrics", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// metricsDelta subtracts two scrapes over the counter-style series.
+// Buckets are skipped (the _count/_sum pair already summarizes each
+// histogram); gauges are skipped because a point-in-time difference of
+// a gauge is noise, not a rate.
+func metricsDelta(before, after map[string]float64) map[string]float64 {
+	if before == nil || after == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for key, v := range after {
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !strings.HasSuffix(name, "_total") && !strings.HasSuffix(name, "_count") &&
+			!strings.HasSuffix(name, "_sum") {
+			continue
+		}
+		if d := v - before[key]; d != 0 {
+			out[key] = d
+		}
+	}
+	return out
 }
 
 func (b *bench) report(elapsed time.Duration, estimators, appenders int) reportJSON {

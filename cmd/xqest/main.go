@@ -55,6 +55,7 @@ import (
 	"xmlest/internal/pattern"
 	"xmlest/internal/planner"
 	"xmlest/internal/server"
+	"xmlest/internal/version"
 )
 
 func main() {
@@ -72,14 +73,40 @@ func main() {
 	addr := flag.String("addr", server.DefaultAddr, "serve: listen address")
 	autocompact := flag.Duration("autocompact", 0, "serve: background compaction interval (0 disables)")
 	dataDir := flag.String("data-dir", "", "wal/manifest: durable data directory to inspect")
+	serverURL := flag.String("server", "", "stats: base URL of a running daemon (e.g. http://127.0.0.1:8080) to introspect instead of local data")
+	rawMetrics := flag.Bool("metrics", false, "stats -server: dump the raw Prometheus exposition instead of the pretty summary")
+	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("xqest " + version.String())
+		return
+	}
 	if flag.NArg() < 1 {
 		usage()
 	}
 	cmd := flag.Arg(0)
 	if *load != "" {
 		*summary = *load
+	}
+
+	// Daemon introspection: `xqest -server URL stats` pretty-prints a
+	// running daemon's /stats (or, with -metrics, dumps its raw
+	// Prometheus exposition) — no local corpus involved.
+	if *serverURL != "" {
+		if cmd != "stats" {
+			fatal(fmt.Errorf("xqest: -server only applies to the stats command"))
+		}
+		var err error
+		if *rawMetrics {
+			err = cliutil.DumpMetrics(os.Stdout, *serverURL)
+		} else {
+			err = cliutil.ShowStats(os.Stdout, *serverURL)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	// The durability inspectors read the data directory only; no
@@ -324,6 +351,8 @@ func usage() {
 
 commands:
   stats                 dataset statistics
+                        (-server URL: introspect a running daemon's /stats
+                         instead; -metrics dumps its raw Prometheus exposition)
   shards                list live shards (id, nodes, docs, kind)
   predicates            registered predicates with counts and overlap property
   build                 build histograms and write them to -o (default summary.bin);

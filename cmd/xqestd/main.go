@@ -26,16 +26,45 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	"xmlest"
 	"xmlest/internal/cliutil"
 	"xmlest/internal/server"
+	"xmlest/internal/version"
 )
+
+// newLogger builds the daemon's structured logger from the -log-level
+// and -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("xqestd: unknown -log-level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("xqestd: unknown -log-format %q (text, json)", format)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", server.DefaultAddr, "listen address")
@@ -65,7 +94,23 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "HTTP keep-alive idle connection timeout (0 = default)")
 	maxHeaderBytes := flag.Int("max-header-bytes", 0, "HTTP request header size cap (0 = default)")
 	fault := flag.String("fault", "", "TESTING ONLY: disk-fault schedule for -data-dir, e.g. 'sync-fail-after=3' or 'fail-op=12,torn' (see internal/fsio)")
+	traceSample := flag.Int("trace-sample", 64, "sample 1 in N requests for pipeline stage tracing (0 disables)")
+	slowRequest := flag.Duration("slow-request", time.Second, "log requests slower than this threshold (0 disables)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("xqestd " + version.String())
+		return
+	}
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	if *fault != "" && *dataDir == "" {
 		fatal(fmt.Errorf("xqestd: -fault injects storage faults and requires -data-dir"))
@@ -88,10 +133,12 @@ func main() {
 		WriteTimeout:        *writeTimeout,
 		IdleTimeout:         *idleTimeout,
 		MaxHeaderBytes:      *maxHeaderBytes,
+		TraceSample:         *traceSample,
+		SlowRequest:         *slowRequest,
+		Logger:              logger,
 	}
 
 	var srv *server.Server
-	var err error
 	switch {
 	case *load != "":
 		if *dataDir != "" {
@@ -110,7 +157,7 @@ func main() {
 		srv, err = server.NewFromEstimator(est, cfg)
 	case *dataDir != "":
 		if *fault != "" {
-			log.Printf("xqestd: FAULT INJECTION ACTIVE (-fault %q): storage runs on a fault-injecting filesystem", *fault)
+			logger.Warn("FAULT INJECTION ACTIVE: storage runs on a fault-injecting filesystem", "fault", *fault)
 		}
 		var db *xmlest.Database
 		db, err = cliutil.OpenDurableDatabase(*dataDir, cfg.Options, cliutil.DurableFlags{
@@ -128,10 +175,13 @@ func main() {
 			fatal(fmt.Errorf("xqestd: %w", err))
 		}
 		if rec, ok := db.Recovery(); ok {
-			fmt.Fprintf(os.Stderr,
-				"xqestd: recovered %s: %d checkpointed shard(s) at version %d, %d WAL record(s) replayed (%d doc(s), %d skipped)\n",
-				*dataDir, rec.CheckpointShards, rec.CheckpointVersion,
-				rec.ReplayedRecords, rec.ReplayedDocs, rec.SkippedRecords)
+			logger.Info("recovered data directory",
+				"dir", *dataDir,
+				"checkpoint_shards", rec.CheckpointShards,
+				"checkpoint_version", rec.CheckpointVersion,
+				"replayed_records", rec.ReplayedRecords,
+				"replayed_docs", rec.ReplayedDocs,
+				"skipped_records", rec.SkippedRecords)
 		}
 		srv, err = server.New(db, cfg)
 	default:
@@ -157,9 +207,9 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("xqestd: pprof debug listener on http://%s/debug/pprof/", *pprofAddr)
+			logger.Info("pprof debug listener", "addr", "http://"+*pprofAddr+"/debug/pprof/")
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
-				log.Printf("xqestd: pprof listener: %v", err)
+				logger.Error("pprof listener failed", "err", err)
 			}
 		}()
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"xmlest/internal/fsio"
+	"xmlest/internal/metrics"
 	"xmlest/internal/shard"
 	"xmlest/internal/wal"
 	"xmlest/internal/xmltree"
@@ -166,6 +167,19 @@ func (db *Database) Degraded() (component, reason string, degraded bool) {
 		return "", "", false
 	}
 	return db.durable.Degraded()
+}
+
+// Collectors returns the database's Prometheus collectors — the store's
+// serving-set/merged-serving families plus, for durable databases, the
+// WAL, group-commit, checkpoint, and append-pipeline families. The
+// daemon registers them on its metrics registry; embedders can do the
+// same with their own exposition.
+func (db *Database) Collectors() []metrics.Collector {
+	cs := []metrics.Collector{db.store}
+	if db.durable != nil {
+		cs = append(cs, db.durable)
+	}
+	return cs
 }
 
 // DurableSeq returns the newest WAL sequence known fsynced — a

@@ -323,11 +323,17 @@ type EndpointSnapshot struct {
 }
 
 // Registry holds one Endpoint per name and digests them all at once.
+// It is also the exposition hub: subsystems Register their Collectors
+// and WriteExposition (see prom.go) renders everything as Prometheus
+// text.
 type Registry struct {
 	start time.Time
 
 	mu        sync.Mutex
 	endpoints map[string]*Endpoint
+
+	collMu     sync.Mutex
+	collectors []Collector
 }
 
 // NewRegistry returns an empty registry; its uptime clock starts now.

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PatternStats is a bounded top-K tracker of per-pattern query
+// statistics: request count, estimate magnitude distribution, and
+// estimate-stage latency, keyed by the normalized pattern text. The
+// first maxTracked distinct patterns get full histograms; later
+// arrivals only bump an overflow counter, so a hostile or
+// high-cardinality workload cannot grow the tracker without bound.
+//
+// Observe is on the /estimate hot path: a tracked pattern costs one
+// RLock'd map lookup plus atomic histogram updates — no allocation.
+type PatternStats struct {
+	maxTracked int
+
+	mu    sync.RWMutex
+	m     map[string]*patternEntry
+	other atomic.Uint64 // observations for untracked patterns
+}
+
+type patternEntry struct {
+	pattern string
+	count   atomic.Uint64
+	est     *ValueHistogram
+	lat     *LatencyHistogram
+}
+
+// NewPatternStats returns a tracker holding at most maxTracked
+// distinct patterns (<= 0 means DefaultMaxPatterns).
+func NewPatternStats(maxTracked int) *PatternStats {
+	if maxTracked <= 0 {
+		maxTracked = DefaultMaxPatterns
+	}
+	return &PatternStats{maxTracked: maxTracked, m: make(map[string]*patternEntry)}
+}
+
+// DefaultMaxPatterns bounds the tracked-pattern set.
+const DefaultMaxPatterns = 64
+
+// DefaultTopPatterns is how many tracked patterns introspection
+// surfaces (the /stats top-K).
+const DefaultTopPatterns = 10
+
+// NormalizePattern canonicalizes a pattern's text for keying: leading
+// and trailing space is trimmed and internal whitespace runs collapse
+// to one space. Allocation-free for already-normal patterns (the
+// common case).
+func NormalizePattern(p string) string {
+	p = strings.TrimSpace(p)
+	if !strings.ContainsAny(p, " \t\r\n") {
+		return p
+	}
+	return strings.Join(strings.Fields(p), " ")
+}
+
+// Observe records one estimate for the pattern: the estimated answer
+// size (rounded to an integer for the magnitude histogram) and the
+// estimate-stage latency.
+func (p *PatternStats) Observe(pat string, estimate float64, d time.Duration) {
+	pat = NormalizePattern(pat)
+	p.mu.RLock()
+	ent := p.m[pat]
+	p.mu.RUnlock()
+	if ent == nil {
+		p.mu.Lock()
+		ent = p.m[pat]
+		if ent == nil {
+			if len(p.m) >= p.maxTracked {
+				p.mu.Unlock()
+				p.other.Add(1)
+				return
+			}
+			ent = &patternEntry{pattern: pat, est: NewValueHistogram(), lat: NewLatencyHistogram()}
+			p.m[pat] = ent
+		}
+		p.mu.Unlock()
+	}
+	ent.count.Add(1)
+	ent.est.Observe(int(estimate + 0.5))
+	ent.lat.Observe(d)
+}
+
+// Untracked returns the observation count that overflowed the tracked
+// set.
+func (p *PatternStats) Untracked() uint64 { return p.other.Load() }
+
+// PatternSnapshot digests one tracked pattern.
+type PatternSnapshot struct {
+	Pattern  string         `json:"pattern"`
+	Requests uint64         `json:"requests"`
+	Estimate ValueSummary   `json:"estimate"`
+	Latency  LatencySummary `json:"latency"`
+}
+
+// Snapshot returns up to topK tracked patterns, most-requested first
+// (topK <= 0 means all).
+func (p *PatternStats) Snapshot(topK int) []PatternSnapshot {
+	p.mu.RLock()
+	ents := make([]*patternEntry, 0, len(p.m))
+	for _, e := range p.m {
+		ents = append(ents, e)
+	}
+	p.mu.RUnlock()
+	sort.Slice(ents, func(i, j int) bool {
+		ci, cj := ents[i].count.Load(), ents[j].count.Load()
+		if ci != cj {
+			return ci > cj
+		}
+		return ents[i].pattern < ents[j].pattern
+	})
+	if topK > 0 && len(ents) > topK {
+		ents = ents[:topK]
+	}
+	out := make([]PatternSnapshot, len(ents))
+	for i, e := range ents {
+		out[i] = PatternSnapshot{
+			Pattern:  e.pattern,
+			Requests: e.count.Load(),
+			Estimate: e.est.Summary(),
+			Latency:  e.lat.Summary(),
+		}
+	}
+	return out
+}
+
+// Collect exports the tracked patterns: per-pattern request counters,
+// latency sum/count (enough for rate and mean), mean estimate, and
+// the untracked-overflow counter.
+func (p *PatternStats) Collect(e *Expo) {
+	p.mu.RLock()
+	ents := make([]*patternEntry, 0, len(p.m))
+	for _, ent := range p.m {
+		ents = append(ents, ent)
+	}
+	p.mu.RUnlock()
+	sort.Slice(ents, func(i, j int) bool { return ents[i].pattern < ents[j].pattern })
+
+	e.Family("xqest_pattern_requests_total", "counter", "Estimates served per tracked pattern.")
+	for _, ent := range ents {
+		e.Sample("xqest_pattern_requests_total", float64(ent.count.Load()), "pattern", ent.pattern)
+	}
+	e.Family("xqest_pattern_latency_seconds_sum", "counter", "Cumulative estimate-stage seconds per tracked pattern.")
+	for _, ent := range ents {
+		e.Sample("xqest_pattern_latency_seconds_sum",
+			float64(ent.lat.sumNS.Load())/float64(time.Second), "pattern", ent.pattern)
+	}
+	e.Family("xqest_pattern_latency_seconds_count", "counter", "Estimates timed per tracked pattern.")
+	for _, ent := range ents {
+		e.Sample("xqest_pattern_latency_seconds_count", float64(ent.lat.Count()), "pattern", ent.pattern)
+	}
+	e.Family("xqest_pattern_estimate_mean", "gauge", "Mean estimated answer size per tracked pattern.")
+	for _, ent := range ents {
+		var mean float64
+		if n := ent.est.Count(); n > 0 {
+			mean = float64(ent.est.sum.Load()) / float64(n)
+		}
+		e.Sample("xqest_pattern_estimate_mean", mean, "pattern", ent.pattern)
+	}
+	e.Counter("xqest_pattern_untracked_requests_total",
+		"Estimates whose pattern overflowed the tracked set.", float64(p.Untracked()))
+}

@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -20,13 +20,13 @@ import (
 	"xmlest"
 )
 
-func discardLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+func discardLogger() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
 
 // newDurableTestServer mounts a server over an already-opened durable
 // database.
 func newDurableTestServer(t *testing.T, db *xmlest.Database) (*Server, *httptest.Server) {
 	t.Helper()
-	s, err := New(db, Config{Options: xmlest.Options{GridSize: 4}, Log: discardLogger()})
+	s, err := New(db, Config{Options: xmlest.Options{GridSize: 4}, Logger: discardLogger()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestCheckpointLoop(t *testing.T) {
 		Addr:               "127.0.0.1:0",
 		Options:            xmlest.Options{GridSize: 4},
 		CheckpointInterval: 5 * time.Millisecond,
-		Log:                discardLogger(),
+		Logger:             discardLogger(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -203,7 +203,7 @@ func TestCrashDaemonChild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(db, Config{Addr: "127.0.0.1:0", Options: xmlest.Options{GridSize: 4}, Log: discardLogger()})
+	s, err := New(db, Config{Addr: "127.0.0.1:0", Options: xmlest.Options{GridSize: 4}, Logger: discardLogger()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -191,7 +191,7 @@ func TestHTTPHardeningConfig(t *testing.T) {
 		{IdleTimeout: -time.Second},
 		{MaxHeaderBytes: -1},
 	} {
-		bad.Log = discardLogger()
+		bad.Logger = discardLogger()
 		if _, err := New(db, bad); err == nil {
 			t.Errorf("bad hardening config %d accepted at boot", i)
 		}

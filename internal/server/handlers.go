@@ -13,6 +13,8 @@ import (
 
 	"xmlest"
 	"xmlest/internal/metrics"
+	"xmlest/internal/trace"
+	"xmlest/internal/version"
 )
 
 // Wire types. Versions let clients reason about snapshot visibility:
@@ -119,6 +121,13 @@ type StatsResponse struct {
 	// summary blob (no store to fold).
 	Merged    *xmlest.MergedInfo         `json:"merged,omitempty"`
 	Endpoints []metrics.EndpointSnapshot `json:"endpoints"`
+	// Patterns lists the most-requested estimate patterns (bounded
+	// top-K tracking; UntrackedPatterns counts requests for patterns
+	// beyond the tracked set).
+	Patterns          []metrics.PatternSnapshot `json:"patterns,omitempty"`
+	UntrackedPatterns uint64                    `json:"untracked_patterns,omitempty"`
+	// Build identifies the serving binary.
+	Build string `json:"build"`
 	// Durability reports the data directory's state (WAL size, fsync
 	// watermarks, checkpoints, boot recovery) on a durable daemon;
 	// absent otherwise.
@@ -146,6 +155,8 @@ type HealthResponse struct {
 	// rates the full stats encoding should not be asked to serve.
 	DurableSeq *uint64       `json:"durable_seq,omitempty"`
 	Degraded   *DegradedJSON `json:"degraded,omitempty"`
+	// Build identifies the serving binary.
+	Build string `json:"build"`
 }
 
 // ErrorResponse carries a client-readable error; Degraded is set when
@@ -239,14 +250,17 @@ var estimatePool = sync.Pool{New: func() any {
 // client's: 400. Responses are compact (unindented) JSON encoded into
 // a pooled buffer — this is the endpoint the serving benchmarks hammer.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	t := trace.FromContext(r.Context()) // nil unless sampled; all methods nil-safe
 	sc := estimatePool.Get().(*estimateScratch)
 	defer estimatePool.Put(sc)
 	sc.req.Pattern = ""
 	sc.req.Patterns = sc.req.Patterns[:0]
+	t.Begin()
 	if err := decodeJSON(r, &sc.req); err != nil {
 		writeRequestError(w, "bad estimate request: ", err)
 		return
 	}
+	t.Step(trace.StageDecode)
 	patterns := sc.patterns[:0]
 	if sc.req.Pattern != "" {
 		patterns = append(patterns, sc.req.Pattern)
@@ -262,10 +276,28 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			"too many patterns in one batch: "+strconv.Itoa(len(patterns))+" > "+strconv.Itoa(s.cfg.MaxBatchPatterns))
 		return
 	}
-	version, results, err := s.est.EstimateBatchInto(patterns, sc.results[:0])
+	est := s.est
+	if t != nil {
+		// Pin the snapshot explicitly so the pin shows as its own stage;
+		// the unsampled path lets EstimateBatchInto pin internally and
+		// stays allocation-free.
+		est = s.est.Snapshot()
+		t.Step(trace.StagePin)
+	}
+	version, results, err := est.EstimateBatchInto(patterns, sc.results[:0])
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if t != nil {
+		if mi, ok := est.MergedInfo(); ok && mi.Fresh {
+			t.Step(trace.StageMerged)
+		} else {
+			t.Step(trace.StageFanout)
+		}
+	}
+	for i, res := range results {
+		s.patterns.Observe(patterns[i], res.Estimate, res.Elapsed)
 	}
 	sc.results = results
 	out := sc.resp.Results[:0]
@@ -290,6 +322,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(sc.buf.Len()))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(sc.buf.Bytes())
+	t.Step(trace.StageEncode)
 }
 
 // handleAppend lands one shard per request: a raw XML body is one
@@ -305,6 +338,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		// The WAL sealed on an I/O failure: nothing can be made durable,
 		// so nothing is accepted. (A checkpoint-only degradation does not
 		// gate appends — the WAL itself is healthy and keeps every ack.)
+		s.noteDegraded()
 		writeDegraded(w, comp, reason)
 		return
 	}
@@ -341,6 +375,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &de) {
 			// The failure that sealed the log can race the pre-check; the
 			// ack is an error either way.
+			s.noteDegraded()
 			writeDegraded(w, de.Component, err.Error())
 			return
 		}
@@ -499,19 +534,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		merged = &mi
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		UptimeSeconds:   s.reg.Uptime().Seconds(),
-		Version:         snap.Version(),
-		ReadOnly:        s.ReadOnly(),
-		Corpus:          snap.Stats(),
-		SummaryBytes:    snap.StorageBytes(),
-		GridSize:        s.gridSize(),
-		AutoCompactions: s.autoRounds.Load(),
-		AutoMerged:      s.autoMerges.Load(),
-		AppendedDocs:    s.appendsSeen.Load(),
-		Merged:          merged,
-		Endpoints:       s.reg.Snapshot(),
-		Durability:      durability,
+		UptimeSeconds:     s.reg.Uptime().Seconds(),
+		Version:           snap.Version(),
+		ReadOnly:          s.ReadOnly(),
+		Corpus:            snap.Stats(),
+		SummaryBytes:      snap.StorageBytes(),
+		GridSize:          s.gridSize(),
+		AutoCompactions:   s.autoRounds.Load(),
+		AutoMerged:        s.autoMerges.Load(),
+		AppendedDocs:      s.appendsSeen.Load(),
+		Merged:            merged,
+		Endpoints:         s.reg.Snapshot(),
+		Patterns:          s.patterns.Snapshot(metrics.DefaultTopPatterns),
+		UntrackedPatterns: s.patterns.Untracked(),
+		Build:             version.String(),
+		Durability:        durability,
 	})
+}
+
+// handleMetrics serves the Prometheus text exposition. The body is
+// staged in a buffer so a mid-collection error can still produce a
+// clean 500 instead of a truncated exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.reg.WriteExposition(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, "metrics: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // handleHealthz is the liveness probe; it turns 503 once Shutdown
@@ -520,6 +573,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.est.Snapshot()
 	status, code := "ok", http.StatusOK
+	s.noteDegraded()
 	degraded := s.degradedJSON()
 	if degraded != nil {
 		// Degraded is still 200: reads serve from the in-memory snapshot,
@@ -538,6 +592,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, HealthResponse{
 		Status: status, Version: snap.Version(), Shards: snap.ShardCount(),
 		DurableSeq: durableSeq, Degraded: degraded,
+		Build: version.String(),
 	})
 }
 

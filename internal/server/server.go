@@ -28,7 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -39,6 +39,8 @@ import (
 
 	"xmlest"
 	"xmlest/internal/metrics"
+	"xmlest/internal/trace"
+	"xmlest/internal/version"
 )
 
 // Config tunes the daemon. The zero value serves on DefaultAddr with
@@ -118,8 +120,20 @@ type Config struct {
 	// use; set it to at least one probe interval behind a balancer.
 	DrainDelay time.Duration
 
-	// Log receives serving events; nil means the standard logger.
-	Log *log.Logger
+	// Logger receives serving events as structured records; nil means
+	// slog.Default().
+	Logger *slog.Logger
+
+	// TraceSample samples 1 in N requests for per-stage pipeline
+	// tracing (histograms in /metrics, stage breakdowns in the
+	// slow-request log). 0 or negative disables per-request tracing;
+	// the always-on append-pipeline histograms are unaffected.
+	TraceSample int
+
+	// SlowRequest logs any request slower than this threshold
+	// (rate-limited, with the stage breakdown when the request was
+	// sampled). 0 disables the slow-request log.
+	SlowRequest time.Duration
 }
 
 // Defaults for the zero Config.
@@ -195,8 +209,8 @@ func (c Config) withDefaults() (Config, error) {
 	if c.DrainDelay < 0 {
 		return c, fmt.Errorf("server: negative drain delay %s", c.DrainDelay)
 	}
-	if c.Log == nil {
-		c.Log = log.Default()
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c, nil
 }
@@ -209,6 +223,14 @@ type Server struct {
 	db  *xmlest.Database // nil in read-only mode
 	est *xmlest.Estimator
 	reg *metrics.Registry
+
+	log       *slog.Logger
+	tracer    *trace.Tracer
+	estStages *trace.Recorder
+	patterns  *metrics.PatternStats
+	// lastDegraded is the degraded component last observed (""
+	// healthy), so transitions log exactly once in each direction.
+	lastDegraded atomic.Pointer[string]
 
 	appendSem chan struct{}
 	mux       *http.ServeMux
@@ -258,7 +280,27 @@ func newServer(db *xmlest.Database, est *xmlest.Estimator, cfg Config) (*Server,
 		db:        db,
 		est:       est,
 		reg:       metrics.NewRegistry(),
+		log:       cfg.Logger,
+		patterns:  metrics.NewPatternStats(0),
 		appendSem: make(chan struct{}, cfg.MaxInflightAppends),
+	}
+	empty := ""
+	s.lastDegraded.Store(&empty)
+	s.estStages = trace.NewRecorder("xqest_estimate_stage_seconds",
+		"Estimate path stage durations (sampled).", trace.EstimateStages...)
+	s.tracer = trace.New(trace.Config{
+		SampleEvery:   cfg.TraceSample,
+		SlowThreshold: cfg.SlowRequest,
+		Logger:        cfg.Logger,
+		Recorder:      s.estStages,
+	})
+	s.reg.Register(metrics.CollectorFunc(s.collectServer))
+	s.reg.Register(s.estStages)
+	s.reg.Register(s.patterns)
+	if db != nil {
+		for _, c := range db.Collectors() {
+			s.reg.Register(c)
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/estimate", s.instrument("estimate", http.MethodPost, cfg.MaxBodyBytes, s.handleEstimate))
@@ -268,7 +310,26 @@ func newServer(db *xmlest.Database, est *xmlest.Estimator, cfg Config) (*Server,
 	s.mux.Handle("/shards", s.instrument("shards", http.MethodGet, cfg.MaxBodyBytes, s.handleShards))
 	s.mux.Handle("/stats", s.instrument("stats", http.MethodGet, cfg.MaxBodyBytes, s.handleStats))
 	s.mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, cfg.MaxBodyBytes, s.handleHealthz))
+	s.mux.Handle("/metrics", s.instrument("metrics", http.MethodGet, cfg.MaxBodyBytes, s.handleMetrics))
 	return s, nil
+}
+
+// collectServer exports the server's own families: build identity, Go
+// runtime stats, drain state, and the background-loop counters.
+func (s *Server) collectServer(e *metrics.Expo) {
+	bi := version.Get()
+	e.Gauge("xqest_build_info", "Build identity (value is always 1; identity is in the labels).", 1,
+		"version", bi.Version, "revision", bi.Revision, "go_version", bi.GoVersion)
+	metrics.CollectGoRuntime(e)
+	draining := 0.0
+	if s.draining.Load() {
+		draining = 1
+	}
+	e.Gauge("xqest_draining", "1 while graceful shutdown drains in-flight requests.", draining)
+	e.Counter("xqest_appended_docs_total", "Documents accepted via /append and /append-stream.", float64(s.appendsSeen.Load()))
+	e.Counter("xqest_autocompact_rounds_total", "Auto-compaction rounds run.", float64(s.autoRounds.Load()))
+	e.Counter("xqest_autocompact_merged_total", "Shards merged away by auto-compaction.", float64(s.autoMerges.Load()))
+	e.Counter("xqest_checkpoint_rounds_total", "Background checkpoint rounds run.", float64(s.cpRounds.Load()))
 }
 
 // Handler returns the daemon's routed handler, for mounting on an
@@ -321,11 +382,15 @@ func (s *Server) Start() (net.Addr, error) {
 	}
 	go func() {
 		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			s.cfg.Log.Printf("xqestd: serve: %v", err)
+			s.log.Error("serve failed", "err", err)
 		}
 	}()
-	s.cfg.Log.Printf("xqestd: serving on http://%s (%d shard(s), version %d, read-only=%v)",
-		ln.Addr(), s.est.ShardCount(), s.est.Version(), s.ReadOnly())
+	s.log.Info("serving",
+		"addr", "http://"+ln.Addr().String(),
+		"shards", s.est.ShardCount(),
+		"version", s.est.Version(),
+		"read_only", s.ReadOnly(),
+		"build", version.String())
 	return ln.Addr(), nil
 }
 
@@ -367,8 +432,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		} else if err := os.WriteFile(s.cfg.SnapshotPath, blob, 0o644); err != nil {
 			errs = append(errs, fmt.Errorf("server: snapshot: %w", err))
 		} else {
-			s.cfg.Log.Printf("xqestd: persisted %d-byte summary snapshot to %s (version %d)",
-				len(blob), s.cfg.SnapshotPath, s.est.Version())
+			s.log.Info("persisted summary snapshot",
+				"path", s.cfg.SnapshotPath, "bytes", len(blob), "version", s.est.Version())
+		}
+	}
+	// Final durability state, captured before Close seals the layer.
+	var finalStats *xmlest.DurabilityStats
+	if s.db != nil {
+		if ds, ok := s.db.DurabilityStats(); ok {
+			finalStats = &ds
 		}
 	}
 	if s.db != nil && s.db.Durable() {
@@ -378,11 +450,45 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if err := s.db.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("server: final checkpoint: %w", err))
 		} else if ds, ok := s.db.DurabilityStats(); ok {
-			s.cfg.Log.Printf("xqestd: checkpointed %s at version %d (wal seq %d)",
-				ds.Dir, ds.CheckpointVersion, ds.CheckpointWALSeq)
+			s.log.Info("final checkpoint",
+				"dir", ds.Dir, "version", ds.CheckpointVersion, "wal_seq", ds.CheckpointWALSeq)
 		}
 	}
+	s.logFinalStats(finalStats)
 	return errors.Join(errs...)
+}
+
+// logFinalStats emits the shutdown stats snapshot: lifetime traffic per
+// endpoint plus the durable layer's group-commit and WAL watermarks, so
+// a drained daemon leaves a structured record of what it served.
+func (s *Server) logFinalStats(ds *xmlest.DurabilityStats) {
+	for _, ep := range s.reg.Snapshot() {
+		if ep.Requests == 0 {
+			continue
+		}
+		s.log.Info("endpoint totals",
+			"endpoint", ep.Name,
+			"requests", ep.Requests,
+			"errors", ep.Errors,
+			"rejected", ep.Rejected,
+			"qps", ep.QPS,
+			"p50_us", ep.Latency.P50USec,
+			"p99_us", ep.Latency.P99USec)
+	}
+	attrs := []any{
+		"uptime", s.reg.Uptime().String(),
+		"appended_docs", s.appendsSeen.Load(),
+		"untracked_patterns", s.patterns.Untracked(),
+	}
+	if ds != nil {
+		attrs = append(attrs,
+			"wal_seq", ds.LastSeq,
+			"durable_seq", ds.DurableSeq,
+			"commit_groups", ds.GroupCommit.Groups,
+			"commit_batches", ds.GroupCommit.Batches,
+			"checkpoints", ds.Checkpoints)
+	}
+	s.log.Info("shutdown stats", attrs...)
 }
 
 // autoCompactLoop runs compaction rounds per interval until cancelled.
@@ -447,8 +553,8 @@ func (s *Server) checkpointLoop(ctx context.Context) {
 			if delay > maxDelay {
 				delay = maxDelay
 			}
-			s.cfg.Log.Printf("xqestd: checkpoint failed (%d so far), retrying in %s: %v",
-				s.cpFailures.Load(), delay, err)
+			s.log.Warn("checkpoint failed, backing off",
+				"failures", s.cpFailures.Load(), "retry_in", delay.String(), "err", err)
 		} else {
 			delay = interval
 		}
@@ -465,7 +571,33 @@ func (s *Server) checkpointOnce() error {
 	if err != nil {
 		s.cpFailures.Add(1)
 	}
+	s.noteDegraded()
 	return err
+}
+
+// noteDegraded logs degraded-state transitions exactly once per edge:
+// Warn when a component fails, Info when it recovers. Safe to call
+// from any goroutine that just observed the durable layer.
+func (s *Server) noteDegraded() {
+	if s.db == nil {
+		return
+	}
+	comp, reason, bad := s.db.Degraded()
+	if !bad {
+		comp = ""
+	}
+	if *s.lastDegraded.Load() == comp {
+		return
+	}
+	prev := *s.lastDegraded.Swap(&comp)
+	if prev == comp {
+		return // another goroutine logged this transition
+	}
+	if comp != "" {
+		s.log.Warn("storage degraded", "component", comp, "reason", reason)
+	} else {
+		s.log.Info("storage recovered", "component", prev)
+	}
 }
 
 // compactOnce runs one instrumented auto-compaction round and returns
@@ -477,13 +609,13 @@ func (s *Server) compactOnce() int {
 	done(metrics.OutcomeOf(err != nil))
 	s.autoRounds.Add(1)
 	if err != nil {
-		s.cfg.Log.Printf("xqestd: auto-compact: %v", err)
+		s.log.Error("auto-compact failed", "err", err)
 		return 0
 	}
 	if merged > 0 {
 		s.autoMerges.Add(uint64(merged))
-		s.cfg.Log.Printf("xqestd: auto-compact merged %d shard(s); %d remain (version %d)",
-			merged, s.est.ShardCount(), s.est.Version())
+		s.log.Info("auto-compact merged shards",
+			"merged", merged, "remaining", s.est.ShardCount(), "version", s.est.Version())
 	}
 	return merged
 }
@@ -515,6 +647,14 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 // rejections, not errors: a saturated-but-healthy daemon must not read
 // as error-ridden in /stats.
 //
+// Every request gets a request ID — the client's X-Request-ID when
+// sent, a generated one otherwise — echoed on the response and
+// attached to request-scoped log lines, so one slow or failed request
+// can be followed from client to server log. 1 in cfg.TraceSample
+// requests additionally carries a pipeline Trace in its context; the
+// handler's stage steps feed the /metrics stage histograms and the
+// slow-request log's breakdown.
+//
 // It also recovers handler panics: the request gets a 500 (when the
 // response has not started), the endpoint's panic counter increments,
 // and the stack is logged — one poisoned request must not kill a
@@ -522,12 +662,24 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 func (s *Server) instrument(name, method string, bodyLimit int64, h http.HandlerFunc) http.Handler {
 	ep := s.reg.Endpoint(name)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(trace.RequestIDHeader)
+		if reqID == "" {
+			reqID = trace.NewRequestID()
+		}
+		w.Header().Set(trace.RequestIDHeader, reqID)
+		start := time.Now()
+		t := s.tracer.Start()
+		if t != nil {
+			r = r.WithContext(trace.NewContext(r.Context(), t))
+		}
 		done := ep.BeginRequest()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			if p := recover(); p != nil {
 				ep.RecordPanic()
-				s.cfg.Log.Printf("xqestd: panic in %s %s: %v\n%s", method, r.URL.Path, p, debug.Stack())
+				s.log.Error("panic in handler",
+					"method", method, "path", r.URL.Path, "request_id", reqID,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 				rec.status = http.StatusInternalServerError
 				if !rec.wrote {
 					writeError(rec, http.StatusInternalServerError, "internal error")
@@ -541,6 +693,7 @@ func (s *Server) instrument(name, method string, bodyLimit int64, h http.Handler
 			default:
 				done(metrics.OK)
 			}
+			s.tracer.Finish(t, name, reqID, time.Since(start), rec.status)
 		}()
 		if r.Method != method {
 			rec.Header().Set("Allow", method)

@@ -6,7 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -40,8 +40,8 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Options.GridSize == 0 {
 		cfg.Options.GridSize = 4
 	}
-	if cfg.Log == nil {
-		cfg.Log = log.New(io.Discard, "", 0)
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s, err := New(db, cfg)
 	if err != nil {
@@ -347,7 +347,7 @@ func TestReadOnlyServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewFromEstimator(loaded, Config{Log: log.New(io.Discard, "", 0)})
+	s, err := NewFromEstimator(loaded, Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +390,7 @@ func TestShutdownPersistsSnapshot(t *testing.T) {
 		Addr:         "127.0.0.1:0",
 		Options:      xmlest.Options{GridSize: 4},
 		SnapshotPath: path,
-		Log:          log.New(io.Discard, "", 0),
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -440,7 +440,7 @@ func TestAutoCompactLoop(t *testing.T) {
 		Addr:                "127.0.0.1:0",
 		Options:             xmlest.Options{GridSize: 4},
 		AutoCompactInterval: 10 * time.Millisecond,
-		Log:                 log.New(io.Discard, "", 0),
+		Logger:              slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -480,7 +480,7 @@ func TestConfigValidation(t *testing.T) {
 		{AutoCompactInterval: -time.Second},
 	}
 	for i, cfg := range bad {
-		cfg.Log = log.New(io.Discard, "", 0)
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 		if _, err := New(db, cfg); err == nil {
 			t.Errorf("config %d: bad config accepted at boot", i)
 		}

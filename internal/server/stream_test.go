@@ -104,7 +104,7 @@ func TestAppendStreamErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewFromEstimator(loaded, Config{Options: xmlest.Options{GridSize: 4}, Log: discardLogger()})
+	s, err := NewFromEstimator(loaded, Config{Options: xmlest.Options{GridSize: 4}, Logger: discardLogger()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -27,7 +27,7 @@ func TestConcurrentServingConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.AddAllTagPredicates()
-	s, err := New(db, Config{Options: xmlest.Options{GridSize: 4}, Log: log.New(io.Discard, "", 0)})
+	s, err := New(db, Config{Options: xmlest.Options{GridSize: 4}, Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
 	if err != nil {
 		t.Fatal(err)
 	}

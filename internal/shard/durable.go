@@ -18,6 +18,7 @@ import (
 	"xmlest/internal/manifest"
 	"xmlest/internal/metrics"
 	"xmlest/internal/predicate"
+	"xmlest/internal/trace"
 	"xmlest/internal/wal"
 	"xmlest/internal/xmltree"
 )
@@ -207,6 +208,12 @@ type DurableStore struct {
 	groupSizes    *metrics.ValueHistogram
 	queueWait     *metrics.LatencyHistogram
 	openedAt      time.Time
+
+	// stages records per-stage durations of the append pipeline (queue
+	// wait, coalesce wait, parse, build, WAL submit, fsync, install).
+	// Appends are millisecond-scale, so every group is recorded — no
+	// sampling — at the cost of a few wait-free atomics per group.
+	stages *trace.Recorder
 }
 
 // ingestReq is one AppendDocs batch waiting for the ingest coalescer;
@@ -377,6 +384,8 @@ func OpenDurable(dir string, bootstrap func() (*Store, error), cfg DurableConfig
 	d.ingestDelay = cfg.Commit.MaxDelay
 	d.groupSizes = metrics.NewValueHistogram()
 	d.queueWait = metrics.NewLatencyHistogram()
+	d.stages = trace.NewRecorder("xqest_append_stage_seconds",
+		"Append pipeline stage durations.", trace.AppendStages...)
 	d.openedAt = time.Now()
 	// The committer starts only after recovery: replay installs shards
 	// directly and must not race group formation. The latency budget is
@@ -604,7 +613,10 @@ greedy:
 func (d *DurableStore) dispatchIngest(first *ingestReq) {
 	d.submitSlots <- struct{}{}
 	d.ingestSem <- struct{}{}
+	dispatched := time.Now()
+	d.stages.Observe(trace.StageQueueWait, dispatched.Sub(first.at))
 	group := d.formIngestGroup(first)
+	d.stages.Observe(trace.StageCoalesceWait, time.Since(dispatched))
 	d.ingestWorkers.Add(1)
 	go func() {
 		p := d.ingestGroup(group)
@@ -675,6 +687,7 @@ func (d *DurableStore) buildShard(docs [][]byte) (*Shard, error) {
 	for i, doc := range docs {
 		readers[i] = bytes.NewReader(doc)
 	}
+	start := time.Now()
 	tree, err := xmltree.ParseCollection(readers, xmltree.DefaultParseOptions)
 	if err != nil {
 		return nil, err
@@ -682,8 +695,14 @@ func (d *DurableStore) buildShard(docs [][]byte) (*Shard, error) {
 	if tree.NumNodes() == 0 {
 		return nil, fmt.Errorf("shard: refusing to append an empty tree")
 	}
+	parsed := time.Now()
+	d.stages.Observe(trace.StageParse, parsed.Sub(start))
 	cat := d.store.Spec().Build(tree)
-	return d.store.newShard(tree, cat)
+	sh, err := d.store.newShard(tree, cat)
+	if err == nil {
+		d.stages.Observe(trace.StageBuild, time.Since(parsed))
+	}
+	return sh, err
 }
 
 // commitGroup is the commit callback the committer runs once per
@@ -698,6 +717,7 @@ func (d *DurableStore) commitGroup(group []*wal.Pending) {
 	members := 0
 	for _, p := range group {
 		members += len(p.Members)
+		d.stages.Observe(trace.StageWALSubmit, now.Sub(p.EnqueuedAt))
 		for _, at := range p.Members {
 			// Measured from the append batch's arrival at the ingest
 			// coalescer, so it covers the whole pre-commit wait a caller
@@ -715,7 +735,9 @@ func (d *DurableStore) commitGroup(group []*wal.Pending) {
 	for i, p := range group {
 		recs[i] = wal.GroupRecord{Version: base + uint64(i) + 1, Docs: p.Docs}
 	}
+	walStart := time.Now()
 	first, err := d.log.AppendGroup(recs)
+	d.stages.Observe(trace.StageFsyncWait, time.Since(walStart))
 	if err != nil {
 		// The whole group is refused: its frames either never landed or
 		// their durability is unknown (the log sealed either way), so no
@@ -733,7 +755,9 @@ func (d *DurableStore) commitGroup(group []*wal.Pending) {
 		sh.walSeq = first + uint64(i)
 		shs[i] = sh
 	}
+	installStart := time.Now()
 	st.appendGroupLocked(shs)
+	d.stages.Observe(trace.StageInstall, time.Since(installStart))
 	for i, p := range group {
 		p.Seq = shs[i].walSeq
 		p.Version = shs[i].installedAt

@@ -298,6 +298,10 @@ func (st *Store) publish(key core.Options, v *mergedView) {
 	}
 	st.mergedMu.Unlock()
 	st.mergeEpoch.Add(1)
+	if v != nil {
+		st.foldsDone.Add(1)
+		st.lastFoldNano.Store(time.Now().UnixNano())
+	}
 }
 
 // mergedMaxGrid caps the concatenated grid of a fold. Dense Sums

@@ -71,6 +71,7 @@ func (st *Store) PrepareSet(set *Set, p *pattern.Pattern, opts core.Options) (*P
 	epoch := st.MergeEpoch()
 	view := st.mergedFor(set, opts)
 	if view == nil || opts.DisableMergedServing || set.Len() <= 1 {
+		st.prepFanout.Add(1)
 		pr, err := set.Prepare(p, opts)
 		if err != nil {
 			return nil, err
@@ -83,6 +84,7 @@ func (st *Store) PrepareSet(set *Set, p *pattern.Pattern, opts core.Options) (*P
 		if view.mixed[name] {
 			// The folded estimator cannot reproduce the per-shard
 			// algorithm mix for this predicate; fan out.
+			st.prepMixed.Add(1)
 			pr, err := set.Prepare(p, opts)
 			if err != nil {
 				return nil, err
@@ -91,6 +93,7 @@ func (st *Store) PrepareSet(set *Set, p *pattern.Pattern, opts core.Options) (*P
 			return pr, nil
 		}
 	}
+	st.prepMerged.Add(1)
 
 	// Fresh tail: shards appended after the fold.
 	var tail []*core.Estimator

@@ -44,6 +44,17 @@ type Store struct {
 	// setup-time predicate-registration methods, which rebuild shard
 	// catalogs in place underneath any running fold.
 	foldMu sync.Mutex
+
+	// Observability counters (exported by Collect, see collect.go):
+	// completed folds and the wall time of the newest one, plus
+	// PrepareSet's serving-path decisions — merged-prefix bindings,
+	// plain fan-out bindings, and fan-outs forced by a mixed-state
+	// predicate the fold cannot reproduce.
+	foldsDone    atomic.Uint64
+	lastFoldNano atomic.Int64
+	prepMerged   atomic.Uint64
+	prepFanout   atomic.Uint64
+	prepMixed    atomic.Uint64
 }
 
 // NewStore returns a store with an empty shard set and the given

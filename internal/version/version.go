@@ -1,0 +1,70 @@
+// Package version derives build identity from the binary's embedded
+// module info (runtime/debug.ReadBuildInfo), so every command can
+// report what it was built from without a linker-flag stamping step.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Version is the main module version ("(devel)" for plain go build).
+	Version string `json:"version"`
+	// Revision is the VCS commit the binary was built from, if stamped.
+	Revision string `json:"revision,omitempty"`
+	// Modified reports uncommitted changes at build time.
+	Modified bool `json:"modified,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+var (
+	once sync.Once
+	info Info
+)
+
+// Get returns the build identity, computed once.
+func Get() Info {
+	once.Do(func() {
+		info = Info{Version: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			info.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.modified":
+				info.Modified = s.Value == "true"
+			}
+		}
+	})
+	return info
+}
+
+// String renders the identity as "version (revision[, modified]) go".
+func (i Info) String() string {
+	s := i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if i.Modified {
+			rev += "+dirty"
+		}
+		s = fmt.Sprintf("%s (%s)", s, rev)
+	}
+	return s + " " + i.GoVersion
+}
+
+// String returns the running binary's identity line.
+func String() string { return Get().String() }

@@ -11,6 +11,13 @@
 # client p50/p95/p99, ack-to-durable, and the achieved group size and
 # fsync rate parsed from the daemon's /stats.
 #
+# PR 8 adds the observability overhead pair: the default serving run
+# now carries the daemon's default tracing (-trace-sample 64, 1s slow
+# threshold), and a serving_notrace run disables tracing entirely
+# (-trace-sample 0 -slow-request 0) so the two can be compared. Every
+# xqbench report also embeds metrics_delta: daemon-side /metrics
+# counter deltas across the run.
+#
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh      # override -benchtime
 #   SERVE_SECONDS=10 scripts/bench.sh  # longer serving runs
@@ -20,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 appenders="${APPENDERS:-24}"
 commit_delay="${COMMIT_DELAY:-3ms}"
 benchtime="${BENCHTIME:-1s}"
@@ -56,6 +63,8 @@ if [[ -z "${SKIP_SERVING:-}" ]]; then
   go build -o "$workdir/xqestd" ./cmd/xqestd
   go build -o "$workdir/xqbench" ./cmd/xqbench
   serve_run "$workdir/serving.json" 2
+  echo "== serving benchmark: tracing disabled (-trace-sample 0) =="
+  serve_run "$workdir/serving-notrace.json" 2 -trace-sample 0 -slow-request 0
   echo "== serving benchmark: fan-out path (-no-merged) =="
   serve_run "$workdir/serving-fanout.json" 2 -no-merged
   for fsync in always interval off; do
@@ -67,6 +76,7 @@ if [[ -z "${SKIP_SERVING:-}" ]]; then
   done
 else
   printf 'null\n' > "$workdir/serving.json"
+  printf 'null\n' > "$workdir/serving-notrace.json"
   printf 'null\n' > "$workdir/serving-fanout.json"
   for fsync in always interval off; do
     printf 'null\n' > "$workdir/durable-$fsync.json"
@@ -111,6 +121,8 @@ fi
     }
   ' "$workdir/micro.txt"
   cat "$workdir/serving.json"
+  printf ",\n  \"serving_notrace\": "
+  cat "$workdir/serving-notrace.json"
   printf ",\n  \"serving_fanout\": "
   cat "$workdir/serving-fanout.json"
   printf ",\n  \"durable_serving\": {\n"
