@@ -109,6 +109,7 @@ func main() {
 
 	report := b.report(elapsed, *estimators, *appenders)
 	report.MetricsDelta = metricsDelta(before, b.scrapeMetrics())
+	report.AccuracyDelta = accuracyDelta(report.MetricsDelta)
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -483,6 +484,11 @@ type reportJSON struct {
 	// daemon's own account of the run (fsyncs, commit groups, per-stage
 	// samples). Absent when the daemon exposes no /metrics.
 	MetricsDelta map[string]float64 `json:"metrics_delta,omitempty"`
+	// AccuracyDelta surfaces the shadow-execution accuracy counters
+	// (the xqest_accuracy_* families) separately from the full delta
+	// map, so accuracy regression runs read them without grepping.
+	// Absent when the daemon ran without shadow sampling.
+	AccuracyDelta map[string]float64 `json:"accuracy_delta,omitempty"`
 }
 
 // scrapeMetrics fetches and parses the daemon's Prometheus exposition
@@ -546,6 +552,21 @@ func metricsDelta(before, after map[string]float64) map[string]float64 {
 		}
 		if d := v - before[key]; d != 0 {
 			out[key] = d
+		}
+	}
+	return out
+}
+
+// accuracyDelta extracts the shadow-execution accuracy counters from a
+// full metrics delta (nil when none moved — sampling off or no scrape).
+func accuracyDelta(delta map[string]float64) map[string]float64 {
+	var out map[string]float64
+	for key, v := range delta {
+		if strings.HasPrefix(key, "xqest_accuracy_") {
+			if out == nil {
+				out = make(map[string]float64)
+			}
+			out[key] = v
 		}
 	}
 	return out

@@ -43,14 +43,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"xmlest"
+	"xmlest/internal/accuracy"
 	"xmlest/internal/cliutil"
 	"xmlest/internal/pattern"
 	"xmlest/internal/planner"
@@ -75,6 +78,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "wal/manifest: durable data directory to inspect")
 	serverURL := flag.String("server", "", "stats: base URL of a running daemon (e.g. http://127.0.0.1:8080) to introspect instead of local data")
 	rawMetrics := flag.Bool("metrics", false, "stats -server: dump the raw Prometheus exposition instead of the pretty summary")
+	twigs := flag.Int("twigs", 50, "accuracy: number of random twig queries in the seeded workload")
+	twigSeed := flag.Int64("twig-seed", 1, "accuracy: random-twig workload seed (same seed, same workload)")
+	jsonOut := flag.Bool("json", false, "accuracy: emit the report as JSON (for benchmark harnesses)")
 	showVersion := flag.Bool("version", false, "print the build identity and exit")
 	flag.Parse()
 
@@ -167,7 +173,19 @@ func main() {
 		return
 	}
 
-	db, err := openDatabase(*data, *dataset, *scale, *seed)
+	var db *xmlest.Database
+	var err error
+	switch {
+	case cmd == "accuracy" && *summary != "":
+		// A summary blob holds histograms, not documents: there is no
+		// exact count to compare against, so accuracy evaluation over it
+		// would be circular. Refuse rather than silently score nothing.
+		fatal(fmt.Errorf("xqest: accuracy needs documents for exact counts; a summary (%s) cannot be verified — use -data, -dataset or -data-dir", *summary))
+	case cmd == "accuracy" && *dataDir != "":
+		db, err = cliutil.OpenDurableDatabase(*dataDir, xmlest.Options{GridSize: *grid}, cliutil.DurableFlags{})
+	default:
+		db, err = openDatabase(*data, *dataset, *scale, *seed)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -283,6 +301,10 @@ func main() {
 		if err := cliutil.RunUntilSignal(srv, 15*time.Second); err != nil {
 			fatal(err)
 		}
+	case "accuracy":
+		if err := runAccuracy(os.Stdout, db, *grid, *twigs, *twigSeed, *jsonOut); err != nil {
+			fatal(err)
+		}
 	case "exact":
 		src := needPattern()
 		real, err := db.Count(src)
@@ -315,6 +337,57 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// runAccuracy evaluates the estimator against exact counts over the
+// two seeded workloads the accuracy harness tracks: the exhaustive
+// element-tag-pair workload and a deterministic random-twig workload.
+// The same q-error quantiles the daemon's online monitor exports are
+// reported per workload, so offline regression numbers and production
+// numbers read on one scale.
+func runAccuracy(w io.Writer, db *xmlest.Database, grid, twigs int, twigSeed int64, jsonOut bool) error {
+	est, err := db.NewEstimator(xmlest.Options{GridSize: grid})
+	if err != nil {
+		return err
+	}
+	coreEst := est.Core()
+	if coreEst == nil {
+		return fmt.Errorf("xqest: accuracy needs document-backed shards for exact counts")
+	}
+	cat := db.Catalog()
+	type workload struct {
+		name     string
+		patterns []string
+	}
+	workloads := []workload{
+		{"pairs", accuracy.PairWorkload(cat)},
+		{"random_twigs", accuracy.RandomTwigWorkload(cat, twigs, twigSeed)},
+	}
+	reports := make(map[string]accuracy.Report, len(workloads))
+	for _, wl := range workloads {
+		_, rep, err := accuracy.Evaluate(cat, coreEst, wl.patterns)
+		if err != nil {
+			return fmt.Errorf("xqest: accuracy workload %s: %w", wl.name, err)
+		}
+		reports[wl.name] = rep
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Grid      int                        `json:"grid"`
+			TwigSeed  int64                      `json:"twig_seed"`
+			Workloads map[string]accuracy.Report `json:"workloads"`
+		}{grid, twigSeed, reports})
+	}
+	for _, wl := range workloads {
+		rep := reports[wl.name]
+		fmt.Fprintf(w, "workload %-14s %4d queries (%d empty, %d underestimated)\n",
+			wl.name, rep.Queries, rep.EmptyReal, rep.Under)
+		fmt.Fprintf(w, "  q-error q50 %.3f  q90 %.3f  qmax %.3f   mean rel. err. %.3f\n",
+			rep.Q50, rep.Q90, rep.QMax, rep.MeanRelErr)
+	}
+	return nil
 }
 
 func appendFile(db *xmlest.Database, path string) (xmlest.ShardInfo, error) {
@@ -361,6 +434,10 @@ commands:
                         (-save file: persist the summary afterwards;
                          -load file: estimate from a saved summary, no data)
   exact '<pattern>'     exact answer size (ground truth)
+  accuracy              estimate-vs-exact q-error over seeded workloads
+                        (all tag pairs + -twigs random twigs under -twig-seed;
+                         -json emits machine-readable reports; works over
+                         -data, -dataset or -data-dir, never a summary)
   explain '<pattern>'   candidate join orders with intermediate estimates
   compact               merge small shards (size-tiered; -max-shards caps the count)
   drop <shard-id>       remove a shard from the serving set

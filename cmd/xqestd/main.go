@@ -96,6 +96,8 @@ func main() {
 	fault := flag.String("fault", "", "TESTING ONLY: disk-fault schedule for -data-dir, e.g. 'sync-fail-after=3' or 'fail-op=12,torn' (see internal/fsio)")
 	traceSample := flag.Int("trace-sample", 64, "sample 1 in N requests for pipeline stage tracing (0 disables)")
 	slowRequest := flag.Duration("slow-request", time.Second, "log requests slower than this threshold (0 disables)")
+	shadowSample := flag.Int("shadow-sample", 128, "shadow-execute 1 in N estimates exactly for online accuracy monitoring (0 disables)")
+	shadowBudget := flag.Duration("shadow-budget", 0, "wall-clock budget per shadow execution (0 = default 200ms)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	showVersion := flag.Bool("version", false, "print the build identity and exit")
@@ -135,6 +137,8 @@ func main() {
 		MaxHeaderBytes:      *maxHeaderBytes,
 		TraceSample:         *traceSample,
 		SlowRequest:         *slowRequest,
+		ShadowSample:        *shadowSample,
+		ShadowBudget:        *shadowBudget,
 		Logger:              logger,
 	}
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"xmlest"
+	"xmlest/internal/accuracy"
 	"xmlest/internal/datagen"
 )
 
@@ -60,6 +61,10 @@ func main() {
 			res.Estimate, res.Elapsed, est.StorageBytes())
 		fmt.Printf("  first %d results fetched in %s\n", len(page), pageTime)
 		fmt.Printf("  actual     %.0f results      (%s, full count)\n", real, exactTime)
+		// Score the prediction with the same metric the daemon's online
+		// accuracy monitor exports: q-error, the factor the estimate is
+		// off by in either direction (1 = perfect).
+		fmt.Printf("  q-error    %.2f\n", accuracy.QError(res.Estimate, real))
 		switch {
 		case res.Estimate > 10000:
 			fmt.Printf("  advice: result is huge — consider refining before running\n\n")

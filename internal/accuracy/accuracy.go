@@ -23,25 +23,27 @@ import (
 
 // QueryResult is one workload query's outcome.
 type QueryResult struct {
-	Pattern string
-	Real    float64
-	Est     float64
+	Pattern string  `json:"pattern"`
+	Real    float64 `json:"real"`
+	Est     float64 `json:"est"`
 	// QError is max(est/real, real/est), with add-one smoothing so
 	// empty results remain comparable.
-	QError float64
+	QError float64 `json:"qerror"`
 }
 
 // Report summarizes a workload evaluation.
 type Report struct {
-	Queries int
+	Queries int `json:"queries"`
 	// EmptyReal counts queries whose exact answer is zero.
-	EmptyReal int
+	EmptyReal int `json:"empty_real"`
 	// MeanRelErr is the mean of |est-real| / max(real, 1).
-	MeanRelErr float64
+	MeanRelErr float64 `json:"mean_rel_err"`
 	// Q50, Q90, QMax are q-error quantiles.
-	Q50, Q90, QMax float64
+	Q50  float64 `json:"q50"`
+	Q90  float64 `json:"q90"`
+	QMax float64 `json:"qmax"`
 	// Under counts underestimates (est < real).
-	Under int
+	Under int `json:"under"`
 }
 
 // Evaluate runs every pattern through the estimator and the exact
@@ -71,7 +73,7 @@ func Evaluate(cat *predicate.Catalog, est *core.Estimator, patterns []string) ([
 		if err != nil {
 			return nil, Report{}, err
 		}
-		q := qError(res.Estimate, real)
+		q := QError(res.Estimate, real)
 		results = append(results, QueryResult{Pattern: src, Real: real, Est: res.Estimate, QError: q})
 		report.Queries++
 		if real == 0 {
@@ -93,8 +95,12 @@ func Evaluate(cat *predicate.Catalog, est *core.Estimator, patterns []string) ([
 	return results, report, nil
 }
 
-// qError computes max(a/b, b/a) with add-one smoothing.
-func qError(est, real float64) float64 {
+// QError computes max(est/real, real/est) with add-one smoothing, so
+// empty estimates and empty answers stay finite and comparable. It is
+// always >= 1; 1 means a perfect estimate. This is the single q-error
+// definition shared by the offline evaluator, the online shadow
+// monitor, and the examples.
+func QError(est, real float64) float64 {
 	a, b := est+1, real+1
 	if a < b {
 		a, b = b, a
@@ -102,12 +108,20 @@ func qError(est, real float64) float64 {
 	return a / b
 }
 
+// quantile returns the q-th quantile of a sorted sample, interpolating
+// linearly between the two straddling order statistics (a single-value
+// sample yields that value for every q).
 func quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)-1))
-	return sorted[i]
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + (sorted[lo+1]-sorted[lo])*frac
 }
 
 // PairWorkload returns every ordered pair of distinct element-tag

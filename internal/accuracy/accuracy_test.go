@@ -107,15 +107,95 @@ func TestEvaluateRejectsBadPattern(t *testing.T) {
 	}
 }
 
+func TestEvaluateEmptyWorkload(t *testing.T) {
+	cat, est := hierSetup(t)
+	results, report, err := Evaluate(cat, est, nil)
+	if err != nil {
+		t.Fatalf("Evaluate(empty): %v", err)
+	}
+	if len(results) != 0 {
+		t.Errorf("results = %d, want 0", len(results))
+	}
+	if report != (Report{}) {
+		t.Errorf("empty workload report = %+v, want zero", report)
+	}
+}
+
+func TestEvaluateAllZeroReal(t *testing.T) {
+	// //b//a never matches in <a><b/></a>: every real count is zero, so
+	// add-one smoothing is the only thing keeping q-errors finite.
+	tr, err := xmltree.ParseString(`<a><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := predicate.NewCatalog(tr)
+	cat.AddAllTags()
+	est, err := core.NewEstimator(cat, core.Options{GridSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, report, err := Evaluate(cat, est, []string{"//b//a", "//b//b"})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if report.EmptyReal != 2 {
+		t.Errorf("EmptyReal = %d, want 2", report.EmptyReal)
+	}
+	for _, r := range results {
+		if r.Real != 0 {
+			t.Errorf("%s: real = %v, want 0", r.Pattern, r.Real)
+		}
+		if math.IsInf(r.QError, 0) || math.IsNaN(r.QError) || r.QError < 1 {
+			t.Errorf("%s: q-error %v not smoothed", r.Pattern, r.QError)
+		}
+	}
+	if math.IsInf(report.QMax, 0) || math.IsNaN(report.MeanRelErr) {
+		t.Errorf("report not finite: %+v", report)
+	}
+}
+
+func TestEvaluateSingleQueryQuantiles(t *testing.T) {
+	// With one query every quantile is that query's q-error — the
+	// interpolating quantile must not index past the single sample.
+	cat, est := hierSetup(t)
+	results, report, err := Evaluate(cat, est, PairWorkload(cat)[:1])
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	q := results[0].QError
+	if report.Q50 != q || report.Q90 != q || report.QMax != q {
+		t.Errorf("single-query quantiles = %v/%v/%v, want all %v", report.Q50, report.Q90, report.QMax, q)
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	sorted := []float64{1, 3}
+	if got := quantile(sorted, 0.5); got != 2 {
+		t.Errorf("quantile([1 3], 0.5) = %v, want 2 (interpolated)", got)
+	}
+	if got := quantile(sorted, 0); got != 1 {
+		t.Errorf("quantile([1 3], 0) = %v, want 1", got)
+	}
+	if got := quantile(sorted, 1); got != 3 {
+		t.Errorf("quantile([1 3], 1) = %v, want 3", got)
+	}
+	if got := quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("quantile([7], 0.9) = %v, want 7", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile(nil, 0.5) = %v, want 0", got)
+	}
+}
+
 func TestQErrorSmoothing(t *testing.T) {
-	if q := qError(0, 0); q != 1 {
-		t.Errorf("qError(0,0) = %v, want 1", q)
+	if q := QError(0, 0); q != 1 {
+		t.Errorf("QError(0,0) = %v, want 1", q)
 	}
-	if q := qError(9, 0); q != 10 {
-		t.Errorf("qError(9,0) = %v, want 10", q)
+	if q := QError(9, 0); q != 10 {
+		t.Errorf("QError(9,0) = %v, want 10", q)
 	}
-	if q := qError(0, 9); q != 10 {
-		t.Errorf("qError(0,9) = %v, want 10", q)
+	if q := QError(0, 9); q != 10 {
+		t.Errorf("QError(0,9) = %v, want 10", q)
 	}
 }
 

@@ -1,0 +1,169 @@
+package accuracy
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xmlest/internal/metrics"
+)
+
+func TestMonitorNilSafe(t *testing.T) {
+	var m *Monitor
+	if m.Sampled() {
+		t.Error("nil monitor sampled")
+	}
+	m.Submit("//a//b", 1, func(time.Time) (float64, error) { return 0, nil })
+	m.Close()
+}
+
+func TestMonitorDisabledNeverSamples(t *testing.T) {
+	m := NewMonitor(MonitorConfig{SampleEvery: 0})
+	defer m.Close()
+	for i := 0; i < 100; i++ {
+		if m.Sampled() {
+			t.Fatal("SampleEvery 0 sampled")
+		}
+	}
+}
+
+func TestMonitorSamplingStride(t *testing.T) {
+	m := NewMonitor(MonitorConfig{SampleEvery: 4})
+	defer m.Close()
+	hits := 0
+	for i := 0; i < 100; i++ {
+		if m.Sampled() {
+			hits++
+		}
+	}
+	if hits != 25 {
+		t.Errorf("1-in-4 over 100 = %d hits, want 25", hits)
+	}
+}
+
+// waitCounter polls until get() reaches want or the deadline passes.
+func waitCounter(t *testing.T, want uint64, get func() uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if get() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("counter stuck at %d, want %d", get(), want)
+}
+
+func TestMonitorClassifiesOutcomes(t *testing.T) {
+	ps := metrics.NewPatternStats(0)
+	ps.Observe("//a//b", 12, time.Microsecond) // track the pattern first
+	m := NewMonitor(MonitorConfig{SampleEvery: 1, Patterns: ps})
+	defer m.Close()
+
+	m.Submit("//a//b", 12, func(time.Time) (float64, error) { return 10, nil })
+	m.Submit("//a//b", 5, func(time.Time) (float64, error) { return 0, fmt.Errorf("budget: %w", context.DeadlineExceeded) })
+	m.Submit("//a//b", 5, func(time.Time) (float64, error) { return 0, fmt.Errorf("snap: %w", ErrUnverifiable) })
+	m.Submit("//a//b", 5, func(time.Time) (float64, error) { return 0, errors.New("boom") })
+
+	waitCounter(t, 1, func() uint64 { return m.Snapshot().Verified })
+	waitCounter(t, 1, func() uint64 { return m.Snapshot().Deadline })
+	waitCounter(t, 1, func() uint64 { return m.Snapshot().Unverifiable })
+	waitCounter(t, 1, func() uint64 { return m.Snapshot().Failed })
+
+	s := m.Snapshot()
+	if s.Sampled != 4 {
+		t.Errorf("sampled = %d, want 4", s.Sampled)
+	}
+	if s.QError.Count != 1 {
+		t.Fatalf("qerror count = %d, want 1", s.QError.Count)
+	}
+	want := QError(12, 10)
+	if s.QError.Max != want {
+		t.Errorf("qerror max = %v, want %v", s.QError.Max, want)
+	}
+	// |12-10|/10 = 0.2
+	if s.MeanRelErr < 0.19 || s.MeanRelErr > 0.21 {
+		t.Errorf("mean rel err = %v, want ~0.2", s.MeanRelErr)
+	}
+	// The per-pattern digest saw the verified q-error.
+	snap := ps.Snapshot(1)
+	if len(snap) != 1 || snap[0].QError == nil || snap[0].QError.Count != 1 {
+		t.Errorf("pattern digest missing q-error: %+v", snap)
+	}
+}
+
+func TestSampledUnsampledPathAllocs(t *testing.T) {
+	// The unsampled hot path is one atomic increment: no allocation,
+	// for a nil monitor or a live one.
+	var nilM *Monitor
+	if n := testing.AllocsPerRun(1000, func() { nilM.Sampled() }); n != 0 {
+		t.Errorf("nil Sampled allocs = %v, want 0", n)
+	}
+	m := NewMonitor(MonitorConfig{SampleEvery: 1 << 30})
+	defer m.Close()
+	if n := testing.AllocsPerRun(1000, func() { m.Sampled() }); n != 0 {
+		t.Errorf("unsampled Sampled allocs = %v, want 0", n)
+	}
+}
+
+func TestMonitorDropsOnOverflow(t *testing.T) {
+	block := make(chan struct{})
+	m := NewMonitor(MonitorConfig{SampleEvery: 1, Workers: 1, QueueSize: 1})
+	defer m.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	m.Submit("//a", 1, func(time.Time) (float64, error) {
+		wg.Done()
+		<-block
+		return 0, nil
+	})
+	wg.Wait() // worker is now stuck inside the first job
+	m.Submit("//a", 1, func(time.Time) (float64, error) { return 0, nil })
+	// The queue (size 1) holds the second job; the third must drop.
+	m.Submit("//a", 1, func(time.Time) (float64, error) { return 0, nil })
+	if d := m.Snapshot().Dropped; d != 1 {
+		t.Errorf("dropped = %d, want 1", d)
+	}
+	close(block)
+}
+
+func TestMonitorSubmitAfterCloseDrops(t *testing.T) {
+	m := NewMonitor(MonitorConfig{SampleEvery: 1})
+	m.Close()
+	m.Close() // idempotent
+	m.Submit("//a", 1, func(time.Time) (float64, error) { return 1, nil })
+	if d := m.Snapshot().Dropped; d != 1 {
+		t.Errorf("dropped after close = %d, want 1", d)
+	}
+}
+
+func TestMonitorCollect(t *testing.T) {
+	m := NewMonitor(MonitorConfig{SampleEvery: 1})
+	defer m.Close()
+	m.Submit("//a", 3, func(time.Time) (float64, error) { return 3, nil })
+	waitCounter(t, 1, func() uint64 { return m.Snapshot().Verified })
+
+	var buf bytes.Buffer
+	m.Collect(metrics.NewExpo(&buf))
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE xqest_accuracy_qerror histogram",
+		"xqest_accuracy_qerror_sum",
+		"xqest_accuracy_qerror_count 1",
+		"xqest_accuracy_sampled_total 1",
+		"xqest_accuracy_verified_total 1",
+		"xqest_accuracy_dropped_total 0",
+		"xqest_accuracy_deadline_total 0",
+		"xqest_accuracy_unverifiable_total 0",
+		"xqest_accuracy_failed_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -85,8 +85,23 @@ func ShowStats(w io.Writer, baseURL string) error {
 	if len(st.Patterns) > 0 {
 		fmt.Fprintf(w, "\ntop patterns (%d untracked request(s) beyond these):\n", st.UntrackedPatterns)
 		for _, p := range st.Patterns {
-			fmt.Fprintf(w, "  %8d× %-40s est p50 %.0f  lat p50 %.1fµs\n",
+			fmt.Fprintf(w, "  %8d× %-40s est p50 %.0f  lat p50 %.1fµs",
 				p.Requests, p.Pattern, p.Estimate.P50, p.Latency.P50USec)
+			if p.QError != nil {
+				fmt.Fprintf(w, "  qerr p50 %.2f max %.2f (%d verified)",
+					p.QError.P50, p.QError.Max, p.QError.Count)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if a := st.Accuracy; a != nil {
+		fmt.Fprintf(w, "\naccuracy (shadow execution, 1 in %d, budget %.0fms):\n", a.SampleEvery, a.BudgetMS)
+		fmt.Fprintf(w, "  sampled %d  verified %d  dropped %d  deadline %d  unverifiable %d  failed %d\n",
+			a.Sampled, a.Verified, a.Dropped, a.Deadline, a.Unverifiable, a.Failed)
+		if a.QError.Count > 0 {
+			fmt.Fprintf(w, "  q-error q50 %.3f  q90 %.3f  qmax %.3f   mean rel. err. %.3f\n",
+				a.QError.P50, a.QError.P90, a.QError.Max, a.MeanRelErr)
 		}
 	}
 

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"xmlest/internal/match"
+	"xmlest/internal/pattern"
+	"xmlest/internal/planner"
+	"xmlest/internal/xmltree"
+)
+
+func TestExecuteDeadlineZeroDisables(t *testing.T) {
+	tr := xmltree.Fig1Document()
+	est, resolve := setup(t, tr, 4)
+	p := pattern.MustParse("//department//faculty")
+	plan, err := planner.Best(est, p)
+	if err != nil {
+		t.Fatalf("Best: %v", err)
+	}
+	want, _ := match.CountTwig(tr, p, resolve)
+	stats, err := ExecuteDeadline(tr, p, plan, resolve, time.Time{})
+	if err != nil {
+		t.Fatalf("ExecuteDeadline: %v", err)
+	}
+	if float64(stats.Results) != want {
+		t.Errorf("results = %d, want %v", stats.Results, want)
+	}
+}
+
+func TestExecuteDeadlineExpired(t *testing.T) {
+	// A deadline already in the past must abort with ErrDeadline once
+	// the pull loop has drained enough tuples to hit a check. The
+	// Fig. 1 document is small, so pick a pattern with > 1024 result
+	// tuples by repeating the document.
+	tr := bigTree(t, 3000)
+	est, resolve := setup(t, tr, 4)
+	p := pattern.MustParse("//a//b")
+	plan, err := planner.Best(est, p)
+	if err != nil {
+		t.Fatalf("Best: %v", err)
+	}
+	_, err = ExecuteDeadline(tr, p, plan, resolve, time.Now().Add(-time.Second))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("ErrDeadline must wrap context.DeadlineExceeded")
+	}
+}
+
+// bigTree builds <r> with n <a><b/></a> children: //a//b has n result
+// tuples, enough to cross the deadline-check stride.
+func bigTree(t *testing.T, n int) *xmltree.Tree {
+	t.Helper()
+	doc := make([]byte, 0, 16*n+8)
+	doc = append(doc, "<r>"...)
+	for i := 0; i < n; i++ {
+		doc = append(doc, "<a><b/></a>"...)
+	}
+	doc = append(doc, "</r>"...)
+	tr, err := xmltree.ParseString(string(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}

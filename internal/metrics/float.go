@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// qErrorBounds are the bucket upper bounds of q-error histograms.
+// Q-error is max(est/real, real/est) with add-one smoothing, so every
+// observation is >= 1 and most of a healthy estimator's mass lands
+// between 1 and 2 — the low range is sliced finely while the tail
+// doubles out to 10^6 (beyond which "wrong by a million x" needs no
+// finer resolution).
+var qErrorBounds = []float64{
+	1, 1.05, 1.1, 1.2, 1.35, 1.5, 1.75, 2, 2.5, 3, 4, 5, 7.5, 10,
+	15, 25, 50, 100, 250, 1000, 1e4, 1e6,
+}
+
+// FloatHistogram is a fixed-bucket histogram of non-negative float64
+// observations over explicit bucket bounds — the float-valued sibling
+// of ValueHistogram, built for q-error digests where the interesting
+// resolution sits between 1 and 2 and an integer log grid would fold
+// it all into one bucket. All methods are safe for concurrent use;
+// Observe is lock-free (the float sum and max use CAS loops).
+type FloatHistogram struct {
+	// bounds[i] is bucket i's inclusive upper edge; observations above
+	// the last bound land in an implicit +Inf bucket.
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1: the last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	maxBits atomic.Uint64 // float64 bits of the running max
+}
+
+// NewQErrorHistogram returns a histogram over the q-error bucket
+// partition (finely sliced in [1, 2], doubling out to 10^6).
+func NewQErrorHistogram() *FloatHistogram { return NewFloatHistogram(qErrorBounds) }
+
+// NewFloatHistogram returns a histogram over the given ascending
+// upper bounds. The bounds slice is retained and must not be modified.
+func NewFloatHistogram(bounds []float64) *FloatHistogram {
+	return &FloatHistogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value; NaN is dropped, negatives clamp to zero.
+func (h *FloatHistogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		cur := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(cur) + v)
+		if h.sumBits.CompareAndSwap(cur, next) {
+			break
+		}
+	}
+	for {
+		cur := h.maxBits.Load()
+		if v <= math.Float64frombits(cur) || h.maxBits.CompareAndSwap(cur, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *FloatHistogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the running sum of observations.
+func (h *FloatHistogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// FloatSummary is a point-in-time digest of a FloatHistogram.
+// Quantiles are interpolated within buckets; Max is exact.
+type FloatSummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summary digests the histogram. Concurrent Observes may land between
+// the per-bucket reads; the digest is internally consistent with the
+// counts it read.
+func (h *FloatHistogram) Summary() FloatSummary {
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := FloatSummary{Count: total, Max: math.Float64frombits(h.maxBits.Load())}
+	if total == 0 {
+		return s
+	}
+	s.Mean = h.Sum() / float64(total)
+	s.P50 = h.quantile(counts, total, 0.50)
+	s.P90 = h.quantile(counts, total, 0.90)
+	s.P99 = h.quantile(counts, total, 0.99)
+	// A bucket's upper edge can overshoot the largest observation; the
+	// tracked max is a tighter cap.
+	for _, q := range []*float64{&s.P50, &s.P90, &s.P99} {
+		if *q > s.Max {
+			*q = s.Max
+		}
+	}
+	return s
+}
+
+// quantile walks the bucket counts to the one holding rank p*total and
+// interpolates linearly within its [lo, hi] extent. The +Inf bucket's
+// extent is capped by the tracked max.
+func (h *FloatHistogram) quantile(counts []uint64, total uint64, p float64) float64 {
+	rank := p * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := math.Float64frombits(h.maxBits.Load())
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += float64(c)
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFloatHistogramBasics(t *testing.T) {
+	h := NewQErrorHistogram()
+	if s := h.Summary(); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	h.Observe(1)
+	h.Observe(1.5)
+	h.Observe(100)
+	h.Observe(math.NaN()) // dropped
+	h.Observe(-3)         // clamps to 0
+	if n := h.Count(); n != 4 {
+		t.Errorf("count = %d, want 4 (NaN dropped)", n)
+	}
+	if sum := h.Sum(); sum != 102.5 {
+		t.Errorf("sum = %v, want 102.5", sum)
+	}
+	s := h.Summary()
+	if s.Max != 100 {
+		t.Errorf("max = %v, want 100", s.Max)
+	}
+	if s.P50 < 0 || s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.Max {
+		t.Errorf("quantiles disordered: %+v", s)
+	}
+}
+
+func TestFloatHistogramQuantileInterpolation(t *testing.T) {
+	// All mass in one bucket: the quantile interpolates inside its
+	// extent and never exceeds the tracked max.
+	h := NewFloatHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	s := h.Summary()
+	if s.P50 < 1 || s.P50 > 2 {
+		t.Errorf("p50 = %v, want within (1, 2]", s.P50)
+	}
+	if s.P99 > s.Max {
+		t.Errorf("p99 %v exceeds max %v", s.P99, s.Max)
+	}
+	// Values beyond the last bound land in +Inf, capped by max.
+	h2 := NewFloatHistogram([]float64{1})
+	h2.Observe(50)
+	if s2 := h2.Summary(); s2.P99 > 50 {
+		t.Errorf("+Inf bucket quantile %v exceeds observed max 50", s2.P99)
+	}
+}
+
+func TestFloatHistogramConcurrent(t *testing.T) {
+	h := NewQErrorHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := h.Count(); n != 8000 {
+		t.Errorf("count = %d, want 8000", n)
+	}
+	if sum := h.Sum(); sum != 16000 {
+		t.Errorf("sum = %v, want 16000", sum)
+	}
+}
+
+func TestFloatSamplesExposition(t *testing.T) {
+	h := NewFloatHistogram([]float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+	var buf bytes.Buffer
+	e := NewExpo(&buf)
+	e.HistogramFamily("test_qerror", "help")
+	e.FloatSamples("test_qerror", h)
+	out := buf.String()
+	for _, want := range []string{
+		`test_qerror_bucket{le="1"} 1`,
+		`test_qerror_bucket{le="10"} 2`,
+		`test_qerror_bucket{le="+Inf"} 3`,
+		"test_qerror_sum 105.5",
+		"test_qerror_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPatternStatsQError(t *testing.T) {
+	p := NewPatternStats(2)
+	p.Observe("//a//b", 10, 0)
+	p.ObserveQError("//a//b", 1.5)
+	p.ObserveQError("//never//seen", 9) // untracked: dropped silently
+	snap := p.Snapshot(0)
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len = %d, want 1", len(snap))
+	}
+	if snap[0].QError == nil || snap[0].QError.Count != 1 || snap[0].QError.Max != 1.5 {
+		t.Errorf("pattern q-error digest = %+v", snap[0].QError)
+	}
+
+	// Without any verified pattern the per-pattern q-error families are
+	// not declared (no sample-less families); with one they are.
+	empty := NewPatternStats(2)
+	empty.Observe("//a//b", 10, 0)
+	var buf bytes.Buffer
+	empty.Collect(NewExpo(&buf))
+	if strings.Contains(buf.String(), "xqest_pattern_qerror") {
+		t.Errorf("qerror families declared without verified observations:\n%s", buf.String())
+	}
+	buf.Reset()
+	p.Collect(NewExpo(&buf))
+	out := buf.String()
+	if !strings.Contains(out, `xqest_pattern_qerror_count{pattern="//a//b"} 1`) {
+		t.Errorf("missing per-pattern qerror count:\n%s", out)
+	}
+	if !strings.Contains(out, `xqest_pattern_qerror_mean{pattern="//a//b"} 1.5`) {
+		t.Errorf("missing per-pattern qerror mean:\n%s", out)
+	}
+}

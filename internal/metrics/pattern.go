@@ -30,6 +30,10 @@ type patternEntry struct {
 	count   atomic.Uint64
 	est     *ValueHistogram
 	lat     *LatencyHistogram
+	// qerr digests shadow-execution q-errors for the pattern. Created
+	// with the entry but only populated for patterns the accuracy
+	// monitor sampled and verified.
+	qerr *FloatHistogram
 }
 
 // NewPatternStats returns a tracker holding at most maxTracked
@@ -77,7 +81,7 @@ func (p *PatternStats) Observe(pat string, estimate float64, d time.Duration) {
 				p.other.Add(1)
 				return
 			}
-			ent = &patternEntry{pattern: pat, est: NewValueHistogram(), lat: NewLatencyHistogram()}
+			ent = &patternEntry{pattern: pat, est: NewValueHistogram(), lat: NewLatencyHistogram(), qerr: NewQErrorHistogram()}
 			p.m[pat] = ent
 		}
 		p.mu.Unlock()
@@ -85,6 +89,21 @@ func (p *PatternStats) Observe(pat string, estimate float64, d time.Duration) {
 	ent.count.Add(1)
 	ent.est.Observe(int(estimate + 0.5))
 	ent.lat.Observe(d)
+}
+
+// ObserveQError records one shadow-verified q-error for the pattern.
+// Untracked patterns (beyond the bounded set) are dropped silently —
+// the pattern's serving-path Observe already bumped the overflow
+// counter, and an accuracy digest without its request digest would be
+// unanchorable anyway.
+func (p *PatternStats) ObserveQError(pat string, q float64) {
+	pat = NormalizePattern(pat)
+	p.mu.RLock()
+	ent := p.m[pat]
+	p.mu.RUnlock()
+	if ent != nil {
+		ent.qerr.Observe(q)
+	}
 }
 
 // Untracked returns the observation count that overflowed the tracked
@@ -97,6 +116,10 @@ type PatternSnapshot struct {
 	Requests uint64         `json:"requests"`
 	Estimate ValueSummary   `json:"estimate"`
 	Latency  LatencySummary `json:"latency"`
+	// QError digests the pattern's shadow-verified estimate error;
+	// absent until the accuracy monitor has verified at least one of
+	// the pattern's estimates.
+	QError *FloatSummary `json:"qerror,omitempty"`
 }
 
 // Snapshot returns up to topK tracked patterns, most-requested first
@@ -125,6 +148,9 @@ func (p *PatternStats) Snapshot(topK int) []PatternSnapshot {
 			Requests: e.count.Load(),
 			Estimate: e.est.Summary(),
 			Latency:  e.lat.Summary(),
+		}
+		if qs := e.qerr.Summary(); qs.Count > 0 {
+			out[i].QError = &qs
 		}
 	}
 	return out
@@ -162,6 +188,25 @@ func (p *PatternStats) Collect(e *Expo) {
 			mean = float64(ent.est.sum.Load()) / float64(n)
 		}
 		e.Sample("xqest_pattern_estimate_mean", mean, "pattern", ent.pattern)
+	}
+	// Per-pattern q-error digests: only declared when some pattern has
+	// shadow-verified observations, so an exposition without accuracy
+	// sampling carries no sample-less families.
+	var verified []*patternEntry
+	for _, ent := range ents {
+		if ent.qerr.Count() > 0 {
+			verified = append(verified, ent)
+		}
+	}
+	if len(verified) > 0 {
+		e.Family("xqest_pattern_qerror_count", "counter", "Shadow-verified estimates per tracked pattern.")
+		for _, ent := range verified {
+			e.Sample("xqest_pattern_qerror_count", float64(ent.qerr.Count()), "pattern", ent.pattern)
+		}
+		e.Family("xqest_pattern_qerror_mean", "gauge", "Mean shadow-verified q-error per tracked pattern.")
+		for _, ent := range verified {
+			e.Sample("xqest_pattern_qerror_mean", ent.qerr.Sum()/float64(ent.qerr.Count()), "pattern", ent.pattern)
+		}
 	}
 	e.Counter("xqest_pattern_untracked_requests_total",
 		"Estimates whose pattern overflowed the tracked set.", float64(p.Untracked()))

@@ -182,6 +182,25 @@ func (e *Expo) ValueSamples(name string, h *ValueHistogram, labels ...string) {
 	e.appendSample(name+"_count", labels, float64(cum))
 }
 
+// FloatSamples writes one labeled series of a declared histogram
+// family from a FloatHistogram: cumulative `_bucket{le="..."}` lines
+// over its explicit bounds, then `_sum` and `_count`.
+func (e *Expo) FloatSamples(name string, h *FloatHistogram, labels ...string) {
+	bucket := name + "_bucket"
+	withLE := append(append(make([]string, 0, len(labels)+2), labels...), "le", "")
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.buckets[i].Load()
+		withLE[len(withLE)-1] = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		e.appendSample(bucket, withLE, float64(cum))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	withLE[len(withLE)-1] = "+Inf"
+	e.appendSample(bucket, withLE, float64(cum))
+	e.appendSample(name+"_sum", labels, h.Sum())
+	e.appendSample(name+"_count", labels, float64(cum))
+}
+
 // Register adds a collector to the registry's exposition. Collectors
 // run in registration order on every WriteExposition call.
 func (r *Registry) Register(c Collector) {

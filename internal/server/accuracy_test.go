@@ -1,0 +1,101 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestShadowSamplingEndToEnd drives /estimate with 1-in-1 shadow
+// sampling and waits for the background verifier to populate the
+// accuracy section of /stats and the xqest_accuracy_* families on
+// /metrics.
+func TestShadowSamplingEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{ShadowSample: 1})
+
+	for i := 0; i < 5; i++ {
+		resp := postJSON(t, ts.URL+"/estimate", EstimateRequest{Pattern: "//faculty//TA"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("estimate %d: HTTP %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	var stats StatsResponse
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats = decode[StatsResponse](t, resp)
+		if stats.Accuracy != nil && stats.Accuracy.Verified > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("accuracy section never verified anything: %+v", stats.Accuracy)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	acc := stats.Accuracy
+	if acc.SampleEvery != 1 {
+		t.Errorf("sample_every = %d, want 1", acc.SampleEvery)
+	}
+	if acc.Sampled < acc.Verified {
+		t.Errorf("sampled %d < verified %d", acc.Sampled, acc.Verified)
+	}
+	// dept1 is tiny and the estimator sees the whole document: verified
+	// q-errors must be sane (>= 1, finite).
+	if acc.QError.Count == 0 || acc.QError.Max < 1 {
+		t.Errorf("q-error digest empty or invalid: %+v", acc.QError)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE xqest_accuracy_qerror histogram",
+		"xqest_accuracy_qerror_count",
+		"xqest_accuracy_sampled_total",
+		"xqest_accuracy_verified_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Shutdown stops the monitor without hanging on queued work.
+	done := make(chan struct{})
+	go func() {
+		s.monitor.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("monitor.Close() hung")
+	}
+}
+
+// TestShadowSamplingDisabledByDefault asserts the zero-config server
+// has no monitor: /stats omits the accuracy section entirely.
+func TestShadowSamplingDisabledByDefault(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/estimate", EstimateRequest{Pattern: "//faculty//TA"})
+	resp.Body.Close()
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[StatsResponse](t, sresp)
+	if stats.Accuracy != nil {
+		t.Errorf("accuracy section present with sampling disabled: %+v", stats.Accuracy)
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"xmlest"
+	"xmlest/internal/accuracy"
 	"xmlest/internal/metrics"
 	"xmlest/internal/trace"
 	"xmlest/internal/version"
@@ -126,6 +128,11 @@ type StatsResponse struct {
 	// beyond the tracked set).
 	Patterns          []metrics.PatternSnapshot `json:"patterns,omitempty"`
 	UntrackedPatterns uint64                    `json:"untracked_patterns,omitempty"`
+	// Accuracy reports the online shadow-execution monitor: sampling
+	// pipeline counters and the verified q-error digest. Absent when
+	// shadow sampling is disabled. Per-pattern q-error digests appear
+	// inside Patterns entries.
+	Accuracy *accuracy.MonitorSnapshot `json:"accuracy,omitempty"`
 	// Build identifies the serving binary.
 	Build string `json:"build"`
 	// Durability reports the data directory's state (WAL size, fsync
@@ -298,6 +305,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	for i, res := range results {
 		s.patterns.Observe(patterns[i], res.Estimate, res.Elapsed)
+		if s.monitor.Sampled() {
+			// Sampled() is one nil-safe atomic op; everything that
+			// allocates (the snapshot pin, the job closure) happens only on
+			// this branch, so the unsampled path stays allocation-free.
+			s.shadowSubmit(patterns[i], res.Estimate)
+		}
 	}
 	sc.results = results
 	out := sc.resp.Results[:0]
@@ -323,6 +336,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(sc.buf.Bytes())
 	t.Step(trace.StageEncode)
+}
+
+// shadowSubmit enqueues one sampled estimate for shadow execution
+// against a snapshot pinned here. The pin happens at submit time, so a
+// mutation racing the request can make the exact count reflect a
+// snapshot one version ahead of the estimate's — an accepted
+// approximation: accuracy monitoring digests distributions, and a
+// version-skewed sample is still drawn from live traffic.
+func (s *Server) shadowSubmit(pattern string, estimate float64) {
+	snap := s.est.Snapshot()
+	s.monitor.Submit(pattern, estimate, func(deadline time.Time) (float64, error) {
+		return snap.ShadowCount(pattern, deadline)
+	})
 }
 
 // handleAppend lands one shard per request: a raw XML body is one
@@ -533,6 +559,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if mi, ok := snap.MergedInfo(); ok {
 		merged = &mi
 	}
+	var acc *accuracy.MonitorSnapshot
+	if s.monitor != nil {
+		a := s.monitor.Snapshot()
+		acc = &a
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds:     s.reg.Uptime().Seconds(),
 		Version:           snap.Version(),
@@ -547,6 +578,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Endpoints:         s.reg.Snapshot(),
 		Patterns:          s.patterns.Snapshot(metrics.DefaultTopPatterns),
 		UntrackedPatterns: s.patterns.Untracked(),
+		Accuracy:          acc,
 		Build:             version.String(),
 		Durability:        durability,
 	})

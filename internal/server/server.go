@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"xmlest"
+	"xmlest/internal/accuracy"
 	"xmlest/internal/metrics"
 	"xmlest/internal/trace"
 	"xmlest/internal/version"
@@ -134,6 +135,19 @@ type Config struct {
 	// (rate-limited, with the stage breakdown when the request was
 	// sampled). 0 disables the slow-request log.
 	SlowRequest time.Duration
+
+	// ShadowSample samples 1 in N served estimates for shadow execution:
+	// the sampled pattern is exactly counted against a pinned snapshot on
+	// a bounded background pool and the observed q-error feeds the
+	// accuracy families in /metrics and the accuracy section of /stats.
+	// The serving path never blocks on it — a full queue drops the
+	// sample. 0 or negative disables shadow execution.
+	ShadowSample int
+
+	// ShadowBudget is the per-shadow-execution wall-clock budget; an
+	// execution that exceeds it is aborted and counted as a deadline
+	// miss. 0 means DefaultShadowBudget; negative is rejected.
+	ShadowBudget time.Duration
 }
 
 // Defaults for the zero Config.
@@ -153,6 +167,11 @@ const (
 	DefaultWriteTimeout       = 5 * time.Minute
 	DefaultIdleTimeout        = 2 * time.Minute
 	DefaultMaxHeaderBytes     = 1 << 20
+	// DefaultShadowBudget bounds one shadow execution. Exact counting of
+	// a hostile twig can be combinatorial; 200ms caps the worst case at
+	// a tiny fraction of a worker's time without starving verification
+	// of ordinary patterns (which count in microseconds).
+	DefaultShadowBudget = 200 * time.Millisecond
 )
 
 // Checkpoint-retry backoff bounds (see checkpointLoop): consecutive
@@ -209,6 +228,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.DrainDelay < 0 {
 		return c, fmt.Errorf("server: negative drain delay %s", c.DrainDelay)
 	}
+	if c.ShadowBudget == 0 {
+		c.ShadowBudget = DefaultShadowBudget
+	}
+	if c.ShadowBudget < 0 {
+		return c, fmt.Errorf("server: negative shadow budget %s", c.ShadowBudget)
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -228,6 +253,9 @@ type Server struct {
 	tracer    *trace.Tracer
 	estStages *trace.Recorder
 	patterns  *metrics.PatternStats
+	// monitor shadow-executes sampled estimates; nil when
+	// cfg.ShadowSample disables it. Every use is nil-safe.
+	monitor *accuracy.Monitor
 	// lastDegraded is the degraded component last observed (""
 	// healthy), so transitions log exactly once in each direction.
 	lastDegraded atomic.Pointer[string]
@@ -297,6 +325,17 @@ func newServer(db *xmlest.Database, est *xmlest.Estimator, cfg Config) (*Server,
 	s.reg.Register(metrics.CollectorFunc(s.collectServer))
 	s.reg.Register(s.estStages)
 	s.reg.Register(s.patterns)
+	if cfg.ShadowSample > 0 {
+		// Started here rather than in Start so Handler()-mounted servers
+		// (tests, embedders) get shadow execution too; Shutdown stops the
+		// workers.
+		s.monitor = accuracy.NewMonitor(accuracy.MonitorConfig{
+			SampleEvery: cfg.ShadowSample,
+			Budget:      cfg.ShadowBudget,
+			Patterns:    s.patterns,
+		})
+		s.reg.Register(s.monitor)
+	}
 	if db != nil {
 		for _, c := range db.Collectors() {
 			s.reg.Register(c)
@@ -425,6 +464,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			errs = append(errs, fmt.Errorf("server: drain: %w", err))
 		}
 	}
+	// After the drain no handler can submit new shadow jobs; queued ones
+	// are abandoned (Close never waits on executions beyond their
+	// budget).
+	s.monitor.Close()
 	if s.cfg.SnapshotPath != "" {
 		blob, err := s.est.MarshalBinary()
 		if err != nil {

@@ -21,17 +21,25 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xmlest/internal/core"
+	"xmlest/internal/exec"
 	"xmlest/internal/match"
 	"xmlest/internal/pattern"
+	"xmlest/internal/planner"
 	"xmlest/internal/predicate"
 	"xmlest/internal/xmltree"
 )
+
+// ErrSummaryOnly reports that exact counting reached a summary-only
+// shard: the set can estimate the pattern but holds no documents to
+// verify it against. Callers classify with errors.Is.
+var ErrSummaryOnly = errors.New("shard: summary-only shard cannot be counted exactly")
 
 // Shard is one immutable member of a shard set: a subset of the
 // corpus's documents with its predicate catalog and lazily built
@@ -348,6 +356,14 @@ func forEachParallel(n, workers int, fn func(i int)) {
 // contributes zero matches, but a predicate unknown to every shard is
 // an error (the monolithic "unknown predicate" behaviour).
 func (s *Set) Count(p *pattern.Pattern) (float64, error) {
+	// Summary-only shards are checked before predicate resolution: they
+	// carry no catalog, so resolving against them would misreport the
+	// problem as a missing predicate.
+	for _, sh := range s.shards {
+		if sh.SummaryOnly() {
+			return 0, fmt.Errorf("shard: exact counting requires document-backed shards (shard %d is summary-only): %w", sh.id, ErrSummaryOnly)
+		}
+	}
 	names := patternNames(p)
 	for _, name := range names {
 		found := false
@@ -363,9 +379,6 @@ func (s *Set) Count(p *pattern.Pattern) (float64, error) {
 	}
 	var total float64
 	for _, sh := range s.shards {
-		if sh.SummaryOnly() {
-			return 0, fmt.Errorf("shard: exact counting requires document-backed shards (shard %d is summary-only)", sh.id)
-		}
 		missing := false
 		for _, name := range names {
 			if !sh.cat.Has(name) {
@@ -389,6 +402,96 @@ func (s *Set) Count(p *pattern.Pattern) (float64, error) {
 		total += n
 	}
 	return total, nil
+}
+
+// CountBudget is Count with a wall-clock budget, built for shadow
+// execution of sampled live queries. Each tree-backed shard's count
+// runs through the Volcano executor under the deadline instead of the
+// structural-join matcher, and the join order comes from the shard's
+// own summary via the planner — the paper's loop: the estimates under
+// scrutiny pick the order of their own verification. A summary-only
+// shard aborts with ErrSummaryOnly (the pattern is unverifiable, not
+// wrong); a blown deadline aborts with exec.ErrDeadline.
+func (s *Set) CountBudget(p *pattern.Pattern, opts core.Options, deadline time.Time) (float64, error) {
+	for _, sh := range s.shards {
+		if sh.SummaryOnly() {
+			return 0, fmt.Errorf("shard %d: %w", sh.id, ErrSummaryOnly)
+		}
+	}
+	names := patternNames(p)
+	for _, name := range names {
+		found := false
+		for _, sh := range s.shards {
+			if sh.cat != nil && sh.cat.Has(name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("shard: no catalog entry for predicate %q in any shard", name)
+		}
+	}
+	var total float64
+	for _, sh := range s.shards {
+		missing := false
+		for _, name := range names {
+			if !sh.cat.Has(name) {
+				missing = true
+				break
+			}
+		}
+		if missing {
+			continue
+		}
+		n, err := sh.countBudget(p, opts, deadline)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// countBudget counts one tree-backed shard's matches under the
+// deadline. Single-node patterns are just the predicate list length;
+// larger patterns execute a planner-chosen join order, falling back to
+// pattern pre-order (always connected) when planning is unavailable
+// (no summary for the options, or more nodes than the planner
+// enumerates).
+func (sh *Shard) countBudget(p *pattern.Pattern, opts core.Options, deadline time.Time) (float64, error) {
+	resolve := func(name string) ([]xmltree.NodeID, error) {
+		e, err := sh.cat.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		return e.Nodes, nil
+	}
+	nodes := p.Nodes()
+	if len(nodes) == 1 {
+		list, err := resolve(nodes[0].PredName())
+		if err != nil {
+			return 0, err
+		}
+		return float64(len(list)), nil
+	}
+	var plan *planner.Plan
+	if est, err := sh.Summary(opts); err == nil {
+		if best, err := planner.Best(est, p); err == nil {
+			plan = best
+		}
+	}
+	if plan == nil {
+		steps := make([]*planner.Step, len(nodes))
+		for i, n := range nodes {
+			steps[i] = &planner.Step{Added: n}
+		}
+		plan = &planner.Plan{Steps: steps}
+	}
+	stats, err := exec.ExecuteDeadline(sh.tree, p, plan, resolve, deadline)
+	if err != nil {
+		return 0, err
+	}
+	return float64(stats.Results), nil
 }
 
 // StorageBytes sums the compact-encoding size of every shard's summary

@@ -18,6 +18,14 @@
 # xqbench report also embeds metrics_delta: daemon-side /metrics
 # counter deltas across the run.
 #
+# PR 9 adds accuracy tracking: the default serving run now also
+# carries shadow-execution sampling (-shadow-sample 128), paired with
+# a serving_noshadow run (-shadow-sample 0); xqbench reports embed
+# accuracy_delta (the xqest_accuracy_* counter deltas). A first-class
+# "accuracy" section records offline q-error quantiles (q50/q90/qmax,
+# mean rel. err.) from `xqest accuracy` over seeded workloads
+# (all-pairs + random twigs) on two built-in datasets.
+#
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh      # override -benchtime
 #   SERVE_SECONDS=10 scripts/bench.sh  # longer serving runs
@@ -27,7 +35,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 appenders="${APPENDERS:-24}"
 commit_delay="${COMMIT_DELAY:-3ms}"
 benchtime="${BENCHTIME:-1s}"
@@ -65,6 +73,8 @@ if [[ -z "${SKIP_SERVING:-}" ]]; then
   serve_run "$workdir/serving.json" 2
   echo "== serving benchmark: tracing disabled (-trace-sample 0) =="
   serve_run "$workdir/serving-notrace.json" 2 -trace-sample 0 -slow-request 0
+  echo "== serving benchmark: shadow sampling disabled (-shadow-sample 0) =="
+  serve_run "$workdir/serving-noshadow.json" 2 -shadow-sample 0
   echo "== serving benchmark: fan-out path (-no-merged) =="
   serve_run "$workdir/serving-fanout.json" 2 -no-merged
   for fsync in always interval off; do
@@ -77,11 +87,20 @@ if [[ -z "${SKIP_SERVING:-}" ]]; then
 else
   printf 'null\n' > "$workdir/serving.json"
   printf 'null\n' > "$workdir/serving-notrace.json"
+  printf 'null\n' > "$workdir/serving-noshadow.json"
   printf 'null\n' > "$workdir/serving-fanout.json"
   for fsync in always interval off; do
     printf 'null\n' > "$workdir/durable-$fsync.json"
   done
 fi
+
+# Offline accuracy harness: q-error quantiles over seeded workloads
+# (all-pairs + random twigs) on two built-in datasets. Cheap and
+# deterministic, so it always runs.
+echo "== accuracy harness: xqest accuracy on hier and dblp =="
+go build -o "$workdir/xqest" ./cmd/xqest
+"$workdir/xqest" -dataset hier -json accuracy > "$workdir/accuracy-hier.json"
+"$workdir/xqest" -dataset dblp -scale 0.05 -json accuracy > "$workdir/accuracy-dblp.json"
 
 {
   awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
@@ -123,6 +142,8 @@ fi
   cat "$workdir/serving.json"
   printf ",\n  \"serving_notrace\": "
   cat "$workdir/serving-notrace.json"
+  printf ",\n  \"serving_noshadow\": "
+  cat "$workdir/serving-noshadow.json"
   printf ",\n  \"serving_fanout\": "
   cat "$workdir/serving-fanout.json"
   printf ",\n  \"durable_serving\": {\n"
@@ -132,6 +153,12 @@ fi
   cat "$workdir/durable-interval.json"
   printf ",\n    \"off\": "
   cat "$workdir/durable-off.json"
+  printf "  },\n"
+  printf "  \"accuracy\": {\n"
+  printf "    \"hier\": "
+  cat "$workdir/accuracy-hier.json"
+  printf ",\n    \"dblp\": "
+  cat "$workdir/accuracy-dblp.json"
   printf "  }\n"
   printf "}\n"
 } > "$out"

@@ -1,8 +1,9 @@
 // Command promlint validates a Prometheus text exposition read from
 // stdin: every sample family must carry HELP and TYPE headers,
 // histogram bucket counts must be monotone non-decreasing and end in a
-// +Inf bucket that matches the family's _count, and no family may
-// declare HELP or TYPE more than once.
+// +Inf bucket that matches the family's _count, every histogram family
+// must expose _sum and _count samples, counter samples must be
+// non-negative, and no family may declare HELP or TYPE more than once.
 //
 // CI usage:
 //
@@ -25,6 +26,9 @@ type family struct {
 	help, typ int // header counts
 	kind      string
 	samples   int
+	// sawSum / sawCount record that a _sum / _count sample was seen —
+	// a histogram family without both is unusable for rate() math.
+	sawSum, sawCount bool
 }
 
 type bucketState struct {
@@ -116,6 +120,17 @@ func main() {
 			continue
 		}
 		f.samples++
+		if name == base+"_sum" {
+			f.sawSum = true
+		}
+		if name == base+"_count" {
+			f.sawCount = true
+		}
+		// A counter can only ever move up from zero; a negative sample
+		// means the exporter is broken (or the family is mistyped).
+		if f.kind == "counter" && val < 0 {
+			fail("line %d: negative counter sample %q", lineNo, line)
+		}
 
 		if strings.HasSuffix(name, "_bucket") {
 			le, rest := extractLE(labels)
@@ -162,6 +177,17 @@ func main() {
 		}
 		if f.samples == 0 {
 			fail("family %s: declared but has no samples", name)
+		}
+		// Every histogram series must carry its _sum and _count: without
+		// them rate() and mean math are impossible, and scrapers treat
+		// the family as corrupt.
+		if f.kind == "histogram" && f.samples > 0 {
+			if !f.sawSum {
+				fail("family %s: histogram without a _sum sample", name)
+			}
+			if !f.sawCount {
+				fail("family %s: histogram without a _count sample", name)
+			}
 		}
 	}
 	for key, st := range buckets {

@@ -30,12 +30,15 @@
 package xmlest
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"xmlest/internal/accuracy"
 	"xmlest/internal/cache"
 	"xmlest/internal/core"
 	"xmlest/internal/match"
@@ -717,6 +720,26 @@ func (e *Estimator) EstimateBatchInto(patterns []string, dst []Result) (version 
 		}
 	}
 	return set.Version(), results, nil
+}
+
+// ShadowCount computes the exact answer size of a pattern against the
+// estimator's serving (or pinned) set within a wall-clock budget — the
+// shadow-execution entry point of the online accuracy monitor. Call on
+// a Snapshot so the count reflects the same shard set the estimate
+// came from. Errors classify through errors.Is: exec.ErrDeadline
+// (which wraps context.DeadlineExceeded) for a blown budget, and
+// accuracy.ErrUnverifiable when the set holds summary-only shards (no
+// documents to verify against). The zero deadline disables the budget.
+func (e *Estimator) ShadowCount(patternSrc string, deadline time.Time) (float64, error) {
+	p, err := pattern.Parse(patternSrc)
+	if err != nil {
+		return 0, err
+	}
+	n, err := e.set().CountBudget(p, e.opts, deadline)
+	if errors.Is(err, shard.ErrSummaryOnly) {
+		return 0, fmt.Errorf("%w: %w", accuracy.ErrUnverifiable, err)
+	}
+	return n, err
 }
 
 // Stats returns corpus statistics for the estimator's serving (or
