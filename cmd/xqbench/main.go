@@ -15,6 +15,14 @@
 //	xqbench -addr http://127.0.0.1:8080 -duration 10s \
 //	        -estimators 8 -appenders 2 -o serving.json
 //
+// Against a replicated deployment, -targets names every node: appends
+// go to the first (the leader), estimates scatter across all, and the
+// report adds per-node QPS plus cross-node append-to-visible lag —
+// the time from the leader's append ack until each follower serves the
+// appended version:
+//
+//	xqbench -targets http://leader:8080,http://f1:8081 -duration 10s
+//
 // Closed loop means each worker issues its next request only after the
 // previous response: reported QPS is sustained throughput at bounded
 // concurrency, not an open-loop arrival rate.
@@ -43,6 +51,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	targets := flag.String("targets", "", "comma-separated base URLs for a replicated deployment: appends go to the first (the leader), estimates scatter across all, and the report adds per-node QPS and cross-node append-to-visible lag (overrides -addr)")
 	duration := flag.Duration("duration", 10*time.Second, "load duration")
 	estimators := flag.Int("estimators", 8, "closed-loop estimate workers")
 	appenders := flag.Int("appenders", 2, "closed-loop append workers")
@@ -65,12 +74,26 @@ func main() {
 		probe = pats[0]
 	}
 
+	nodes := []string{strings.TrimRight(*addr, "/")}
+	if *targets != "" {
+		nodes = nodes[:0]
+		for _, tgt := range strings.Split(*targets, ",") {
+			if tgt = strings.TrimRight(strings.TrimSpace(tgt), "/"); tgt != "" {
+				nodes = append(nodes, tgt)
+			}
+		}
+		if len(nodes) == 0 {
+			fatal(fmt.Errorf("xqbench: -targets named no URLs"))
+		}
+	}
+
 	client := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        *estimators + *appenders + 8,
 		MaxIdleConnsPerHost: *estimators + *appenders + 8,
 	}}
 	b := &bench{
-		addr:    strings.TrimRight(*addr, "/"),
+		addr:    nodes[0],
+		nodes:   nodes,
 		client:  client,
 		pats:    pats,
 		probe:   probe,
@@ -80,6 +103,10 @@ func main() {
 		durable: metrics.NewLatencyHistogram(),
 		durSem:  make(chan struct{}, *appenders+1),
 		visSem:  make(chan struct{}, 2),
+	}
+	for range nodes {
+		b.nodeEst = append(b.nodeEst, metrics.NewLatencyHistogram())
+		b.nodeVis = append(b.nodeVis, metrics.NewLatencyHistogram())
 	}
 
 	if err := b.waitHealthy(*wait); err != nil {
@@ -129,16 +156,24 @@ func main() {
 }
 
 type bench struct {
-	addr   string
+	addr   string   // the append target: nodes[0]
+	nodes  []string // all serving nodes; length 1 outside -targets mode
 	client *http.Client
 	pats   []string
 	probe  string
 
-	est     *metrics.LatencyHistogram // estimate request latency
+	est     *metrics.LatencyHistogram // estimate request latency (all nodes)
 	app     *metrics.LatencyHistogram // append request latency
-	visible *metrics.LatencyHistogram // append-to-visible staleness
+	visible *metrics.LatencyHistogram // append-to-visible on the append target
 	durable *metrics.LatencyHistogram // ack-to-durable (durable daemons)
 	errs    atomic.Uint64
+
+	// Per-node views for -targets mode, index-aligned with nodes:
+	// each node's estimate latency (per-node QPS) and its own
+	// append-to-visible — for followers that is the cross-node lag from
+	// the leader's append ack to the follower serving the version.
+	nodeEst []*metrics.LatencyHistogram
+	nodeVis []*metrics.LatencyHistogram
 
 	// durSem bounds concurrent durability polls: ack-to-durable is
 	// sampled (one outstanding poll per append worker) rather than
@@ -175,40 +210,47 @@ type healthDurability struct {
 	DurableSeq *uint64 `json:"durable_seq"`
 }
 
-// waitHealthy polls /healthz until it answers 200. The whole wait —
-// including any single wedged probe — is bounded by the budget, so a
-// daemon that accepts connections but never responds still fails fast.
+// waitHealthy polls every node's /healthz until each answers 200. The
+// whole wait — including any single wedged probe — is bounded by the
+// one budget, so a daemon that accepts connections but never responds
+// still fails fast.
 func (b *bench) waitHealthy(budget time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
 	defer cancel()
-	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.addr+"/healthz", nil)
-		if err != nil {
-			return err
-		}
-		resp, err := b.client.Do(req)
-		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
+	for _, node := range b.nodes {
+		for {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/healthz", nil)
+			if err != nil {
+				return err
+			}
+			resp, err := b.client.Do(req)
+			healthy := false
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				healthy = resp.StatusCode == http.StatusOK
+			}
+			if healthy {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("xqbench: daemon at %s not healthy after %s", node, budget)
+			case <-time.After(100 * time.Millisecond):
 			}
 		}
-		select {
-		case <-ctx.Done():
-			return fmt.Errorf("xqbench: daemon at %s not healthy after %s", b.addr, budget)
-		case <-time.After(100 * time.Millisecond):
-		}
 	}
+	return nil
 }
 
 // estimateLoop is one closed-loop estimate worker cycling through the
-// pattern list.
+// pattern list and, in -targets mode, round-robining across the nodes.
 func (b *bench) estimateLoop(ctx context.Context, id int) {
 	for i := id; ctx.Err() == nil; i++ {
 		pat := b.pats[i%len(b.pats)]
+		ni := i % len(b.nodes)
 		start := time.Now()
-		_, err := b.postEstimate(ctx, pat)
+		_, err := b.postEstimate(ctx, b.nodes[ni], pat)
 		if err != nil {
 			if ctx.Err() != nil {
 				return
@@ -216,7 +258,9 @@ func (b *bench) estimateLoop(ctx context.Context, id int) {
 			b.errs.Add(1)
 			continue
 		}
-		b.est.Observe(time.Since(start))
+		elapsed := time.Since(start)
+		b.est.Observe(elapsed)
+		b.nodeEst[ni].Observe(elapsed)
 	}
 }
 
@@ -265,18 +309,31 @@ func (b *bench) appendLoop(ctx context.Context, id int) {
 		case b.visSem <- struct{}{}:
 			go func(ver uint64, start time.Time) {
 				defer func() { <-b.visSem }()
-				b.pollVisible(ctx, ver, start)
+				// One probe per node, concurrently: a follower's visibility
+				// lag must be measured from the same append ack as the
+				// leader's, not after the leader's probe finished.
+				var pwg sync.WaitGroup
+				for ni := range b.nodes {
+					pwg.Add(1)
+					go func(ni int) {
+						defer pwg.Done()
+						b.pollVisible(ctx, ni, ver, start)
+					}(ni)
+				}
+				pwg.Wait()
 			}(ver, start)
 		default: // probes already sampling; skip this append
 		}
 	}
 }
 
-// pollVisible probes /estimate until the served snapshot version
-// reaches ver, recording the full append-to-visible time.
-func (b *bench) pollVisible(ctx context.Context, ver uint64, start time.Time) {
+// pollVisible probes one node's /estimate until the served snapshot
+// version reaches ver, recording the full append-to-visible time: on
+// the append target that is install-to-serve, on a follower it is the
+// cross-node replication lag.
+func (b *bench) pollVisible(ctx context.Context, ni int, ver uint64, start time.Time) {
 	for ctx.Err() == nil {
-		served, err := b.postEstimate(ctx, b.probe)
+		served, err := b.postEstimate(ctx, b.nodes[ni], b.probe)
 		if err != nil {
 			if ctx.Err() == nil {
 				b.errs.Add(1)
@@ -284,7 +341,11 @@ func (b *bench) pollVisible(ctx context.Context, ver uint64, start time.Time) {
 			return
 		}
 		if served >= ver {
-			b.visible.Observe(time.Since(start))
+			elapsed := time.Since(start)
+			b.nodeVis[ni].Observe(elapsed)
+			if ni == 0 {
+				b.visible.Observe(elapsed)
+			}
 			return
 		}
 		// Pace the probe: it samples staleness, it must not become a
@@ -297,11 +358,11 @@ func (b *bench) pollVisible(ctx context.Context, ver uint64, start time.Time) {
 	}
 }
 
-// postEstimate issues one single-pattern estimate and returns the
-// snapshot version it was served from.
-func (b *bench) postEstimate(ctx context.Context, pattern string) (uint64, error) {
+// postEstimate issues one single-pattern estimate against one node and
+// returns the snapshot version it was served from.
+func (b *bench) postEstimate(ctx context.Context, node, pattern string) (uint64, error) {
 	body, _ := json.Marshal(map[string]string{"pattern": pattern})
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+"/estimate", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node+"/estimate", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
@@ -467,6 +528,16 @@ type statsGroupCommit struct {
 	} `json:"durability"`
 }
 
+// nodeReportJSON is one node's view in a -targets (replicated) run:
+// its own estimate serving figures and its append-to-visible lag —
+// cross-node for followers, measured from the leader's append ack.
+type nodeReportJSON struct {
+	Target          string   `json:"target"`
+	Role            string   `json:"role"`
+	Estimate        histJSON `json:"estimate"`
+	AppendToVisible histJSON `json:"append_to_visible"`
+}
+
 type reportJSON struct {
 	Target          string           `json:"target"`
 	DurationSeconds float64          `json:"duration_seconds"`
@@ -476,6 +547,10 @@ type reportJSON struct {
 	Estimate        histJSON         `json:"estimate"`
 	Append          histJSON         `json:"append"`
 	AppendToVisible histJSON         `json:"append_to_visible"`
+	// Nodes breaks the run down per serving node in -targets mode:
+	// appends all went to the first (the leader); each entry's
+	// append_to_visible is that node's lag from the same append acks.
+	Nodes []nodeReportJSON `json:"nodes,omitempty"`
 	AckToDurable    *histJSON        `json:"ack_to_durable,omitempty"`
 	GroupCommit     *groupCommitJSON `json:"group_commit,omitempty"`
 	ServerStats     json.RawMessage  `json:"server_stats,omitempty"`
@@ -585,6 +660,20 @@ func (b *bench) report(elapsed time.Duration, estimators, appenders int) reportJ
 	}
 	if d := digest(b.durable, elapsed); d.Requests > 0 {
 		r.AckToDurable = &d
+	}
+	if len(b.nodes) > 1 {
+		for ni, node := range b.nodes {
+			role := "follower"
+			if ni == 0 {
+				role = "leader"
+			}
+			r.Nodes = append(r.Nodes, nodeReportJSON{
+				Target:          node,
+				Role:            role,
+				Estimate:        digest(b.nodeEst[ni], elapsed),
+				AppendToVisible: digest(b.nodeVis[ni], elapsed),
+			})
+		}
 	}
 	// Fold in the daemon's own view (server-side latency excludes the
 	// network) when it answers promptly; a daemon wedged after the run

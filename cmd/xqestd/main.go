@@ -16,6 +16,15 @@
 //	xqestd -dataset dblp -data-dir /var/lib/xqest -fsync always -checkpoint 1m
 //	xqestd -data-dir /var/lib/xqest                # recover and keep serving
 //
+// Replicated serving: a follower streams the leader's WAL over HTTP
+// (GET /wal/stream), applies every record into its own data directory
+// before serving it, and answers estimates bit-identically to the
+// leader at the same version. Start it with the same bootstrap flags
+// as the leader so both share the version-1 base state:
+//
+//	xqestd -dataset dblp -data-dir /var/lib/xq-leader -addr :8080
+//	xqestd -dataset dblp -data-dir /var/lib/xq-f1 -follow http://leader:8080 -addr :8081
+//
 // Endpoints: POST /estimate /append /compact, GET /shards /stats
 // /healthz — see internal/server. SIGINT/SIGTERM shut down
 // gracefully: in-flight requests drain and, with -save, the summary is
@@ -89,6 +98,8 @@ func main() {
 	commitDelay := flag.Duration("commit-delay", 0, "group-commit latency budget: wait up to this long for more appends to share one fsync (0 = natural coalescing only)")
 	ingestWorkers := flag.Int("ingest-workers", 0, "concurrent parse/summary-build workers on the append pipeline (0 = GOMAXPROCS)")
 	checkpoint := flag.Duration("checkpoint", 0, "background checkpoint interval with -data-dir (0 = shutdown only)")
+	follow := flag.String("follow", "", "run as a read-only follower replicating the leader at this base URL (requires -data-dir; start with the same -dataset/-data/-grid bootstrap as the leader)")
+	staleness := flag.Duration("staleness", 0, "follower staleness budget: leader silence beyond this marks /healthz degraded (0 = default 30s)")
 	readTimeout := flag.Duration("read-timeout", 0, "HTTP read timeout: full request including body (0 = default)")
 	writeTimeout := flag.Duration("write-timeout", 0, "HTTP write timeout: handler + response (0 = default)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "HTTP keep-alive idle connection timeout (0 = default)")
@@ -117,6 +128,12 @@ func main() {
 	if *fault != "" && *dataDir == "" {
 		fatal(fmt.Errorf("xqestd: -fault injects storage faults and requires -data-dir"))
 	}
+	if *follow != "" && *dataDir == "" {
+		fatal(fmt.Errorf("xqestd: -follow applies the leader's WAL into a local data directory and requires -data-dir"))
+	}
+	if *staleness < 0 {
+		fatal(fmt.Errorf("xqestd: -staleness must be positive"))
+	}
 
 	cfg := server.Config{
 		Addr: *addr,
@@ -139,6 +156,8 @@ func main() {
 		SlowRequest:         *slowRequest,
 		ShadowSample:        *shadowSample,
 		ShadowBudget:        *shadowBudget,
+		FollowURL:           *follow,
+		StalenessBudget:     *staleness,
 		Logger:              logger,
 	}
 

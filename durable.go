@@ -192,6 +192,13 @@ func (db *Database) DurableSeq() uint64 {
 	return db.durable.DurableSeq()
 }
 
+// DurableBackend exposes the underlying durable store, the surface the
+// replication layer ships from (leader) and applies into (follower) —
+// see internal/replica. Nil for non-durable databases. Like Store, it
+// hands an embedder the internal engine; use it for wiring, not for
+// bypassing the facade's append path.
+func (db *Database) DurableBackend() *shard.DurableStore { return db.durable }
+
 // Recovery reports what boot-time recovery rebuilt. ok is false for
 // non-durable databases.
 func (db *Database) Recovery() (RecoveryInfo, bool) {

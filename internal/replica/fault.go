@@ -1,0 +1,189 @@
+// FaultTransport: deterministic fault injection at the transport seam,
+// mirroring fsio.FaultFS. Every transport operation — each Open and
+// each Next — increments one global 1-based counter; a fault armed at
+// index N fires when op N executes, either once (one-shot) or for every
+// op from N on (sticky, a dead network rather than a glitch). The chaos
+// sweep runs a workload once to count ops, then replays it len(ops)
+// times with a fault at each index, asserting the follower either
+// converges bit-identically after reconnecting or refuses loudly —
+// never serves silently wrong data.
+
+package replica
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// FaultKind is what an injected fault does to the matched op.
+type FaultKind int
+
+const (
+	// FaultDrop fails the op outright — a refused connection (Open) or
+	// a reset mid-stream (Next).
+	FaultDrop FaultKind = iota
+	// FaultCorrupt delivers the frame with a payload byte flipped, as
+	// wire corruption would. Only meaningful on Next; on Open it
+	// behaves like FaultDrop.
+	FaultCorrupt
+	// FaultTruncate ends the stream as if the connection died
+	// mid-frame: Next returns io.ErrUnexpectedEOF. On Open it behaves
+	// like FaultDrop.
+	FaultTruncate
+	// FaultStall delays the op by the transport's StallDelay before
+	// performing it normally — long enough to trip the follower's
+	// per-frame read deadline when configured so.
+	FaultStall
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultTruncate:
+		return "truncate"
+	case FaultStall:
+		return "stall"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// TransportFault arms one fault at the given 1-based op index.
+type TransportFault struct {
+	Op     uint64
+	Kind   FaultKind
+	Sticky bool
+}
+
+// TransportOp is one logged transport operation, for sweep planning.
+type TransportOp struct {
+	Index uint64
+	Name  string // "open" or "next"
+}
+
+// FaultTransport wraps a Transport with deterministic fault injection.
+// Safe for concurrent use; the op counter is global across all streams
+// the transport opens, so an injection plan stays valid as long as the
+// workload is deterministic.
+type FaultTransport struct {
+	Base Transport
+	// StallDelay is how long FaultStall sleeps; 2s when zero.
+	StallDelay time.Duration
+
+	mu     sync.Mutex
+	ops    uint64
+	faults []TransportFault
+	opLog  []TransportOp
+}
+
+// NewFaultTransport wraps base with the given faults armed.
+func NewFaultTransport(base Transport, faults ...TransportFault) *FaultTransport {
+	return &FaultTransport{Base: base, faults: faults}
+}
+
+// SetFaults replaces the armed faults (the op counter keeps running).
+func (t *FaultTransport) SetFaults(faults ...TransportFault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.faults = faults
+}
+
+// OpCount returns the number of transport ops performed so far.
+func (t *FaultTransport) OpCount() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ops
+}
+
+// Ops returns the op log: the schedule a sweep iterates over.
+func (t *FaultTransport) Ops() []TransportOp {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TransportOp(nil), t.opLog...)
+}
+
+// step counts one op and reports the fault to apply, if any.
+func (t *FaultTransport) step(name string) (FaultKind, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ops++
+	t.opLog = append(t.opLog, TransportOp{Index: t.ops, Name: name})
+	for i, f := range t.faults {
+		if t.ops == f.Op || (f.Sticky && t.ops >= f.Op) {
+			if !f.Sticky {
+				t.faults = append(t.faults[:i], t.faults[i+1:]...)
+			}
+			return f.Kind, true
+		}
+	}
+	return 0, false
+}
+
+func (t *FaultTransport) stall(ctx context.Context) {
+	d := t.StallDelay
+	if d == 0 {
+		d = 2 * time.Second
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+}
+
+func (t *FaultTransport) Open(ctx context.Context, from, version uint64) (Stream, error) {
+	kind, fire := t.step("open")
+	if fire {
+		switch kind {
+		case FaultStall:
+			t.stall(ctx)
+		default:
+			return nil, fmt.Errorf("replica: injected fault: %s on open", kind)
+		}
+	}
+	st, err := t.Base.Open(ctx, from, version)
+	if err != nil {
+		return nil, err
+	}
+	return &faultStream{t: t, ctx: ctx, base: st}, nil
+}
+
+type faultStream struct {
+	t    *FaultTransport
+	ctx  context.Context
+	base Stream
+}
+
+func (s *faultStream) Next() (Frame, error) {
+	kind, fire := s.t.step("next")
+	if fire {
+		switch kind {
+		case FaultDrop:
+			return Frame{}, fmt.Errorf("replica: injected fault: connection reset")
+		case FaultTruncate:
+			return Frame{}, io.ErrUnexpectedEOF
+		case FaultStall:
+			s.t.stall(s.ctx)
+		}
+	}
+	fr, err := s.base.Next()
+	if err != nil {
+		return fr, err
+	}
+	if fire && kind == FaultCorrupt {
+		if len(fr.Payload) > 0 {
+			fr.Payload[len(fr.Payload)/2] ^= 0x40
+		} else {
+			fr.crc ^= 0x1 // nothing to flip in the payload; corrupt the CRC
+		}
+	}
+	return fr, err
+}
+
+func (s *faultStream) Close() error { return s.base.Close() }

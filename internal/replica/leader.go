@@ -1,0 +1,277 @@
+// Leader side: the Streamer serves StreamPath, turning a follower's
+// (from, version) resume token into a frame stream. It is checkpoint-
+// aware — when the requested position predates the WAL truncation
+// point (or the follower is fresh and the leader carries pre-WAL
+// bootstrap state), the current manifest and its XQS shard files are
+// shipped first, then the record tail. Once caught up it long-polls:
+// new durable records flow as they commit, heartbeats fill the gaps,
+// and the stream ends politely after MaxStreamDuration so proxies and
+// write deadlines never see an unbounded response.
+
+package replica
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"xmlest/internal/manifest"
+	"xmlest/internal/metrics"
+	"xmlest/internal/wal"
+)
+
+// Source is the durable store surface the Streamer ships from —
+// implemented by shard.DurableStore.
+type Source interface {
+	// DurableSeq is the newest fsynced WAL sequence; only records at or
+	// below it are ever shipped.
+	DurableSeq() uint64
+	// ServingVersion is the current serving-set version.
+	ServingVersion() uint64
+	// GridSize is the estimator grid pinned in the data directory.
+	GridSize() int
+	// SnapshotForReplica decides whether a follower at (from, version)
+	// needs a snapshot and, when so, returns the manifest plus its
+	// shard-file blobs (forcing a checkpoint first when live state is
+	// not recoverable from the WAL alone).
+	SnapshotForReplica(from, version uint64) (*manifest.Manifest, map[string][]byte, bool, error)
+	// ReadDurableWAL streams durable records after the given sequence
+	// (see wal.Log.ReadDurable).
+	ReadDurableWAL(after uint64, fn func(wal.Record) error) (uint64, error)
+}
+
+// StreamerOptions tunes the leader endpoint.
+type StreamerOptions struct {
+	// Heartbeat is the idle-stream heartbeat interval. Default 1s.
+	Heartbeat time.Duration
+	// Poll is how often an idle stream re-checks the durable watermark.
+	// Default 20ms.
+	Poll time.Duration
+	// MaxStreamDuration bounds one response before an orderly End frame
+	// asks the follower to reconnect — keeps the response finite for
+	// every write-deadline and proxy between the nodes. Default 45s.
+	MaxStreamDuration time.Duration
+	// WriteTimeout is the per-write deadline extension applied through
+	// http.ResponseController, so a stalled follower cannot pin the
+	// connection forever. Default 15s.
+	WriteTimeout time.Duration
+	// Logger receives stream lifecycle events; slog.Default when nil.
+	Logger *slog.Logger
+}
+
+func (o StreamerOptions) withDefaults() StreamerOptions {
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = time.Second
+	}
+	if o.Poll <= 0 {
+		o.Poll = 20 * time.Millisecond
+	}
+	if o.MaxStreamDuration <= 0 {
+		o.MaxStreamDuration = 45 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 15 * time.Second
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Streamer serves the leader's replication endpoint.
+type Streamer struct {
+	src  Source
+	opts StreamerOptions
+
+	streams      atomic.Uint64 // streams opened
+	active       atomic.Int64  // streams currently open
+	bytesShipped atomic.Uint64
+	recsShipped  atomic.Uint64
+	snapsShipped atomic.Uint64
+}
+
+// NewStreamer builds a Streamer over src.
+func NewStreamer(src Source, opts StreamerOptions) *Streamer {
+	return &Streamer{src: src, opts: opts.withDefaults()}
+}
+
+// ActiveStreams reports the number of follower streams currently open.
+func (s *Streamer) ActiveStreams() int64 { return s.active.Load() }
+
+// BytesShipped reports total frame bytes written to followers.
+func (s *Streamer) BytesShipped() uint64 { return s.bytesShipped.Load() }
+
+// countingWriter tallies shipped bytes and keeps the connection's
+// write deadline ahead of each write.
+type countingWriter struct {
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	n       *atomic.Uint64
+	timeout time.Duration
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	// SetWriteDeadline errors (unsupported by the wrapped writer) are
+	// ignored: the server's global deadline then applies, which only
+	// shortens the stream — never corrupts it.
+	_ = cw.rc.SetWriteDeadline(time.Now().Add(cw.timeout))
+	n, err := cw.w.Write(p)
+	cw.n.Add(uint64(n))
+	return n, err
+}
+
+// ServeHTTP implements GET StreamPath?from=seq&version=v.
+func (s *Streamer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil && q.Get("from") != "" {
+		http.Error(w, "bad from parameter", http.StatusBadRequest)
+		return
+	}
+	version, err := strconv.ParseUint(q.Get("version"), 10, 64)
+	if err != nil && q.Get("version") != "" {
+		http.Error(w, "bad version parameter", http.StatusBadRequest)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+
+	man, files, needSnap, err := s.src.SnapshotForReplica(from, version)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("snapshot: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+
+	s.streams.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+	log := s.opts.Logger.With("component", "replica", "remote", r.RemoteAddr, "from", from)
+	log.Info("replication stream opened", "snapshot", needSnap)
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	cw := &countingWriter{w: w, rc: http.NewResponseController(w), n: &s.bytesShipped, timeout: s.opts.WriteTimeout}
+	if err := WriteMagic(cw); err != nil {
+		return
+	}
+	hello := Hello{
+		GridSize:   s.src.GridSize(),
+		DurableSeq: s.src.DurableSeq(),
+		Version:    s.src.ServingVersion(),
+		Snapshot:   needSnap,
+	}
+	if err := WriteFrame(cw, FrameHello, encodeHello(hello)); err != nil {
+		return
+	}
+	if needSnap {
+		blob, err := man.Encode()
+		if err != nil {
+			log.Error("manifest encode failed", "err", err)
+			return
+		}
+		if err := WriteFrame(cw, FrameManifest, blob); err != nil {
+			return
+		}
+		names := make([]string, 0, len(files))
+		for name := range files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := WriteFrame(cw, FrameShardFile, encodeShardFile(name, files[name])); err != nil {
+				return
+			}
+		}
+		if err := WriteFrame(cw, FrameSnapshotEnd, nil); err != nil {
+			return
+		}
+		s.snapsShipped.Add(1)
+		from = man.WALSeq
+	}
+	flusher.Flush()
+
+	end := time.NewTimer(s.opts.MaxStreamDuration)
+	defer end.Stop()
+	poll := time.NewTicker(s.opts.Poll)
+	defer poll.Stop()
+	var lastBeat time.Time
+	for {
+		shipped := 0
+		last, err := s.src.ReadDurableWAL(from, func(rec wal.Record) error {
+			payload, err := wal.EncodeRecord(rec)
+			if err != nil {
+				return err
+			}
+			shipped++
+			return WriteFrame(cw, FrameRecord, payload)
+		})
+		s.recsShipped.Add(uint64(shipped))
+		if err == wal.ErrTailTruncated {
+			// A checkpoint outran this stream's position; the follower
+			// must re-negotiate (and will be handed the snapshot).
+			_ = WriteFrame(cw, FrameEnd, nil)
+			flusher.Flush()
+			log.Info("replication stream ended: position truncated by checkpoint", "at", last)
+			return
+		}
+		if err != nil {
+			log.Info("replication stream closed", "err", err, "at", last)
+			return // client write error or source failure; nothing to salvage
+		}
+		if last > from {
+			from = last
+			flusher.Flush()
+			lastBeat = time.Now()
+			continue // keep draining while records flow
+		}
+		if time.Since(lastBeat) >= s.opts.Heartbeat {
+			if err := WriteFrame(cw, FrameHeartbeat, encodeHeartbeat(s.src.DurableSeq(), s.src.ServingVersion())); err != nil {
+				return
+			}
+			flusher.Flush()
+			lastBeat = time.Now()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-end.C:
+			_ = WriteFrame(cw, FrameEnd, nil)
+			flusher.Flush()
+			log.Info("replication stream ended: max duration reached", "at", from)
+			return
+		case <-poll.C:
+		}
+	}
+}
+
+// Collect exports the leader-side replication families.
+func (s *Streamer) Collect(e *metrics.Expo) {
+	e.Counter("xqest_replica_streams_total", "Replication streams opened by followers.", float64(s.streams.Load()))
+	e.Gauge("xqest_replica_active_streams", "Replication streams currently open.", float64(s.active.Load()))
+	e.Counter("xqest_replica_bytes_shipped_total", "Frame bytes shipped to followers.", float64(s.bytesShipped.Load()))
+	e.Counter("xqest_replica_records_shipped_total", "WAL records shipped to followers.", float64(s.recsShipped.Load()))
+	e.Counter("xqest_replica_snapshots_shipped_total", "Checkpoint snapshots shipped to followers.", float64(s.snapsShipped.Load()))
+}
+
+// ctxSleep sleeps for d or until ctx is done.
+func ctxSleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

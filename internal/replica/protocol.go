@@ -1,0 +1,204 @@
+// Package replica implements leader/follower replication by shipping
+// the write-ahead log over HTTP: a leader streams its durable WAL
+// records (and, when the follower's position predates the checkpoint
+// truncation point, a full snapshot — manifest plus XQS shard files)
+// as a chunked sequence of CRC32C-framed messages, and a follower
+// applies each record at its recorded ack version so both nodes serve
+// bit-identical estimates at the same version.
+//
+// The wire protocol is deliberately dumb: one magic header, then
+// self-delimiting frames `kind | len | crc32c | payload`. Frame CRCs
+// are verified by the RECEIVER, above the transport seam — so the
+// deterministic FaultTransport used by the chaos suite corrupts bytes
+// exactly where a hostile network would, and the follower's refusal
+// path (abort the stream, reconnect, re-request from its own durable
+// watermark) is what gets tested, not the test harness's plumbing.
+package replica
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// StreamPath is the leader's WAL streaming endpoint. Followers request
+// it with `?from=<seq>&version=<v>`: from is the follower's durable WAL
+// watermark (the stream resumes strictly after it) and version its
+// serving-set version, which lets the leader detect a fresh follower
+// that needs the pre-WAL state (bootstrap corpus) shipped as a
+// snapshot.
+const StreamPath = "/wal/stream"
+
+// streamMagic opens every stream so a follower fails fast when pointed
+// at something that is not a replication endpoint.
+var streamMagic = [8]byte{'X', 'Q', 'R', 'S', '0', '0', '1', '\n'}
+
+// Frame kinds, in the order a stream may carry them: a Hello always
+// opens the stream; a snapshot (Manifest, ShardFile×N, SnapshotEnd)
+// follows when the leader decided the follower needs one; then Record
+// and Heartbeat frames interleave until the leader ends the stream
+// with End (orderly — reconnect immediately) or the connection drops.
+const (
+	FrameHello       byte = 1
+	FrameManifest    byte = 2
+	FrameShardFile   byte = 3
+	FrameSnapshotEnd byte = 4
+	FrameRecord      byte = 5
+	FrameHeartbeat   byte = 6
+	FrameEnd         byte = 7
+)
+
+const (
+	frameHeaderLen = 9 // kind byte + uint32 len + uint32 crc32c
+	// maxFramePayload bounds one frame: shard files dominate, and a
+	// single XQS summary is far below this. A corrupt length prefix
+	// must not force a giant allocation on the receiver.
+	maxFramePayload = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is one protocol message. Payload is owned by the receiver.
+type Frame struct {
+	Kind    byte
+	Payload []byte
+	crc     uint32
+}
+
+// Verify re-checks the payload against the CRC that traveled with the
+// frame. Receivers call this on every frame before trusting a byte of
+// it; a mismatch means wire or middlebox corruption and the stream must
+// be abandoned.
+func (f Frame) Verify() bool {
+	return crc32.Checksum(f.Payload, crcTable) == f.crc
+}
+
+// WriteMagic writes the stream preamble.
+func WriteMagic(w io.Writer) error {
+	_, err := w.Write(streamMagic[:])
+	return err
+}
+
+// ReadMagic consumes and checks the stream preamble.
+func ReadMagic(r io.Reader) error {
+	var got [8]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return fmt.Errorf("replica: reading stream magic: %w", err)
+	}
+	if got != streamMagic {
+		return fmt.Errorf("replica: bad stream magic %q (not a replication endpoint?)", got[:])
+	}
+	return nil
+}
+
+// WriteFrame frames and writes one message.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("replica: frame payload of %d bytes exceeds the %d-byte limit", len(payload), maxFramePayload)
+	}
+	var hdr [frameHeaderLen]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame. The CRC is NOT verified here — call
+// Frame.Verify — so fault injection above the transport exercises the
+// receiver's real corruption handling. io.EOF is returned untouched
+// when the stream ends cleanly between frames; a tear inside a frame
+// surfaces as io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Frame{}, io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFramePayload {
+		return Frame{}, fmt.Errorf("replica: frame claims %d-byte payload (corrupt length)", n)
+	}
+	f := Frame{Kind: hdr[0], crc: binary.LittleEndian.Uint32(hdr[5:])}
+	f.Payload = make([]byte, n)
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// Hello is the stream's opening handshake: the leader's identity facts
+// a follower must check (grid size — a mismatch can never converge) or
+// track (durable seq and version, the lag denominators), plus whether a
+// snapshot precedes the record tail.
+type Hello struct {
+	GridSize   int    `json:"grid_size"`
+	DurableSeq uint64 `json:"durable_seq"`
+	Version    uint64 `json:"version"`
+	Snapshot   bool   `json:"snapshot"`
+}
+
+func encodeHello(h Hello) []byte {
+	b, _ := json.Marshal(h) // fixed struct of scalars; cannot fail
+	return b
+}
+
+func decodeHello(payload []byte) (Hello, error) {
+	var h Hello
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return Hello{}, fmt.Errorf("replica: bad hello frame: %w", err)
+	}
+	if h.GridSize <= 0 {
+		return Hello{}, fmt.Errorf("replica: hello frame claims grid size %d", h.GridSize)
+	}
+	return h, nil
+}
+
+// Heartbeat payload: the leader's durable seq and serving version as
+// two uvarints. Sent whenever the stream is idle so followers can
+// measure lag (seq) and freshness (seconds) without traffic.
+func encodeHeartbeat(durableSeq, version uint64) []byte {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64)
+	buf = binary.AppendUvarint(buf, durableSeq)
+	return binary.AppendUvarint(buf, version)
+}
+
+func decodeHeartbeat(payload []byte) (durableSeq, version uint64, err error) {
+	durableSeq, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("replica: bad heartbeat frame")
+	}
+	version, m := binary.Uvarint(payload[n:])
+	if m <= 0 || n+m != len(payload) {
+		return 0, 0, fmt.Errorf("replica: bad heartbeat frame")
+	}
+	return durableSeq, version, nil
+}
+
+// ShardFile payload: the manifest-relative file name (uvarint length
+// prefix) followed by the raw XQS bytes.
+func encodeShardFile(name string, data []byte) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64+len(name)+len(data))
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	return append(buf, data...)
+}
+
+func decodeShardFile(payload []byte) (name string, data []byte, err error) {
+	n, sz := binary.Uvarint(payload)
+	if sz <= 0 || n > uint64(len(payload)-sz) {
+		return "", nil, fmt.Errorf("replica: bad shard-file frame")
+	}
+	rest := payload[sz:]
+	return string(rest[:n]), rest[n:], nil
+}

@@ -1,0 +1,531 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xmlest/internal/core"
+	"xmlest/internal/pattern"
+	"xmlest/internal/shard"
+	"xmlest/internal/wal"
+)
+
+// ---- protocol ----
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMagic(&buf); err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{[]byte("hello"), nil, bytes.Repeat([]byte{0xAB}, 4096)}
+	kinds := []byte{FrameHello, FrameHeartbeat, FrameShardFile}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, kinds[i], p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ReadMagic(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		fr, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fr.Kind != kinds[i] || !bytes.Equal(fr.Payload, p) {
+			t.Fatalf("frame %d: kind %d payload %d bytes", i, fr.Kind, len(fr.Payload))
+		}
+		if !fr.Verify() {
+			t.Fatalf("frame %d failed CRC verification", i)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameRecord, []byte("precious bytes")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[frameHeaderLen+3] ^= 0x10 // flip a payload byte in flight
+	fr, err := ReadFrame(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err) // ReadFrame does not verify; the receiver does
+	}
+	if fr.Verify() {
+		t.Fatal("corrupt frame passed CRC verification")
+	}
+	// A tear mid-frame surfaces as ErrUnexpectedEOF, not silent EOF.
+	if _, err := ReadFrame(bytes.NewReader(raw[:len(raw)-3])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn frame: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestBadMagicRefused(t *testing.T) {
+	if err := ReadMagic(strings.NewReader("<html>oops")); err == nil {
+		t.Fatal("non-replication stream accepted")
+	}
+}
+
+func TestHelloCodec(t *testing.T) {
+	h := Hello{GridSize: 16, DurableSeq: 42, Version: 17, Snapshot: true}
+	got, err := decodeHello(encodeHello(h))
+	if err != nil || got != h {
+		t.Fatalf("hello round-trip: %+v, %v", got, err)
+	}
+	if _, err := decodeHello([]byte(`{"grid_size":0}`)); err == nil {
+		t.Fatal("zero grid size accepted")
+	}
+	if _, err := decodeHello([]byte("not json")); err == nil {
+		t.Fatal("junk hello accepted")
+	}
+}
+
+func TestHeartbeatCodec(t *testing.T) {
+	seq, version, err := decodeHeartbeat(encodeHeartbeat(123456, 789))
+	if err != nil || seq != 123456 || version != 789 {
+		t.Fatalf("heartbeat round-trip: %d %d %v", seq, version, err)
+	}
+	if _, _, err := decodeHeartbeat([]byte{0xFF}); err == nil {
+		t.Fatal("truncated heartbeat accepted")
+	}
+}
+
+func TestShardFileCodec(t *testing.T) {
+	name, data, err := decodeShardFile(encodeShardFile("shards/cp-2-1.xqs", []byte{1, 2, 3}))
+	if err != nil || name != "shards/cp-2-1.xqs" || !bytes.Equal(data, []byte{1, 2, 3}) {
+		t.Fatalf("shard-file round-trip: %q %v %v", name, data, err)
+	}
+	if _, _, err := decodeShardFile([]byte{0xFF, 0xFF}); err == nil {
+		t.Fatal("bad shard-file frame accepted")
+	}
+}
+
+// ---- fault transport ----
+
+// memStream feeds canned frames.
+type memStream struct{ frames []Frame }
+
+func (s *memStream) Next() (Frame, error) {
+	if len(s.frames) == 0 {
+		return Frame{}, io.EOF
+	}
+	fr := s.frames[0]
+	s.frames = s.frames[1:]
+	return fr, nil
+}
+func (s *memStream) Close() error { return nil }
+
+type memTransport struct{ mk func() []Frame }
+
+func (t *memTransport) Open(ctx context.Context, from, version uint64) (Stream, error) {
+	return &memStream{frames: t.mk()}, nil
+}
+
+func verifiedFrame(kind byte, payload []byte) Frame {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, kind, payload); err != nil {
+		panic(err)
+	}
+	fr, err := ReadFrame(&buf)
+	if err != nil {
+		panic(err)
+	}
+	return fr
+}
+
+func TestFaultTransportDeterminism(t *testing.T) {
+	base := &memTransport{mk: func() []Frame {
+		return []Frame{verifiedFrame(FrameHeartbeat, encodeHeartbeat(1, 1))}
+	}}
+	ft := NewFaultTransport(base, TransportFault{Op: 2, Kind: FaultCorrupt})
+	ctx := context.Background()
+
+	st, err := ft.Open(ctx, 0, 0) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := st.Next() // op 2: corrupt fires, one-shot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Verify() {
+		t.Fatal("corrupted frame passed verification")
+	}
+	st2, err := ft.Open(ctx, 0, 0) // op 3: fault consumed, clean
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr, err := st2.Next(); err != nil || !fr.Verify() {
+		t.Fatalf("clean op failed after one-shot fault: %v", err)
+	}
+	ops := ft.Ops()
+	if len(ops) != 4 || ops[0].Name != "open" || ops[1].Name != "next" || ops[3].Index != 4 {
+		t.Fatalf("op log: %+v", ops)
+	}
+
+	// Sticky: every op from N on fails.
+	ft2 := NewFaultTransport(base, TransportFault{Op: 1, Kind: FaultDrop, Sticky: true})
+	for i := 0; i < 3; i++ {
+		if _, err := ft2.Open(ctx, 0, 0); err == nil {
+			t.Fatalf("sticky drop did not fire on open %d", i)
+		}
+	}
+	if got := ft2.OpCount(); got != 3 {
+		t.Fatalf("op count %d, want 3", got)
+	}
+}
+
+// ---- end-to-end over HTTP ----
+
+var probeOpts = core.Options{GridSize: 4}
+
+var probePatterns = []string{
+	"//department//faculty",
+	"//department//faculty[.//TA][.//RA]",
+	"//department//staff",
+	"//faculty//TA",
+}
+
+func probeDocs(i int) [][]byte {
+	return [][]byte{
+		[]byte(fmt.Sprintf("<department><faculty>f%d<TA>t</TA><RA>r</RA></faculty></department>", i)),
+		[]byte(fmt.Sprintf("<department><staff>s%d</staff></department>", i)),
+	}
+}
+
+func estimates(t *testing.T, st *shard.Store) []float64 {
+	t.Helper()
+	set := st.Current()
+	out := make([]float64, len(probePatterns))
+	for i, src := range probePatterns {
+		p, err := pattern.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := set.EstimateTwig(p, probeOpts)
+		if err != nil {
+			t.Fatalf("estimate %q: %v", src, err)
+		}
+		out[i] = res.Estimate
+	}
+	return out
+}
+
+func openDurable(t *testing.T, grid int) *shard.DurableStore {
+	t.Helper()
+	d, err := shard.OpenDurable(t.TempDir(), nil, shard.DurableConfig{
+		Options: core.Options{GridSize: grid},
+		WAL:     wal.Options{Mode: wal.ModeAlways},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func fastFollowerOpts(upstream string) FollowerOptions {
+	return FollowerOptions{
+		Upstream:        upstream,
+		StalenessBudget: time.Hour,
+		MinBackoff:      5 * time.Millisecond,
+		MaxBackoff:      100 * time.Millisecond,
+		ReadTimeout:     2 * time.Second,
+		ApplyBatch:      8,
+	}
+}
+
+func fastStreamerOpts() StreamerOptions {
+	return StreamerOptions{
+		Heartbeat:         50 * time.Millisecond,
+		Poll:              2 * time.Millisecond,
+		MaxStreamDuration: 5 * time.Second,
+		WriteTimeout:      5 * time.Second,
+	}
+}
+
+// startFollower runs f until cancel; the returned stop func waits for
+// the loop to exit so the store can be closed safely afterwards.
+func startFollower(f *Follower) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.Run(ctx)
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+func waitConverged(t *testing.T, leader, follower *shard.DurableStore, timeout time.Duration, label string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if follower.DurableSeq() == leader.DurableSeq() && follower.ServingVersion() == leader.ServingVersion() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: follower did not converge: seq %d/%d version %d/%d",
+				label, follower.DurableSeq(), leader.DurableSeq(), follower.ServingVersion(), leader.ServingVersion())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func requireSameEstimates(t *testing.T, leader, follower *shard.DurableStore, label string) {
+	t.Helper()
+	want := estimates(t, leader.Store())
+	got := estimates(t, follower.Store())
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: pattern %q: follower %v != leader %v (not bit-identical)",
+				label, probePatterns[i], got[i], want[i])
+		}
+	}
+}
+
+func TestFollowerEndToEndHTTP(t *testing.T) {
+	leader := openDurable(t, 4)
+	for i := 0; i < 3; i++ {
+		if _, _, err := leader.AppendDocs(probeDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(NewStreamer(leader, fastStreamerOpts()))
+	defer srv.Close()
+
+	follower := openDurable(t, 4)
+	f := NewFollower(&HTTPTransport{Base: srv.URL}, follower, fastFollowerOpts(srv.URL))
+	stop := startFollower(f)
+	defer stop()
+
+	waitConverged(t, leader, follower, 5*time.Second, "initial catch-up")
+	requireSameEstimates(t, leader, follower, "initial catch-up")
+
+	// Live tail: appends made while the stream is open arrive too.
+	for i := 3; i < 6; i++ {
+		if _, _, err := leader.AppendDocs(probeDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitConverged(t, leader, follower, 5*time.Second, "live tail")
+	requireSameEstimates(t, leader, follower, "live tail")
+
+	s := f.Status()
+	if s.LagSeq != 0 || s.Stale {
+		t.Fatalf("converged follower reports lag %d stale %v", s.LagSeq, s.Stale)
+	}
+	if s.RecordsApplied != 6 {
+		t.Fatalf("records applied %d, want 6", s.RecordsApplied)
+	}
+	if s.FramesRejected != 0 {
+		t.Fatalf("clean stream rejected %d frames", s.FramesRejected)
+	}
+}
+
+func TestFollowerSnapshotCatchUpHTTP(t *testing.T) {
+	leader := openDurable(t, 4)
+	for i := 0; i < 4; i++ {
+		if _, _, err := leader.AppendDocs(probeDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 6; i++ {
+		if _, _, err := leader.AppendDocs(probeDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(NewStreamer(leader, fastStreamerOpts()))
+	defer srv.Close()
+
+	follower := openDurable(t, 4)
+	f := NewFollower(&HTTPTransport{Base: srv.URL}, follower, fastFollowerOpts(srv.URL))
+	stop := startFollower(f)
+	defer stop()
+
+	waitConverged(t, leader, follower, 5*time.Second, "snapshot catch-up")
+	requireSameEstimates(t, leader, follower, "snapshot catch-up")
+	if s := f.Status(); s.SnapshotsApplied != 1 {
+		t.Fatalf("snapshots applied %d, want 1", s.SnapshotsApplied)
+	}
+}
+
+func TestFollowerGridMismatchIsFatal(t *testing.T) {
+	leader := openDurable(t, 4)
+	if _, _, err := leader.AppendDocs(probeDocs(0)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewStreamer(leader, fastStreamerOpts()))
+	defer srv.Close()
+
+	follower := openDurable(t, 8)
+	f := NewFollower(&HTTPTransport{Base: srv.URL}, follower, fastFollowerOpts(srv.URL))
+	stop := startFollower(f)
+	defer stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Status().FatalError == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("grid mismatch never surfaced as fatal")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s := f.Status()
+	if !strings.Contains(s.FatalError, "grid") {
+		t.Fatalf("fatal error %q does not name the grid mismatch", s.FatalError)
+	}
+	if s.RecordsApplied != 0 {
+		t.Fatalf("mismatched follower applied %d records", s.RecordsApplied)
+	}
+}
+
+func TestFollowerStalenessAfterLeaderLoss(t *testing.T) {
+	leader := openDurable(t, 4)
+	for i := 0; i < 2; i++ {
+		if _, _, err := leader.AppendDocs(probeDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(NewStreamer(leader, fastStreamerOpts()))
+
+	follower := openDurable(t, 4)
+	opts := fastFollowerOpts(srv.URL)
+	opts.StalenessBudget = 100 * time.Millisecond
+	f := NewFollower(&HTTPTransport{Base: srv.URL}, follower, opts)
+	stop := startFollower(f)
+	defer stop()
+
+	waitConverged(t, leader, follower, 5*time.Second, "pre-loss catch-up")
+	servedVersion := follower.ServingVersion()
+
+	srv.CloseClientConnections()
+	srv.Close() // the leader vanishes
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !f.Status().Stale {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reported stale after leader loss: %+v", f.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Degraded, not dead: the follower still serves its last-applied state.
+	if got := follower.ServingVersion(); got != servedVersion {
+		t.Fatalf("served version moved from %d to %d with no leader", servedVersion, got)
+	}
+	requireSameEstimates(t, leader, follower, "degraded serving")
+	if s := f.Status(); s.StreamErrors == 0 {
+		t.Fatal("leader loss produced no stream errors")
+	}
+}
+
+// TestChaosSweep is the tentpole fault sweep: run the catch-up workload
+// once cleanly to learn its transport-op schedule, then replay it with
+// a fault injected at every op index, for every fault kind, asserting
+// the follower converges to bit-identical estimates every time (all
+// injected faults are single; the retry loop must absorb them).
+func TestChaosSweep(t *testing.T) {
+	leader := openDurable(t, 4)
+	for i := 0; i < 3; i++ {
+		if _, _, err := leader.AppendDocs(probeDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 5; i++ {
+		if _, _, err := leader.AppendDocs(probeDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(NewStreamer(leader, fastStreamerOpts()))
+	// t.Cleanup, not defer: parallel subtests run after this function
+	// body returns, and the leader must outlive them all.
+	t.Cleanup(srv.Close)
+	want := estimates(t, leader.Store())
+
+	run := func(t *testing.T, faults ...TransportFault) (*shard.DurableStore, *Follower, *FaultTransport) {
+		t.Helper()
+		follower := openDurable(t, 4)
+		ft := NewFaultTransport(&HTTPTransport{Base: srv.URL}, faults...)
+		ft.StallDelay = 400 * time.Millisecond
+		opts := fastFollowerOpts(srv.URL)
+		opts.ReadTimeout = 250 * time.Millisecond // < StallDelay: stalls trip the watchdog
+		f := NewFollower(ft, follower, opts)
+		stop := startFollower(f)
+		t.Cleanup(stop)
+		return follower, f, ft
+	}
+
+	// Clean run: learn the op schedule.
+	follower, _, ft := run(t)
+	waitConverged(t, leader, follower, 10*time.Second, "clean run")
+	cleanOps := ft.Ops()
+	if len(cleanOps) < 3 {
+		t.Fatalf("clean run logged only %d transport ops", len(cleanOps))
+	}
+
+	for _, kind := range []FaultKind{FaultDrop, FaultCorrupt, FaultTruncate, FaultStall} {
+		for _, op := range cleanOps {
+			name := fmt.Sprintf("%s-at-op%d-%s", kind, op.Index, op.Name)
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				follower, f, _ := run(t, TransportFault{Op: op.Index, Kind: kind})
+				waitConverged(t, leader, follower, 15*time.Second, name)
+				got := estimates(t, follower.Store())
+				for i := range want {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("pattern %q: follower %v != leader %v after %s (not bit-identical)",
+							probePatterns[i], got[i], want[i], name)
+					}
+				}
+				if s := f.Status(); s.ServedVersion != leader.ServingVersion() {
+					t.Fatalf("served version %d != leader %d", s.ServedVersion, leader.ServingVersion())
+				}
+			})
+		}
+	}
+
+	// A sticky fault is a dead network: the follower must refuse loudly —
+	// surface errors and staleness — while still serving what it has.
+	t.Run("sticky-drop-refuses-loudly", func(t *testing.T) {
+		follower := openDurable(t, 4)
+		ft := NewFaultTransport(&HTTPTransport{Base: srv.URL},
+			TransportFault{Op: 1, Kind: FaultDrop, Sticky: true})
+		opts := fastFollowerOpts(srv.URL)
+		opts.StalenessBudget = 50 * time.Millisecond
+		f := NewFollower(ft, follower, opts)
+		stop := startFollower(f)
+		defer stop()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			s := f.Status()
+			if s.Stale && s.StreamErrors > 0 && s.LastError != "" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("dead network not surfaced: %+v", s)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if follower.DurableSeq() != 0 {
+			t.Fatal("follower applied records through a dead transport")
+		}
+	})
+}

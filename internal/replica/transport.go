@@ -1,0 +1,83 @@
+// The transport seam: followers consume frames through a Transport so
+// the chaos suite can interpose a deterministic FaultTransport between
+// the follower's state machine and the real network, the same way the
+// storage engine threads fsio.FS everywhere so FaultFS can fail op N.
+
+package replica
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// Stream is one open replication stream. Next blocks until a frame
+// arrives (leaders heartbeat on an interval, so a healthy stream never
+// blocks long); it returns io.EOF only when the underlying connection
+// ended between frames. Close releases the connection and unblocks a
+// pending Next.
+type Stream interface {
+	Next() (Frame, error)
+	Close() error
+}
+
+// Transport opens replication streams. from is the follower's durable
+// WAL watermark; version its serving-set version (see StreamPath).
+type Transport interface {
+	Open(ctx context.Context, from, version uint64) (Stream, error)
+}
+
+// HTTPTransport streams from a leader's StreamPath endpoint.
+type HTTPTransport struct {
+	// Base is the leader's base URL, e.g. "http://10.0.0.1:8080".
+	Base string
+	// Client is the HTTP client to use; http.DefaultClient when nil.
+	// Do not set a Client.Timeout — it would cap the whole stream's
+	// lifetime, heartbeats included; the follower enforces per-frame
+	// read deadlines itself by closing a stalled stream.
+	Client *http.Client
+}
+
+func (t *HTTPTransport) Open(ctx context.Context, from, version uint64) (Stream, error) {
+	u, err := url.Parse(t.Base)
+	if err != nil {
+		return nil, fmt.Errorf("replica: upstream url: %w", err)
+	}
+	u = u.JoinPath(StreamPath)
+	q := u.Query()
+	q.Set("from", strconv.FormatUint(from, 10))
+	q.Set("version", strconv.FormatUint(version, 10))
+	u.RawQuery = q.Encode()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("replica: %w", err)
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: connecting to leader: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("replica: leader refused stream: %s: %s", resp.Status, body)
+	}
+	if err := ReadMagic(resp.Body); err != nil {
+		resp.Body.Close()
+		return nil, err
+	}
+	return &httpStream{body: resp.Body}, nil
+}
+
+type httpStream struct {
+	body io.ReadCloser
+}
+
+func (s *httpStream) Next() (Frame, error) { return ReadFrame(s.body) }
+func (s *httpStream) Close() error         { return s.body.Close() }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -139,14 +140,46 @@ type StatsResponse struct {
 	// watermarks, checkpoints, boot recovery) on a durable daemon;
 	// absent otherwise.
 	Durability *xmlest.DurabilityStats `json:"durability,omitempty"`
+	// Replication reports the node's role and full replication state:
+	// follower lag and counters, leader stream counters.
+	Replication *ReplicationJSON `json:"replication,omitempty"`
 }
 
-// DegradedJSON names the failed storage component on a degraded
-// daemon: "wal" (log sealed; mutations refused until restart) or
-// "checkpoint" (last checkpoint failed; retried with backoff).
+// DegradedJSON names the failed component on a degraded daemon: "wal"
+// (log sealed; mutations refused until restart), "checkpoint" (last
+// checkpoint failed; retried with backoff) or "replication" (follower
+// past its staleness budget; reads serve the last applied state).
 type DegradedJSON struct {
 	Component string `json:"component"`
 	Reason    string `json:"reason"`
+}
+
+// ReplicationJSON is the replication role and state, on /healthz (the
+// cheap subset monitors poll) and /stats (everything).
+type ReplicationJSON struct {
+	// Role is "leader" (durable; serves /wal/stream), "follower"
+	// (replicating from Upstream; also serves /wal/stream for chaining)
+	// or "standalone" (non-durable; nothing to ship).
+	Role     string `json:"role"`
+	Upstream string `json:"upstream,omitempty"`
+	// Follower-side lag: sequences behind the leader's durable WAL
+	// watermark, and seconds since the leader was last heard from.
+	Connected  *bool    `json:"connected,omitempty"`
+	LeaderSeq  *uint64  `json:"leader_seq,omitempty"`
+	AppliedSeq *uint64  `json:"applied_seq,omitempty"`
+	LagSeq     *uint64  `json:"lag_seq,omitempty"`
+	LagSeconds *float64 `json:"lag_seconds,omitempty"`
+	Stale      bool     `json:"stale,omitempty"`
+	// Follower-side counters (stats only — omitted from /healthz).
+	Reconnects       uint64 `json:"reconnects,omitempty"`
+	StreamErrors     uint64 `json:"stream_errors,omitempty"`
+	RecordsApplied   uint64 `json:"records_applied,omitempty"`
+	SnapshotsApplied uint64 `json:"snapshots_applied,omitempty"`
+	LastError        string `json:"last_error,omitempty"`
+	FatalError       string `json:"fatal_error,omitempty"`
+	// Leader-side counters (stats only).
+	ActiveStreams *int64 `json:"active_streams,omitempty"`
+	BytesShipped  uint64 `json:"bytes_shipped,omitempty"`
 }
 
 // HealthResponse is the /healthz body. Status is "ok", "degraded"
@@ -162,6 +195,9 @@ type HealthResponse struct {
 	// rates the full stats encoding should not be asked to serve.
 	DurableSeq *uint64       `json:"durable_seq,omitempty"`
 	Degraded   *DegradedJSON `json:"degraded,omitempty"`
+	// Replication reports the node's role and, on a follower, its lag —
+	// the fields a health monitor needs without the full /stats body.
+	Replication *ReplicationJSON `json:"replication,omitempty"`
 	// Build identifies the serving binary.
 	Build string `json:"build"`
 }
@@ -186,6 +222,13 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: msg})
 }
 
+// writeFollowerRefusal rejects a mutation on a follower: its state is
+// the leader's WAL, nothing else may write it.
+func writeFollowerRefusal(w http.ResponseWriter, upstream, what string) {
+	writeError(w, http.StatusForbidden,
+		"read-only follower replicating from "+upstream+": "+what+" must go to the leader")
+}
+
 // writeDegraded rejects a mutation because a storage component failed:
 // 503 with the component and reason, plus Retry-After — a "checkpoint"
 // degradation clears on its own; a sealed WAL needs an operator (and a
@@ -208,6 +251,75 @@ func (s *Server) degradedJSON() *DegradedJSON {
 		return &DegradedJSON{Component: comp, Reason: reason}
 	}
 	return nil
+}
+
+// role reports the node's replication role: following beats leading
+// (a follower is still durable and streamable — chained replication —
+// but its defining fact is the upstream).
+func (s *Server) role() string {
+	switch {
+	case s.follower != nil:
+		return "follower"
+	case s.streamer != nil:
+		return "leader"
+	default:
+		return "standalone"
+	}
+}
+
+// replicationJSON assembles the replication section. The healthz
+// variant carries role, upstream, lag and staleness; full adds the
+// stream counters for /stats.
+func (s *Server) replicationJSON(full bool) *ReplicationJSON {
+	rj := &ReplicationJSON{Role: s.role()}
+	if s.follower != nil {
+		fs := s.follower.Status()
+		rj.Upstream = fs.Upstream
+		connected := fs.Connected
+		rj.Connected = &connected
+		rj.LeaderSeq = &fs.LeaderSeq
+		rj.AppliedSeq = &fs.AppliedSeq
+		rj.LagSeq = &fs.LagSeq
+		lagSec := fs.LagSeconds
+		rj.LagSeconds = &lagSec
+		rj.Stale = fs.Stale
+		if full {
+			rj.Reconnects = fs.Reconnects
+			rj.StreamErrors = fs.StreamErrors
+			rj.RecordsApplied = fs.RecordsApplied
+			rj.SnapshotsApplied = fs.SnapshotsApplied
+			rj.LastError = fs.LastError
+			rj.FatalError = fs.FatalError
+		}
+	}
+	if full && s.streamer != nil {
+		active := s.streamer.ActiveStreams()
+		rj.ActiveStreams = &active
+		rj.BytesShipped = s.streamer.BytesShipped()
+	}
+	return rj
+}
+
+// replicationDegraded maps follower staleness (or a fatal stream
+// refusal) to the degraded contract: reads serve, the body says why
+// they may be behind. Nil when not following or healthy.
+func (s *Server) replicationDegraded() *DegradedJSON {
+	if s.follower == nil {
+		return nil
+	}
+	fs := s.follower.Status()
+	if fs.FatalError != "" {
+		return &DegradedJSON{Component: "replication", Reason: fs.FatalError}
+	}
+	if !fs.Stale {
+		return nil
+	}
+	reason := fmt.Sprintf("leader %s silent for %.1fs (budget %s); serving version %d, %d sequences behind",
+		fs.Upstream, fs.LagSeconds, fs.StalenessBudget, fs.ServedVersion, fs.LagSeq)
+	if fs.LastError != "" {
+		reason += ": " + fs.LastError
+	}
+	return &DegradedJSON{Component: "replication", Reason: reason}
 }
 
 // decodeJSON strictly decodes one JSON object from the request body.
@@ -360,6 +472,10 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusForbidden, "read-only server (loaded from a summary): no document store to append to")
 		return
 	}
+	if s.follower != nil {
+		writeFollowerRefusal(w, s.cfg.FollowURL, "appends")
+		return
+	}
 	if comp, reason, bad := s.db.Degraded(); bad && comp == "wal" {
 		// The WAL sealed on an I/O failure: nothing can be made durable,
 		// so nothing is accepted. (A checkpoint-only degradation does not
@@ -442,6 +558,10 @@ func (s *Server) handleAppendStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusForbidden, "read-only server (loaded from a summary): no document store to append to")
 		return
 	}
+	if s.follower != nil {
+		writeFollowerRefusal(w, s.cfg.FollowURL, "appends")
+		return
+	}
 	select {
 	case s.appendSem <- struct{}{}:
 		defer func() { <-s.appendSem }()
@@ -500,6 +620,13 @@ func (s *Server) handleAppendStream(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if s.db == nil {
 		writeError(w, http.StatusForbidden, "read-only server (loaded from a summary): nothing to compact")
+		return
+	}
+	if s.follower != nil {
+		// Compaction is a local rewrite the WAL never records, so a
+		// follower compacting on its own would diverge from the leader's
+		// shard structure — exactness forbids it.
+		writeFollowerRefusal(w, s.cfg.FollowURL, "compaction")
 		return
 	}
 	policy := s.cfg.CompactionPolicy
@@ -581,6 +708,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Accuracy:          acc,
 		Build:             version.String(),
 		Durability:        durability,
+		Replication:       s.replicationJSON(true),
 	})
 }
 
@@ -607,6 +735,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
 	s.noteDegraded()
 	degraded := s.degradedJSON()
+	if degraded == nil {
+		// A stale follower degrades the same way a failed checkpoint
+		// does: honestly, without refusing reads. Storage faults win the
+		// component slot — they are the more actionable signal.
+		degraded = s.replicationDegraded()
+	}
 	if degraded != nil {
 		// Degraded is still 200: reads serve from the in-memory snapshot,
 		// so a load balancer probing liveness should keep routing. The
@@ -624,7 +758,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, HealthResponse{
 		Status: status, Version: snap.Version(), Shards: snap.ShardCount(),
 		DurableSeq: durableSeq, Degraded: degraded,
-		Build: version.String(),
+		Replication: s.replicationJSON(false),
+		Build:       version.String(),
 	})
 }
 

@@ -40,6 +40,7 @@ import (
 	"xmlest"
 	"xmlest/internal/accuracy"
 	"xmlest/internal/metrics"
+	"xmlest/internal/replica"
 	"xmlest/internal/trace"
 	"xmlest/internal/version"
 )
@@ -148,6 +149,21 @@ type Config struct {
 	// execution that exceeds it is aborted and counted as a deadline
 	// miss. 0 means DefaultShadowBudget; negative is rejected.
 	ShadowBudget time.Duration
+
+	// FollowURL, when set, boots the daemon as a read-only follower
+	// replicating from the leader at this base URL: the WAL tail is
+	// streamed and applied at the leader's recorded versions, mutations
+	// (/append, /append-stream, /compact) are refused with a pointer to
+	// the leader, and /healthz degrades to "degraded"/"replication" when
+	// the leader has been silent past StalenessBudget — reads keep
+	// serving the last durably applied state either way. Requires a
+	// durable database (OpenDurable).
+	FollowURL string
+
+	// StalenessBudget is how long the leader may be silent before a
+	// follower reports itself stale. 0 means DefaultStalenessBudget;
+	// negative is rejected. Ignored unless FollowURL is set.
+	StalenessBudget time.Duration
 }
 
 // Defaults for the zero Config.
@@ -172,6 +188,11 @@ const (
 	// a tiny fraction of a worker's time without starving verification
 	// of ordinary patterns (which count in microseconds).
 	DefaultShadowBudget = 200 * time.Millisecond
+	// DefaultStalenessBudget is how long a follower tolerates leader
+	// silence before reporting itself stale. Generous enough to ride out
+	// a leader restart; short enough that monitoring notices a real
+	// outage within a scrape or two.
+	DefaultStalenessBudget = 30 * time.Second
 )
 
 // Checkpoint-retry backoff bounds (see checkpointLoop): consecutive
@@ -234,6 +255,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.ShadowBudget < 0 {
 		return c, fmt.Errorf("server: negative shadow budget %s", c.ShadowBudget)
 	}
+	if c.StalenessBudget < 0 {
+		return c, fmt.Errorf("server: negative staleness budget %s", c.StalenessBudget)
+	}
+	if c.FollowURL != "" && c.StalenessBudget == 0 {
+		c.StalenessBudget = DefaultStalenessBudget
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -256,6 +283,16 @@ type Server struct {
 	// monitor shadow-executes sampled estimates; nil when
 	// cfg.ShadowSample disables it. Every use is nil-safe.
 	monitor *accuracy.Monitor
+	// streamer serves the leader-side /wal/stream endpoint on every
+	// durable daemon (any durable node can be followed, a follower
+	// included — that is chained replication); nil otherwise.
+	streamer *replica.Streamer
+	// follower replicates from cfg.FollowURL; nil unless following. Its
+	// loop starts in newServer (so Handler()-mounted servers replicate
+	// too, like the shadow monitor) and stops in Shutdown.
+	follower     *replica.Follower
+	followCancel context.CancelFunc
+	followDone   chan struct{}
 	// lastDegraded is the degraded component last observed (""
 	// healthy), so transitions log exactly once in each direction.
 	lastDegraded atomic.Pointer[string]
@@ -341,6 +378,34 @@ func newServer(db *xmlest.Database, est *xmlest.Estimator, cfg Config) (*Server,
 			s.reg.Register(c)
 		}
 	}
+	if cfg.FollowURL != "" && (db == nil || !db.Durable()) {
+		return nil, errors.New("server: FollowURL requires a durable database (the follower applies the leader's WAL into its own)")
+	}
+	if db != nil && db.Durable() {
+		s.streamer = replica.NewStreamer(db.DurableBackend(), replica.StreamerOptions{
+			WriteTimeout: cfg.WriteTimeout,
+			Logger:       cfg.Logger,
+		})
+		s.reg.Register(s.streamer)
+	}
+	if cfg.FollowURL != "" {
+		s.follower = replica.NewFollower(
+			&replica.HTTPTransport{Base: cfg.FollowURL},
+			db.DurableBackend(),
+			replica.FollowerOptions{
+				Upstream:        cfg.FollowURL,
+				StalenessBudget: cfg.StalenessBudget,
+				Logger:          cfg.Logger,
+			})
+		s.reg.Register(s.follower)
+		ctx, cancel := context.WithCancel(context.Background())
+		s.followCancel = cancel
+		s.followDone = make(chan struct{})
+		go func() {
+			defer close(s.followDone)
+			s.follower.Run(ctx)
+		}()
+	}
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/estimate", s.instrument("estimate", http.MethodPost, cfg.MaxBodyBytes, s.handleEstimate))
 	s.mux.Handle("/append", s.instrument("append", http.MethodPost, cfg.MaxBodyBytes, s.handleAppend))
@@ -350,6 +415,9 @@ func newServer(db *xmlest.Database, est *xmlest.Estimator, cfg Config) (*Server,
 	s.mux.Handle("/stats", s.instrument("stats", http.MethodGet, cfg.MaxBodyBytes, s.handleStats))
 	s.mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, cfg.MaxBodyBytes, s.handleHealthz))
 	s.mux.Handle("/metrics", s.instrument("metrics", http.MethodGet, cfg.MaxBodyBytes, s.handleMetrics))
+	if s.streamer != nil {
+		s.mux.Handle(replica.StreamPath, s.instrument("wal-stream", http.MethodGet, cfg.MaxBodyBytes, s.streamer.ServeHTTP))
+	}
 	return s, nil
 }
 
@@ -440,6 +508,12 @@ func (s *Server) Start() (net.Addr, error) {
 // the summary is persisted to cfg.SnapshotPath when set.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.followCancel != nil {
+		// Stop replicating first: the loop's open stream closes and no
+		// apply can race the database Close below.
+		s.followCancel()
+		<-s.followDone
+	}
 	if s.cfg.DrainDelay > 0 {
 		select {
 		case <-time.After(s.cfg.DrainDelay):
@@ -682,6 +756,18 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	r.wrote = true
 	return r.ResponseWriter.Write(p)
 }
+
+// Flush and Unwrap let the streaming /wal/stream handler work through
+// the instrumentation wrapper: Flush forwards chunked writes, Unwrap
+// lets http.ResponseController reach the real writer's per-write
+// deadline controls.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // instrument enforces the HTTP method, bounds the request body to
 // bodyLimit bytes, and records latency, request, error and rejection

@@ -1,0 +1,294 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xmlest/internal/wal"
+)
+
+// shipAll drains the leader's durable WAL tail after `from` into
+// copied records, the way a transport would deliver them.
+func shipAll(t *testing.T, leader *DurableStore, from uint64) []wal.Record {
+	t.Helper()
+	var recs []wal.Record
+	_, err := leader.ReadDurableWAL(from, func(rec wal.Record) error {
+		cp := wal.Record{Seq: rec.Seq, Version: rec.Version}
+		for _, d := range rec.Docs {
+			cp.Docs = append(cp.Docs, bytes.Clone(d))
+		}
+		recs = append(recs, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadDurableWAL: %v", err)
+	}
+	return recs
+}
+
+// TestReplicatedTailBitIdentical is the cross-node twin of
+// TestCrashRecoveryBitIdentical: a follower bootstrapped with the same
+// recipe, fed the leader's WAL records through ApplyReplicated,
+// converges to bit-identical estimates at the same serving version.
+func TestReplicatedTailBitIdentical(t *testing.T) {
+	leader, err := OpenDurable(t.TempDir(), bootstrapFig1, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	const batches = 5
+	for i := 0; i < batches; i++ {
+		if _, _, err := leader.AppendDocs(batchDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	follower, err := OpenDurable(t.TempDir(), bootstrapFig1, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	recs := shipAll(t, leader, follower.DurableSeq())
+	if len(recs) != batches {
+		t.Fatalf("shipped %d records, want %d", len(recs), batches)
+	}
+	// Apply in two batches to exercise the grouped install.
+	if err := follower.ApplyReplicated(recs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ApplyReplicated(recs[2:]); err != nil {
+		t.Fatal(err)
+	}
+
+	if lv, fv := leader.ServingVersion(), follower.ServingVersion(); lv != fv {
+		t.Fatalf("leader version %d != follower version %d", lv, fv)
+	}
+	if ls, fs := leader.DurableSeq(), follower.DurableSeq(); ls != fs {
+		t.Fatalf("leader durable seq %d != follower durable seq %d", ls, fs)
+	}
+	want := estimateAll(t, leader.Store(), durableTestOpts)
+	requireBitIdentical(t, estimateAll(t, follower.Store(), durableTestOpts), want, "replicated tail")
+
+	// A follower restart recovers the applied records from its own WAL
+	// and keeps serving the same estimates — and resumes from its own
+	// durable watermark, not zero.
+	if err := follower.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplicatedFollowerRestartResumes applies half the tail, restarts
+// the follower, and resumes from its durable watermark.
+func TestReplicatedFollowerRestartResumes(t *testing.T) {
+	leader, err := OpenDurable(t.TempDir(), bootstrapFig1, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	const batches = 6
+	for i := 0; i < batches; i++ {
+		if _, _, err := leader.AppendDocs(batchDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fdir := t.TempDir()
+	follower, err := OpenDurable(fdir, bootstrapFig1, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := shipAll(t, leader, 0)
+	if err := follower.ApplyReplicated(recs[:3]); err != nil {
+		t.Fatal(err)
+	}
+	resumeAt := follower.DurableSeq()
+	if resumeAt != recs[2].Seq {
+		t.Fatalf("durable watermark %d, want %d", resumeAt, recs[2].Seq)
+	}
+	// Crash (no Close) and reopen: the watermark must survive.
+	follower = nil
+	reopened, err := OpenDurable(fdir, bootstrapFig1, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if got := reopened.DurableSeq(); got != resumeAt {
+		t.Fatalf("reopened durable watermark %d, want %d", got, resumeAt)
+	}
+	if err := reopened.ApplyReplicated(shipAll(t, leader, reopened.DurableSeq())); err != nil {
+		t.Fatal(err)
+	}
+	want := estimateAll(t, leader.Store(), durableTestOpts)
+	requireBitIdentical(t, estimateAll(t, reopened.Store(), durableTestOpts), want, "resumed follower")
+	if lv, fv := leader.ServingVersion(), reopened.ServingVersion(); lv != fv {
+		t.Fatalf("leader version %d != follower version %d", lv, fv)
+	}
+}
+
+// TestReplicatedSnapshotCatchUp covers the checkpoint-aware path: a
+// pure-ingest leader checkpoints (truncating its WAL), so a fresh
+// follower cannot tail from zero — it must install the shipped
+// snapshot, then the remaining tail, and still match bit-identically.
+func TestReplicatedSnapshotCatchUp(t *testing.T) {
+	leader, err := OpenDurable(t.TempDir(), nil, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	for i := 0; i < 4; i++ {
+		if _, _, err := leader.AppendDocs(batchDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 7; i++ {
+		if _, _, err := leader.AppendDocs(batchDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	follower, err := OpenDurable(t.TempDir(), nil, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	man, files, need, err := leader.SnapshotForReplica(follower.DurableSeq(), follower.ServingVersion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !need {
+		t.Fatal("leader did not offer a snapshot to a follower behind the truncation point")
+	}
+	if err := follower.ApplySnapshot(man, files); err != nil {
+		t.Fatal(err)
+	}
+	if got := follower.DurableSeq(); got != man.WALSeq {
+		t.Fatalf("post-snapshot watermark %d, want %d", got, man.WALSeq)
+	}
+	if err := follower.ApplyReplicated(shipAll(t, leader, follower.DurableSeq())); err != nil {
+		t.Fatal(err)
+	}
+	want := estimateAll(t, leader.Store(), durableTestOpts)
+	requireBitIdentical(t, estimateAll(t, follower.Store(), durableTestOpts), want, "snapshot catch-up")
+	if lv, fv := leader.ServingVersion(), follower.ServingVersion(); lv != fv {
+		t.Fatalf("leader version %d != follower version %d", lv, fv)
+	}
+
+	// Once caught up, no snapshot is offered.
+	if _, _, need, err := leader.SnapshotForReplica(follower.DurableSeq(), follower.ServingVersion()); err != nil || need {
+		t.Fatalf("caught-up follower offered a snapshot (need=%v err=%v)", need, err)
+	}
+}
+
+// TestSnapshotForReplicaForcesCheckpointForFreshFollower: a leader
+// with a bootstrap corpus but no checkpoint yet must not let a fresh
+// follower tail from zero — the corpus was never WAL-logged.
+func TestSnapshotForReplicaForcesCheckpointForFreshFollower(t *testing.T) {
+	leader, err := OpenDurable(t.TempDir(), bootstrapFig1, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	if _, _, err := leader.AppendDocs(batchDocs(0)); err != nil {
+		t.Fatal(err)
+	}
+	man, files, need, err := leader.SnapshotForReplica(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !need {
+		t.Fatal("fresh follower was not offered a snapshot despite un-logged bootstrap shards")
+	}
+	if len(man.Shards) == 0 || len(files) != len(man.Shards) {
+		t.Fatalf("snapshot manifest has %d shards, %d files", len(man.Shards), len(files))
+	}
+
+	// A fresh follower with no bootstrap converges through the snapshot.
+	follower, err := OpenDurable(t.TempDir(), nil, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	if err := follower.ApplySnapshot(man, files); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ApplyReplicated(shipAll(t, leader, follower.DurableSeq())); err != nil {
+		t.Fatal(err)
+	}
+	want := estimateAll(t, leader.Store(), durableTestOpts)
+	requireBitIdentical(t, estimateAll(t, follower.Store(), durableTestOpts), want, "fresh follower")
+}
+
+// TestApplyRefusals: the follower refuses state transitions that can
+// only mean divergence, loudly, rather than serving silently wrong
+// estimates.
+func TestApplyRefusals(t *testing.T) {
+	leader, err := OpenDurable(t.TempDir(), nil, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	for i := 0; i < 3; i++ {
+		if _, _, err := leader.AppendDocs(batchDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	man, files, _, err := leader.SnapshotForReplica(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	follower, err := OpenDurable(t.TempDir(), nil, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	// Grid mismatch is refused outright.
+	badGrid := *man
+	badGrid.GridSize = man.GridSize + 1
+	if err := follower.ApplySnapshot(&badGrid, files); err == nil || !strings.Contains(err.Error(), "grid") {
+		t.Fatalf("grid mismatch not refused: %v", err)
+	}
+	// A corrupt shard file is refused before anything installs.
+	if len(man.Shards) > 0 {
+		corrupt := make(map[string][]byte, len(files))
+		for k, v := range files {
+			corrupt[k] = bytes.Clone(v)
+		}
+		name := man.Shards[0].File
+		corrupt[name][len(corrupt[name])/2] ^= 0x1
+		if err := follower.ApplySnapshot(man, corrupt); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("corrupt snapshot file not refused: %v", err)
+		}
+	}
+	// The clean snapshot installs.
+	if err := follower.ApplySnapshot(man, files); err != nil {
+		t.Fatal(err)
+	}
+	// A record whose version does not advance the serving version is
+	// refused (a diverged or replayed-out-of-order stream).
+	stale := []wal.Record{{Seq: follower.DurableSeq() + 1, Version: follower.ServingVersion(), Docs: batchDocs(9)}}
+	if err := follower.ApplyReplicated(stale); err == nil || !strings.Contains(err.Error(), "advance") {
+		t.Fatalf("version-regressing record not refused: %v", err)
+	}
+	// A snapshot behind the follower's version is refused.
+	for i := 3; i < 6; i++ {
+		if _, _, err := leader.AppendDocs(batchDocs(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := follower.ApplyReplicated(shipAll(t, leader, follower.DurableSeq())); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.ApplySnapshot(man, files); err == nil || !strings.Contains(err.Error(), "regress") {
+		t.Fatalf("regressing snapshot not refused: %v", err)
+	}
+}

@@ -173,6 +173,15 @@ func (st *Store) appendGroupLocked(shs []*Shard) {
 	st.scheduleMerge()
 }
 
+// replaceLocked publishes shards as the whole serving set at an
+// explicit version — the replication install: versions come from the
+// leader's records and snapshots, not the local counter. The caller
+// must hold writeMu and must have stamped each shard's installedAt.
+func (st *Store) replaceLocked(shards []*Shard, version uint64) {
+	st.cur.Store(&Set{version: version, shards: shards})
+	st.scheduleMerge()
+}
+
 // setMinVersion raises the serving set's version to at least v without
 // changing membership. The durable layer uses it during recovery so
 // the version watermark clients observed before a crash never

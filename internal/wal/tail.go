@@ -1,0 +1,171 @@
+// Live tailing and replicated appends: the two log-level primitives
+// replication is built from. A leader streams its durable records to
+// followers with ReadDurable — the only reader that is sound while
+// appends are in flight — and a follower lands the shipped records in
+// its own log with AppendReplicated, preserving the leader's sequence
+// numbers and ack versions so recovery and re-streaming behave exactly
+// as they would on the leader.
+//
+// Why ScanDir is NOT that reader: it decodes every well-formed frame in
+// the segment files, including frames that were written but not yet
+// fsynced (ModeInterval/ModeOff). Records past the durable watermark
+// can vanish in a power cut — shipping them would let a follower apply
+// a batch its leader later recovers without, a divergence no reconnect
+// heals. ReadDurable caps at DurableSeq(), which the log only advances
+// after a successful fsync of fully written frames, so everything it
+// surfaces is both complete on disk and crash-proof.
+
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrTailTruncated reports that a tail read lost its position: a
+// checkpoint truncated the segment holding the requested records while
+// the read was in flight. The tailer cannot continue without risking a
+// silent gap; callers restart from a checkpoint (leaders re-plan the
+// stream, which ships a snapshot when the follower's position predates
+// the truncation point).
+var ErrTailTruncated = errors.New("wal: tail position was truncated by a checkpoint")
+
+// errStopScan ends a capped segment scan early without reporting an
+// error to the caller.
+var errStopScan = errors.New("wal: stop scan")
+
+// ReadDurable streams every record with after < Seq <= DurableSeq() to
+// fn, in sequence order, and returns the last sequence delivered
+// (after, when nothing qualified). Unlike Replay/ScanDir it is safe
+// concurrently with appends: the durable watermark is loaded before the
+// segment list, so every surfaced record was fully written and fsynced
+// before the scan began — a torn in-flight frame at the tail simply
+// ends the scan past the cap. Document slices alias a per-call read
+// buffer and are only valid until fn returns.
+//
+// A segment removed mid-read by a concurrent Truncate returns
+// ErrTailTruncated with the records delivered so far; the caller's
+// position is then behind the checkpoint and must be re-established
+// from a snapshot.
+func (l *Log) ReadDurable(after uint64, fn func(Record) error) (uint64, error) {
+	durable := l.durableSeq.Load()
+	last := after
+	if durable <= after {
+		return last, nil
+	}
+	for _, seg := range l.Segments() {
+		if seg.LastSeq <= after {
+			continue // fully covered by the caller's position
+		}
+		if seg.FirstSeq > durable {
+			break // nothing durable this far out
+		}
+		data, err := l.fs.ReadFile(seg.Path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return last, ErrTailTruncated
+			}
+			return last, fmt.Errorf("wal: tail read: %w", err)
+		}
+		var cbErr error
+		scanSegment(data, func(rec Record) error {
+			if rec.Seq <= last {
+				return nil
+			}
+			if rec.Seq > durable {
+				return errStopScan
+			}
+			if err := fn(rec); err != nil {
+				cbErr = err
+				return err
+			}
+			last = rec.Seq
+			return nil
+		})
+		if cbErr != nil {
+			return last, cbErr
+		}
+	}
+	return last, nil
+}
+
+// AppendReplicated logs records shipped from a leader, preserving their
+// sequence numbers and ack versions — the follower-side twin of
+// AppendGroup. Sequences must be strictly increasing and land above the
+// log's current floor (a duplicate or regressing sequence is refused:
+// the caller is confused about its own watermark, and overwriting
+// history is never correct). Under ModeAlways the group is fsynced
+// before return; other modes follow their usual cadence, and callers
+// that must not acknowledge un-durable records call Sync explicitly.
+//
+// Error semantics match AppendGroup: a failed write is rolled back and
+// the log seals, a failed fsync seals it outright, and in both cases
+// none of the group's records may be treated as applied.
+func (l *Log) AppendReplicated(recs []Record) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("wal: refusing to append an empty group")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if l.failedErr != nil {
+		return l.sealedErr()
+	}
+	floor := l.nextSeq - 1
+	for _, rec := range recs {
+		if rec.Seq <= floor {
+			return fmt.Errorf("wal: replicated record seq %d is not above the log's floor %d", rec.Seq, floor)
+		}
+		if len(rec.Docs) == 0 {
+			return fmt.Errorf("wal: refusing to append an empty batch")
+		}
+		floor = rec.Seq
+	}
+	buf := l.groupBuf[:0]
+	for _, rec := range recs {
+		frame, err := encodeFrame(rec)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, frame...)
+	}
+	if cap(buf) <= maxRetainedGroupBuf {
+		l.groupBuf = buf
+	} else {
+		l.groupBuf = nil
+	}
+	if l.activeSize+int64(len(buf)) > l.opts.SegmentBytes && l.activeSize > headerLen {
+		if err := l.rollLocked(recs[0].Seq); err != nil {
+			return err
+		}
+	}
+	if _, err := l.active.Write(buf); err != nil {
+		// Same rollback discipline as AppendGroup: partial frames must
+		// never precede later appends, or recovery's torn-tail cut would
+		// discard acknowledged records behind them.
+		if terr := l.active.Truncate(l.activeSize); terr != nil {
+			l.sealLocked(fmt.Errorf("wal: append failed (%v) and rollback failed (%v)", err, terr))
+			return fmt.Errorf("wal: append failed (%v) and rollback failed (%v); log sealed", err, terr)
+		}
+		l.sealLocked(fmt.Errorf("wal: append: %w", err))
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	last := recs[len(recs)-1].Seq
+	l.activeSize += int64(len(buf))
+	l.activeLast = last
+	l.activeRecs += len(recs)
+	l.nextSeq = last + 1
+	l.lastSeq.Store(last)
+	if l.opts.Mode == ModeAlways {
+		if err := l.active.Sync(); err != nil {
+			l.sealLocked(fmt.Errorf("wal: fsync: %w", err))
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.fsyncs.Add(1)
+		l.durableSeq.Store(last)
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// readDurableAll drains ReadDurable into memory, copying doc bytes.
+func readDurableAll(t *testing.T, l *Log, after uint64) []Record {
+	t.Helper()
+	var recs []Record
+	_, err := l.ReadDurable(after, func(rec Record) error {
+		cp := Record{Seq: rec.Seq, Version: rec.Version}
+		for _, d := range rec.Docs {
+			cp.Docs = append(cp.Docs, bytes.Clone(d))
+		}
+		recs = append(recs, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReadDurable: %v", err)
+	}
+	return recs
+}
+
+func TestReadDurableCapsAtDurableWatermark(t *testing.T) {
+	dir := t.TempDir()
+	// ModeOff: appends land in the file but the durable watermark only
+	// advances on explicit Sync — the gap ReadDurable must respect.
+	l, err := Open(dir, Options{Mode: ModeOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(uint64(i+2), docs(fmt.Sprintf("<d n='%d'/>", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := readDurableAll(t, l, 0); len(got) != 0 {
+		t.Fatalf("ReadDurable surfaced %d records past the durable watermark", len(got))
+	}
+	// ScanDir, by contrast, sees everything written — the over-read a
+	// replication sender must not inherit.
+	if got := collect(t, dir, 0); len(got) != 4 {
+		t.Fatalf("ScanDir saw %d records, want 4", len(got))
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := readDurableAll(t, l, 0)
+	if len(got) != 4 {
+		t.Fatalf("after Sync: ReadDurable saw %d records, want 4", len(got))
+	}
+	for i, rec := range got {
+		if rec.Seq != uint64(i+1) || rec.Version != uint64(i+2) {
+			t.Fatalf("record %d: seq=%d version=%d", i, rec.Seq, rec.Version)
+		}
+	}
+	// Partial sync state: two more appends, no sync — the cap holds at
+	// the old watermark.
+	if _, err := l.Append(10, docs("<x/>")); err != nil {
+		t.Fatal(err)
+	}
+	if last, _ := l.ReadDurable(0, func(Record) error { return nil }); last != 4 {
+		t.Fatalf("ReadDurable advanced to %d, want 4", last)
+	}
+}
+
+func TestReadDurableConcurrentWithAppends(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rolls mid-test so the tailer crosses segment
+	// boundaries while appends race it.
+	l, err := Open(dir, Options{Mode: ModeAlways, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const total = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if _, err := l.Append(uint64(i+2), docs(fmt.Sprintf("<doc n='%d'>payload</doc>", i))); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// Tail while the writer runs: every delivered record must be valid,
+	// contiguous from the reader's position, and <= the durable
+	// watermark loaded before the scan.
+	var got []Record
+	after := uint64(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for after < total {
+		if time.Now().After(deadline) {
+			t.Fatalf("tail stalled at seq %d", after)
+		}
+		last, err := l.ReadDurable(after, func(rec Record) error {
+			cp := Record{Seq: rec.Seq, Version: rec.Version}
+			for _, d := range rec.Docs {
+				cp.Docs = append(cp.Docs, bytes.Clone(d))
+			}
+			got = append(got, cp)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ReadDurable: %v", err)
+		}
+		if last > l.DurableSeq() {
+			t.Fatalf("delivered seq %d beyond durable watermark", last)
+		}
+		after = last
+	}
+	wg.Wait()
+	if len(got) != total {
+		t.Fatalf("tailed %d records, want %d", len(got), total)
+	}
+	for i, rec := range got {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d: seq %d — tail skipped or duplicated", i, rec.Seq)
+		}
+		want := fmt.Sprintf("<doc n='%d'>payload</doc>", i)
+		if len(rec.Docs) != 1 || string(rec.Docs[0]) != want {
+			t.Fatalf("record %d: docs corrupted: %q", i, rec.Docs)
+		}
+	}
+}
+
+func TestReadDurableTruncatedPosition(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: ModeAlways, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(uint64(i+2), docs("<doc>some padding text here</doc>")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Truncate(8); err != nil {
+		t.Fatal(err)
+	}
+	// Position 2 predates the truncation point: the records are gone and
+	// the tailer must say so rather than silently skipping to seq 9.
+	last, err := l.ReadDurable(2, func(rec Record) error { return nil })
+	if err != nil && err != ErrTailTruncated {
+		t.Fatalf("ReadDurable: %v", err)
+	}
+	if err == nil {
+		// All segments holding 3..8 were removed, so the scan may also
+		// legitimately start at the first surviving segment — but then it
+		// must not have pretended to deliver the missing range.
+		if last != 10 && last != 2 {
+			t.Fatalf("ReadDurable returned last=%d without ErrTailTruncated", last)
+		}
+	}
+}
+
+func TestAppendReplicatedPreservesSeqAndVersion(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Mode: ModeAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Seq: 7, Version: 12, Docs: docs("<a/>")},
+		{Seq: 8, Version: 13, Docs: docs("<b/>", "<c/>")},
+		{Seq: 11, Version: 20, Docs: docs("<d/>")}, // gaps are legal (leader numbering floors)
+	}
+	if err := l.AppendReplicated(recs); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastSeq() != 11 || l.DurableSeq() != 11 {
+		t.Fatalf("last=%d durable=%d, want 11/11", l.LastSeq(), l.DurableSeq())
+	}
+	// Regressing or duplicate sequences are refused.
+	if err := l.AppendReplicated([]Record{{Seq: 11, Version: 21, Docs: docs("<x/>")}}); err == nil {
+		t.Fatal("duplicate seq accepted")
+	}
+	if err := l.AppendReplicated([]Record{{Seq: 12, Version: 21, Docs: docs("<x/>")}, {Seq: 12, Version: 22, Docs: docs("<y/>")}}); err == nil {
+		t.Fatal("non-increasing group accepted")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: recovery sees the leader's numbering, and new local
+	// appends continue above it.
+	l2, err := Open(dir, Options{Mode: ModeAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collect(t, dir, 0)
+	if len(got) != 3 || got[0].Seq != 7 || got[2].Seq != 11 || got[2].Version != 20 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	seq, err := l2.Append(21, docs("<e/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 12 {
+		t.Fatalf("post-replication append got seq %d, want 12", seq)
+	}
+}

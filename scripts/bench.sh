@@ -26,6 +26,13 @@
 # mean rel. err.) from `xqest accuracy` over seeded workloads
 # (all-pairs + random twigs) on two built-in datasets.
 #
+# PR 10 adds the replicated serving run (serving_replicated): a durable
+# leader plus one follower replaying its WAL over /wal/stream, driven
+# by xqbench -targets — appends land on the leader, estimates scatter
+# across both nodes, and the report's "nodes" section carries per-node
+# QPS and the cross-node append-to-visible lag (leader append ack to
+# follower serving the version, p50/p99).
+#
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh      # override -benchtime
 #   SERVE_SECONDS=10 scripts/bench.sh  # longer serving runs
@@ -35,17 +42,21 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 appenders="${APPENDERS:-24}"
 commit_delay="${COMMIT_DELAY:-3ms}"
 benchtime="${BENCHTIME:-1s}"
 serve_seconds="${SERVE_SECONDS:-5}"
-addr="127.0.0.1:${BENCH_PORT:-18791}"
+port="${BENCH_PORT:-18791}"
+addr="127.0.0.1:${port}"
+faddr="127.0.0.1:$((port + 1))"
 pattern='^(BenchmarkEstimatorBuild|BenchmarkPHJoin|BenchmarkTwigEstimate|BenchmarkFacadeEstimate|BenchmarkCompiledEstimate|BenchmarkAppendToVisible|BenchmarkAppendRebuildMonolithic|BenchmarkShardedEstimate|BenchmarkCompact)(/.+)?$'
 
 workdir="$(mktemp -d)"
 daemon_pid=""
+follower_pid=""
 cleanup() {
+  [[ -n "$follower_pid" ]] && kill "$follower_pid" 2>/dev/null || true
   [[ -n "$daemon_pid" ]] && kill "$daemon_pid" 2>/dev/null || true
   rm -rf "$workdir"
 }
@@ -84,6 +95,24 @@ if [[ -z "${SKIP_SERVING:-}" ]]; then
       -data-dir "$workdir/data-$fsync" -fsync "$fsync" -checkpoint 2s \
       -commit-delay "$commit_delay"
   done
+  echo "== replicated serving benchmark: leader + follower, xqbench -targets =="
+  # Both nodes boot the same dataset so the follower converges by pure
+  # WAL tailing (the two-node runbook's contract).
+  "$workdir/xqestd" -dataset dblp -scale 0.05 -addr "$addr" \
+    -data-dir "$workdir/data-leader" -commit-delay "$commit_delay" \
+    >"$workdir/xqestd-leader.log" 2>&1 &
+  daemon_pid=$!
+  "$workdir/xqestd" -dataset dblp -scale 0.05 -addr "$faddr" \
+    -data-dir "$workdir/data-follower" -follow "http://$addr" \
+    >"$workdir/xqestd-follower.log" 2>&1 &
+  follower_pid=$!
+  "$workdir/xqbench" -targets "http://$addr,http://$faddr" \
+    -duration "${serve_seconds}s" -estimators 8 -appenders 4 \
+    -o "$workdir/serving-replicated.json"
+  kill -INT "$follower_pid" && wait "$follower_pid" 2>/dev/null || true
+  follower_pid=""
+  kill -INT "$daemon_pid" && wait "$daemon_pid" 2>/dev/null || true
+  daemon_pid=""
 else
   printf 'null\n' > "$workdir/serving.json"
   printf 'null\n' > "$workdir/serving-notrace.json"
@@ -92,6 +121,7 @@ else
   for fsync in always interval off; do
     printf 'null\n' > "$workdir/durable-$fsync.json"
   done
+  printf 'null\n' > "$workdir/serving-replicated.json"
 fi
 
 # Offline accuracy harness: q-error quantiles over seeded workloads
@@ -146,6 +176,8 @@ go build -o "$workdir/xqest" ./cmd/xqest
   cat "$workdir/serving-noshadow.json"
   printf ",\n  \"serving_fanout\": "
   cat "$workdir/serving-fanout.json"
+  printf ",\n  \"serving_replicated\": "
+  cat "$workdir/serving-replicated.json"
   printf ",\n  \"durable_serving\": {\n"
   printf "    \"always\": "
   cat "$workdir/durable-always.json"
